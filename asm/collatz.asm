@@ -1,0 +1,21 @@
+; Collatz trajectory length of 27 (should be 111 steps), left in r2
+        li   r1, 27
+        li   r2, 0          ; steps
+        li   r6, 1
+        li   r7, 0
+loop:
+        beq  r1, r6, done
+        andi r3, r1, 1
+        beq  r3, r7, even
+        ; odd: r1 = 3*r1 + 1
+        add  r4, r1, r1
+        add  r1, r4, r1
+        addi r1, r1, 1
+        j    count
+even:
+        srli r1, r1, 1
+count:
+        addi r2, r2, 1
+        j    loop
+done:
+        halt

@@ -1,0 +1,31 @@
+; dot product of two 16-element vectors
+; a[i] = i+1 at address 0..16, b[i] = 2i+1 at 16..32 — initialise them
+; first, then accumulate into r4.
+        li   r1, 0          ; &a
+        li   r2, 16         ; &b
+        li   r3, 16         ; remaining
+        li   r7, 0
+init:                       ; a[i] = i+1 ; b[i] = 2i+1
+        addi r5, r1, 1
+        sw   r5, (r1)
+        add  r6, r5, r5
+        subi r6, r6, 1
+        sw   r6, (r2)
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r3, r3, 1
+        bne  r3, r7, init
+        li   r1, 0
+        li   r2, 16
+        li   r3, 16
+        li   r4, 0          ; acc
+loop:
+        lw   r5, (r1)
+        lw   r6, (r2)
+        mul  r5, r5, r6
+        add  r4, r4, r5
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r3, r3, 1
+        bne  r3, r7, loop
+        halt

@@ -1,0 +1,12 @@
+; iterative fibonacci(30) -> r2
+        li   r1, 0
+        li   r2, 1
+        li   r3, 30
+        li   r7, 0
+loop:
+        add  r4, r1, r2
+        add  r1, r2, r7
+        add  r2, r4, r7
+        subi r3, r3, 1
+        bne  r3, r7, loop
+        halt

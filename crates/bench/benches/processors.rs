@@ -1,0 +1,71 @@
+//! Criterion benches of the processor models: cycles-per-second
+//! simulation throughput across architectures, window sizes and
+//! workloads, plus the golden interpreter as the speed-of-light
+//! reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ultrascalar::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_isa::{workload, Interp};
+
+fn bench_interp(c: &mut Criterion) {
+    let prog = workload::dot_product(256);
+    let mut g = c.benchmark_group("golden_interp");
+    g.bench_function("dot_product_256", |b| {
+        b.iter(|| {
+            let mut m = Interp::new(black_box(&prog), 1 << 12);
+            m.run(1_000_000).steps()
+        })
+    });
+    g.finish();
+}
+
+fn bench_processors(c: &mut Criterion) {
+    let prog = workload::dot_product(64);
+    let mut g = c.benchmark_group("processor_run");
+    for &n in &[8usize, 32, 128] {
+        let mk = |cluster: usize| {
+            ProcConfig::hybrid(n, cluster).with_predictor(PredictorKind::Bimodal(64))
+        };
+        g.bench_with_input(BenchmarkId::new("ultrascalar_i", n), &n, |b, &n| {
+            let cfg = mk(1);
+            b.iter(|| Ultrascalar::new(cfg.clone()).run(black_box(&prog)).cycles);
+            let _ = n;
+        });
+        g.bench_with_input(BenchmarkId::new("ultrascalar_ii", n), &n, |b, &n| {
+            let cfg = mk(n);
+            b.iter(|| Ultrascalar::new(cfg.clone()).run(black_box(&prog)).cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("hybrid_c8", n), &n, |b, _| {
+            let cfg = mk(8.min(n));
+            b.iter(|| Ultrascalar::new(cfg.clone()).run(black_box(&prog)).cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("baseline_ooo", n), &n, |b, _| {
+            let cfg = mk(1);
+            b.iter(|| BaselineOoO::new(cfg.clone()).run(black_box(&prog)).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulated_cycle_rate(c: &mut Criterion) {
+    // Cycles simulated per wall-second on a long-running kernel.
+    let prog = workload::bubble_sort(48, 5);
+    let mut g = c.benchmark_group("cycle_rate");
+    for &n in &[16usize, 64] {
+        let cfg = ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::Bimodal(256));
+        let cycles = Ultrascalar::new(cfg.clone()).run(&prog).cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_with_input(BenchmarkId::new("usi_bubble_sort", n), &cfg, |b, cfg| {
+            b.iter(|| Ultrascalar::new(cfg.clone()).run(black_box(&prog)).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_interp, bench_processors, bench_simulated_cycle_rate
+}
+criterion_main!(benches);

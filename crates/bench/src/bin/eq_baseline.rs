@@ -1,0 +1,52 @@
+//! E9 (§2's functional claim): "this timing diagram is exactly what
+//! would be produced in a traditional superscalar processor" — run the
+//! whole kernel suite on the Ultrascalar I and on an independently
+//! implemented conventional out-of-order core (rename map + ROB +
+//! broadcast wakeup) and report cycle-for-cycle equality.
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin eq_baseline
+//! ```
+
+use ultrascalar::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::Table;
+use ultrascalar_isa::workload;
+
+fn main() {
+    println!("E9 — Ultrascalar I vs conventional out-of-order baseline");
+    println!("window n = 8, bimodal predictor, ideal memory\n");
+
+    let mut t = Table::new(vec![
+        "kernel",
+        "US-I cycles",
+        "baseline cycles",
+        "IPC",
+        "identical timing?",
+    ]);
+    let mut all_equal = true;
+    for (name, prog) in workload::standard_suite(2026) {
+        let cfg = ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::Bimodal(64));
+        let a = Ultrascalar::new(cfg.clone()).run(&prog);
+        let b = BaselineOoO::new(cfg).run(&prog);
+        let identical = a.cycles == b.cycles && a.timings == b.timings && a.regs == b.regs;
+        all_equal &= identical;
+        t.row(vec![
+            name.to_string(),
+            format!("{}", a.cycles),
+            format!("{}", b.cycles),
+            format!("{:.2}", a.ipc()),
+            if identical { "yes — every instruction's issue/complete cycle matches" } else { "NO" }
+                .to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "{}",
+        if all_equal {
+            "all kernels cycle-identical: the Ultrascalar extracts exactly the\n\
+             ILP of a conventional renaming/broadcast superscalar, as claimed."
+        } else {
+            "MISMATCH FOUND — see table."
+        }
+    );
+}

@@ -1,0 +1,89 @@
+//! E4 (Figure 6): the Ultrascalar I H-tree floorplan — the X(n) and
+//! W(n) recurrences evaluated at the paper's 16-station example and
+//! swept across n for all three bandwidth regimes.
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin fig06_floorplan
+//! ```
+
+use ultrascalar_bench::Table;
+use ultrascalar_memsys::Bandwidth;
+use ultrascalar_vlsi::metrics::ArchParams;
+use ultrascalar_vlsi::{fit, usi, Tech};
+
+fn main() {
+    let tech = Tech::cmos_035();
+
+    println!("Figure 6 — Ultrascalar I H-tree floorplan (L = 32, 32-bit)\n");
+    let p16 = ArchParams {
+        n: 16,
+        l: 32,
+        bits: 32,
+        mem: Bandwidth::full(),
+    };
+    let m16 = usi::metrics(&p16, &tech);
+    println!(
+        "the paper's 16-station example with full memory bandwidth:\n\
+         side X(16) = {:.2} mm, longest wire 2·W(16) = {:.2} mm,\n\
+         area {:.1} mm², gate depth {} levels\n",
+        m16.side_um / 1e3,
+        m16.wire_um / 1e3,
+        m16.area_mm2(),
+        m16.gate_delay
+    );
+
+    let plan = ultrascalar_vlsi::floorplan::usi_floorplan(&p16, &tech);
+    assert!(plan.violations().is_empty());
+    println!(
+        "placed floorplan (S = execution station, # = channel with prefix/\n\
+         fat-tree nodes; station utilisation {:.1}%):\n",
+        100.0 * plan.leaf_utilisation()
+    );
+    println!("{}", plan.ascii(64));
+
+    for (name, mem, solution) in [
+        (
+            "Case 1: M(n) = O(n^(1/2-e))",
+            Bandwidth::sublinear_sqrt(0.25),
+            "X(n) = Θ(√n·L)",
+        ),
+        ("Case 2: M(n) = Θ(n^(1/2))", Bandwidth::sqrt(), "X(n) = Θ(√n(L+log n))"),
+        ("Case 3: M(n) = Θ(n)", Bandwidth::full(), "X(n) = Θ(√n·L + M(n)) = Θ(n)"),
+    ] {
+        println!("{name} — paper solution {solution}");
+        let mut t = Table::new(vec!["n", "X(n) mm", "2W(n) mm", "area mm^2", "X(4n)/X(n)"]);
+        let mut prev: Option<f64> = None;
+        let mut pts = Vec::new();
+        for k in 1..=8u32 {
+            let n = 4usize.pow(k);
+            let p = ArchParams {
+                n,
+                l: 32,
+                bits: 32,
+                mem,
+            };
+            let m = usi::metrics(&p, &tech);
+            pts.push((n as f64, m.side_um));
+            let growth = prev.map_or(String::new(), |x| format!("{:.2}", m.side_um / x));
+            t.row(vec![
+                format!("{n}"),
+                format!("{:.2}", m.side_um / 1e3),
+                format!("{:.2}", m.wire_um / 1e3),
+                format!("{:.1}", m.area_mm2()),
+                growth,
+            ]);
+            prev = Some(m.side_um);
+        }
+        println!("{t}");
+        let f = fit::fit_exponent_tail(&pts, 4);
+        println!(
+            "fitted side exponent {:.3} (paper: {})\n",
+            f.exponent,
+            if matches!(mem.regime(), ultrascalar_memsys::bandwidth::Regime::AboveSqrt) {
+                "1.0 — bandwidth-bound"
+            } else {
+                "0.5 — √n growth (per-4x side ratio → 2)"
+            }
+        );
+    }
+}

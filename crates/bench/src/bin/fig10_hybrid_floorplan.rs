@@ -1,0 +1,66 @@
+//! E6 (Figures 9 & 10): the hybrid floorplan — the paper's
+//! 32-instruction, 4-cluster (C = 8), 8-register, full-bandwidth
+//! example, plus the two-level structure across cluster sizes.
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin fig10_hybrid_floorplan
+//! ```
+
+use ultrascalar_bench::Table;
+use ultrascalar_memsys::Bandwidth;
+use ultrascalar_vlsi::metrics::ArchParams;
+use ultrascalar_vlsi::{hybrid, usii, Tech};
+
+fn main() {
+    let tech = Tech::cmos_035();
+
+    // The paper's example: n = 32, C = 8, L = 8, M(n) = Θ(n).
+    let p = ArchParams {
+        n: 32,
+        l: 8,
+        bits: 32,
+        mem: Bandwidth::full(),
+    };
+    let cluster = ArchParams { n: 8, ..p };
+    let cl_side = usii::side_linear_um(&cluster, &tech);
+    let m = hybrid::metrics_with_cluster(&p, 8, &tech);
+
+    println!("Figure 10 — hybrid floorplan: n = 32, four clusters of C = 8,");
+    println!("L = 8 logical registers, full memory bandwidth (M(n) = Θ(n))\n");
+    println!("cluster (8-station Ultrascalar II grid): {:.2} mm on a side", cl_side / 1e3);
+    println!(
+        "hybrid: side U(32) = {:.2} mm, area {:.1} mm², longest wire {:.2} mm,",
+        m.side_um / 1e3,
+        m.area_mm2(),
+        m.wire_um / 1e3
+    );
+    println!("gate depth {} levels (cluster search + inter-cluster CSPP tree)\n", m.gate_delay);
+
+    let plan = ultrascalar_vlsi::floorplan::hybrid_floorplan(&p, 8, &tech);
+    assert!(plan.violations().is_empty());
+    println!(
+        "placed floorplan (C = 8-station Ultrascalar II cluster, # = CSPP/\n\
+         memory channel; cluster utilisation {:.1}%):\n",
+        100.0 * plan.leaf_utilisation()
+    );
+    println!("{}", plan.ascii(56));
+
+    println!("two-level structure across cluster sizes (n = 32, L = 8):");
+    let mut t = Table::new(vec!["C", "clusters", "cluster mm", "hybrid side mm", "gate levels"]);
+    for c in hybrid::feasible_clusters(32) {
+        let mc = hybrid::metrics_with_cluster(&p, c, &tech);
+        let cl = usii::side_linear_um(&ArchParams { n: c, ..p }, &tech);
+        t.row(vec![
+            format!("{c}"),
+            format!("{}", 32 / c),
+            format!("{:.2}", cl / 1e3),
+            format!("{:.2}", mc.side_um / 1e3),
+            format!("{:.0}", mc.gate_delay),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "the Figure 9 modified-bit OR trees are folded into the cluster\n\
+         pitch (a constant-factor strip), as in the paper's Magic layout."
+    );
+}

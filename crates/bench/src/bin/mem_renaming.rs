@@ -1,0 +1,77 @@
+//! Memory-renaming study (§7): "the memory bandwidth pressure can also
+//! be reduced by using memory-renaming hardware, which can be
+//! implemented by CSPP circuits. With the right caching and renaming
+//! protocols, it is conceivable that a processor could require
+//! substantially reduced memory bandwidth, resulting in dramatically
+//! reduced chip complexity." Measure cycles and memory traffic with
+//! renaming off/on under a constrained fat tree.
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin mem_renaming
+//! ```
+
+use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::Table;
+use ultrascalar_isa::workload;
+use ultrascalar_memsys::{Bandwidth, MemConfig, NetworkKind};
+
+fn main() {
+    let n = 16;
+    let mem = MemConfig {
+        n_leaves: n,
+        bandwidth: Bandwidth::constant(2.0), // tight M(n) = 2
+        banks: 8,
+        bank_occupancy: 1,
+        hop_latency: 1,
+        base_latency: 0,
+        words: 1 << 12,
+        network: NetworkKind::FatTree,
+        cluster_cache: None,
+    };
+    println!("§7 memory renaming — Ultrascalar I, n = {n}, M(n) = 2 ports\n");
+
+    let mut t = Table::new(vec![
+        "kernel",
+        "cycles (plain)",
+        "cycles (renamed)",
+        "speedup",
+        "mem loads plain",
+        "mem loads renamed",
+        "store→load fwds",
+    ]);
+    let mut saved_total = 0i64;
+    for (name, prog) in workload::standard_suite(23) {
+        let pred = PredictorKind::Bimodal(64);
+        let plain = Ultrascalar::new(
+            ProcConfig::ultrascalar_i(n)
+                .with_predictor(pred)
+                .with_mem(mem.clone()),
+        )
+        .run(&prog);
+        let renamed = Ultrascalar::new(
+            ProcConfig::ultrascalar_i(n)
+                .with_predictor(pred)
+                .with_mem(mem.clone())
+                .with_memory_renaming(),
+        )
+        .run(&prog);
+        assert_eq!(plain.regs, renamed.regs, "{name}");
+        assert_eq!(plain.mem, renamed.mem, "{name}");
+        saved_total += plain.stats.mem.loads as i64 - renamed.stats.mem.loads as i64;
+        t.row(vec![
+            name.to_string(),
+            format!("{}", plain.cycles),
+            format!("{}", renamed.cycles),
+            format!("{:.2}x", plain.cycles as f64 / renamed.cycles as f64),
+            format!("{}", plain.stats.mem.loads),
+            format!("{}", renamed.stats.mem.loads),
+            format!("{}", renamed.stats.store_forwards),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "renaming removed {saved_total} load round-trips across the suite and\n\
+         never changed architectural state — bandwidth pressure drops exactly\n\
+         as §7 anticipates (smaller M(n) ⇒ smaller chip, per Figure 11)."
+    );
+}

@@ -1,0 +1,123 @@
+//! Interconnect comparison (§2): "we propose to connect the
+//! Ultrascalar I datapath to an interleaved data cache … via two
+//! fat-tree or butterfly networks." Drive both topologies with the
+//! same workloads and offered-load microbenchmarks.
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin networks
+//! ```
+
+use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::Table;
+use ultrascalar_isa::workload;
+use ultrascalar_memsys::{
+    Bandwidth, MemConfig, MemRequest, MemSystem, NetworkKind, ReqKind,
+};
+
+fn drain(cfg: MemConfig, reqs: &[MemRequest]) -> u64 {
+    let mut m = MemSystem::new(cfg, &[]);
+    let mut pending: Vec<MemRequest> = reqs.to_vec();
+    let mut t = 0u64;
+    while !pending.is_empty() {
+        let (acc, _) = m.tick(t, &pending);
+        pending.retain(|r| !acc.contains(&r.id));
+        t += 1;
+    }
+    t
+}
+
+fn main() {
+    let n = 64;
+    println!("fat tree vs butterfly — {n} stations, M(n) = √n = 8 ports\n");
+
+    let base = MemConfig {
+        n_leaves: n,
+        bandwidth: Bandwidth::sqrt(),
+        banks: 64,
+        bank_occupancy: 1,
+        hop_latency: 0,
+        base_latency: 0,
+        words: 1 << 12,
+        network: NetworkKind::FatTree,
+        cluster_cache: None,
+    };
+
+    // Offered-load microbenchmark: cycles to drain a burst of requests
+    // under traffic patterns that stress each topology's weakness.
+    let mk = |pairs: Vec<(usize, usize)>| -> Vec<MemRequest> {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (leaf, addr))| MemRequest {
+                id: id as u64,
+                leaf,
+                addr,
+                kind: ReqKind::Load,
+            })
+            .collect()
+    };
+    let bitrev6 = |x: usize| {
+        (0..6).fold(0usize, |acc, b| acc | ((x >> b & 1) << (5 - b)))
+    };
+    let patterns: Vec<(&str, Vec<MemRequest>)> = vec![
+        ("uniform stride-1 (all leaves)", mk((0..n).map(|i| (i, i)).collect())),
+        ("single hot address (all leaves)", mk((0..n).map(|i| (i, 5)).collect())),
+        (
+            // Fat-tree weakness: a burst from one 16-leaf subtree is
+            // capped by that subtree's M(16) = 4 links; the butterfly
+            // has no subtree cap.
+            "burst from one quadrant (16 reqs)",
+            mk((0..16).map(|i| (i, i * 5)).collect()),
+        ),
+        (
+            // Butterfly weakness: the bit-reversal permutation forces
+            // path conflicts; the fat tree only sees its port limit.
+            "bit-reversal permutation (all leaves)",
+            mk((0..n).map(|i| (i, bitrev6(i))).collect()),
+        ),
+    ];
+    let mut t = Table::new(vec!["traffic", "fat tree (cycles)", "butterfly (cycles)"]);
+    for (name, reqs) in &patterns {
+        let tree = drain(base.clone(), reqs);
+        let fly = drain(base.clone().with_network(NetworkKind::Butterfly), reqs);
+        t.row(vec![name.to_string(), format!("{tree}"), format!("{fly}")]);
+    }
+    println!("{t}");
+
+    // Whole-processor effect.
+    println!("kernel suite through an n = 16 Ultrascalar I (√n bandwidth):");
+    let mut t = Table::new(vec!["kernel", "fat tree", "butterfly"]);
+    let mem16 = MemConfig {
+        n_leaves: 16,
+        banks: 8,
+        ..base.clone()
+    };
+    for (name, prog) in workload::standard_suite(29) {
+        let pred = PredictorKind::Bimodal(64);
+        let tree = Ultrascalar::new(
+            ProcConfig::ultrascalar_i(16)
+                .with_predictor(pred)
+                .with_mem(mem16.clone()),
+        )
+        .run(&prog);
+        let fly = Ultrascalar::new(
+            ProcConfig::ultrascalar_i(16)
+                .with_predictor(pred)
+                .with_mem(mem16.clone().with_network(NetworkKind::Butterfly)),
+        )
+        .run(&prog);
+        assert_eq!(tree.regs, fly.regs, "{name}");
+        t.row(vec![
+            name.to_string(),
+            format!("{}", tree.cycles),
+            format!("{}", fly.cycles),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "both topologies are architecturally transparent; they differ only\n\
+         in how contention shapes the schedule — the fat tree guarantees\n\
+         per-subtree bandwidth, the butterfly wins on conflict-free\n\
+         permutations and loses on adversarial ones."
+    );
+}

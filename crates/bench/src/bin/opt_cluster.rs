@@ -1,0 +1,63 @@
+//! E10 (§6): the optimal cluster size — sweep C for several (n, L)
+//! pairs and verify the paper's `C* = Θ(L)` (side length minimised when
+//! the cluster size tracks the register count).
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin opt_cluster
+//! ```
+
+use ultrascalar_bench::Table;
+use ultrascalar_memsys::Bandwidth;
+use ultrascalar_vlsi::metrics::ArchParams;
+use ultrascalar_vlsi::{hybrid, Tech};
+
+fn main() {
+    let tech = Tech::cmos_035();
+    let n = 1 << 14;
+    println!("§6 — optimal hybrid cluster size (n = {n}, low memory bandwidth)\n");
+
+    println!("full sweep at L = 32:");
+    let p = ArchParams {
+        n,
+        l: 32,
+        bits: 32,
+        mem: Bandwidth::constant(1.0),
+    };
+    let mut t = Table::new(vec!["C", "side mm", "gate levels"]);
+    for c in hybrid::feasible_clusters(n) {
+        if c > 4096 {
+            continue;
+        }
+        let m = hybrid::metrics_with_cluster(&p, c, &tech);
+        t.row(vec![
+            format!("{c}"),
+            format!("{:.1}", m.side_um / 1e3),
+            format!("{:.0}", m.gate_delay),
+        ]);
+    }
+    println!("{t}");
+
+    println!("argmin across register counts — the paper's C* = Θ(L):");
+    let mut t = Table::new(vec!["L", "C*", "C*/L", "side at C* (mm)", "side at C=1 (mm)", "side at C=n (mm)"]);
+    for l in [8usize, 16, 32, 64, 128] {
+        let p = ArchParams {
+            n,
+            l,
+            bits: 32,
+            mem: Bandwidth::constant(1.0),
+        };
+        let (c_star, m) = hybrid::optimal_cluster(&p, &tech);
+        let m1 = hybrid::metrics_with_cluster(&p, 1, &tech);
+        let mn = hybrid::metrics_with_cluster(&p, n, &tech);
+        t.row(vec![
+            format!("{l}"),
+            format!("{c_star}"),
+            format!("{:.2}", c_star as f64 / l as f64),
+            format!("{:.1}", m.side_um / 1e3),
+            format!("{:.1}", m1.side_um / 1e3),
+            format!("{:.1}", mn.side_um / 1e3),
+        ]);
+    }
+    println!("{t}");
+    println!("C*/L stays within a small constant band: C* = Θ(L), as derived in §6.");
+}

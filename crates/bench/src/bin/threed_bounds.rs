@@ -1,0 +1,95 @@
+//! E11 (§7): three-dimensional packaging bounds — volumes and wire
+//! lengths of the three processors in a true 3-D technology, with the
+//! fitted growth exponents beside the paper's claims.
+//!
+//! ```text
+//! cargo run -p ultrascalar-bench --bin threed_bounds
+//! ```
+
+use ultrascalar_bench::Table;
+use ultrascalar_memsys::Bandwidth;
+use ultrascalar_vlsi::metrics::ArchParams;
+use ultrascalar_vlsi::{fit, threed, Tech};
+
+fn main() {
+    let tech = Tech::cmos_035();
+    let l = 32;
+    println!("§7 — three-dimensional packaging (L = {l}, low bandwidth)\n");
+
+    let mut t = Table::new(vec![
+        "n",
+        "US-I vol mm³",
+        "US-I wire mm",
+        "US-II vol mm³",
+        "hybrid vol mm³",
+    ]);
+    let mut pts_v1 = Vec::new();
+    let mut pts_w1 = Vec::new();
+    let mut pts_v2 = Vec::new();
+    let mut pts_vh = Vec::new();
+    for k in 4..=14u32 {
+        let n = 1usize << k;
+        let p = ArchParams {
+            n,
+            l,
+            bits: 32,
+            mem: Bandwidth::constant(1.0),
+        };
+        let u1 = threed::usi_3d(&p, &tech);
+        let u2 = threed::usii_3d(&p, &tech);
+        let hy = threed::hybrid_3d(&p, &tech);
+        pts_v1.push((n as f64, u1.volume_um3));
+        pts_w1.push((n as f64, u1.wire_um));
+        pts_v2.push((n as f64, u2.volume_um3));
+        pts_vh.push((n as f64, hy.volume_um3));
+        if k % 2 == 0 {
+            t.row(vec![
+                format!("{n}"),
+                format!("{:.1}", u1.volume_um3 / 1e9),
+                format!("{:.2}", u1.wire_um / 1e3),
+                format!("{:.1}", u2.volume_um3 / 1e9),
+                format!("{:.1}", hy.volume_um3 / 1e9),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    let mut t = Table::new(vec!["quantity", "paper claim", "fitted exponent in n"]);
+    t.row(vec![
+        "US-I volume".to_string(),
+        "Θ(n·L^(3/2)) → n^1".to_string(),
+        format!("{:.3}", fit::fit_exponent_tail(&pts_v1, 5).exponent),
+    ]);
+    t.row(vec![
+        "US-I wire".to_string(),
+        "Θ(n^(1/3)·L^(1/2)) → n^0.33".to_string(),
+        format!("{:.3}", fit::fit_exponent_tail(&pts_w1, 5).exponent),
+    ]);
+    t.row(vec![
+        "US-II volume".to_string(),
+        "Θ(n² + L²) → n^2".to_string(),
+        format!("{:.3}", fit::fit_exponent_tail(&pts_v2, 5).exponent),
+    ]);
+    t.row(vec![
+        "hybrid volume".to_string(),
+        "Θ(n·L^(3/4)) → n^1".to_string(),
+        format!("{:.3}", fit::fit_exponent_tail(&pts_vh, 5).exponent),
+    ]);
+    println!("{t}");
+
+    println!("optimal 3-D cluster size: C* = Θ(L^(3/4)) —");
+    let mut t = Table::new(vec!["L", "C* (3-D)", "L^(3/4)"]);
+    for l in [16usize, 64, 256, 1024] {
+        t.row(vec![
+            format!("{l}"),
+            format!("{}", threed::optimal_cluster_3d(l)),
+            format!("{:.1}", (l as f64).powf(0.75)),
+        ]);
+    }
+    println!("{t}");
+
+    println!(
+        "hybrid L-scaling: volume Θ(n·L^(3/4)) in 3-D vs area Θ(n·L) in 2-D —\n\
+         the third dimension buys a L^(1/4) density factor."
+    );
+}

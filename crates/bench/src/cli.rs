@@ -1,0 +1,453 @@
+//! Argument parsing and execution for the `usim` command-line driver.
+//!
+//! Hand-rolled parsing (no CLI dependency): `usim run prog.asm
+//! --arch hybrid --window 32 --cluster 8 --predictor bimodal:64
+//! --diagram`. The parser lives in the library so it is unit-testable;
+//! the binary is a thin wrapper.
+
+use ultrascalar::{
+    render_station_occupancy, render_timing_diagram, ForwardModel, PredictorKind, ProcConfig,
+    Processor, RunResult, Ultrascalar,
+};
+use ultrascalar_isa::{assemble, disassemble, read_binary, write_binary, Program};
+use ultrascalar_memsys::{Bandwidth, CacheConfig, MemConfig, NetworkKind};
+
+/// Which processor topology to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchChoice {
+    /// Ultrascalar I (`C = 1`).
+    UsI,
+    /// Ultrascalar II (`C = n`).
+    UsII,
+    /// Hybrid with an explicit cluster size.
+    Hybrid,
+}
+
+/// Parsed `usim run` options.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Assembly source path.
+    pub path: String,
+    /// Topology.
+    pub arch: ArchChoice,
+    /// Window size `n`.
+    pub window: usize,
+    /// Cluster size (hybrid only; defaults to `max(1, n/4)`).
+    pub cluster: Option<usize>,
+    /// Branch predictor.
+    pub predictor: PredictorKind,
+    /// Shared-ALU pool.
+    pub alus: Option<usize>,
+    /// Memory bandwidth exponent `p` in `M(s) = s^p`.
+    pub mem_exp: f64,
+    /// Interconnect.
+    pub network: NetworkKind,
+    /// Memory renaming.
+    pub renaming: bool,
+    /// Distributed cluster caches.
+    pub cache: bool,
+    /// Fetch-width cap.
+    pub fetch_width: Option<usize>,
+    /// Pipelined forwarding per-hop cost.
+    pub per_hop: Option<u64>,
+    /// Logical register count the program is assembled for.
+    pub regs: usize,
+    /// Print the Figure 3 timing diagram.
+    pub diagram: bool,
+    /// Print the station-occupancy trace.
+    pub occupancy: bool,
+    /// Print final register values.
+    pub show_regs: bool,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            path: String::new(),
+            arch: ArchChoice::UsI,
+            window: 16,
+            cluster: None,
+            predictor: PredictorKind::Bimodal(256),
+            alus: None,
+            mem_exp: 1.0,
+            network: NetworkKind::FatTree,
+            renaming: false,
+            cache: false,
+            fetch_width: None,
+            per_hop: None,
+            regs: 32,
+            diagram: false,
+            occupancy: false,
+            show_regs: false,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// Parse `usim run` arguments (everything after the subcommand).
+pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
+    let mut o = RunOptions::default();
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arch" => {
+                o.arch = match value(&mut it, "--arch")?.as_str() {
+                    "usi" | "ultrascalar-i" | "i" => ArchChoice::UsI,
+                    "usii" | "ultrascalar-ii" | "ii" => ArchChoice::UsII,
+                    "hybrid" => ArchChoice::Hybrid,
+                    x => return Err(format!("unknown arch `{x}` (usi|usii|hybrid)")),
+                }
+            }
+            "--window" | "-n" => {
+                o.window = value(&mut it, "--window")?
+                    .parse()
+                    .map_err(|_| "bad --window".to_string())?
+            }
+            "--cluster" | "-c" => {
+                o.cluster = Some(
+                    value(&mut it, "--cluster")?
+                        .parse()
+                        .map_err(|_| "bad --cluster".to_string())?,
+                )
+            }
+            "--predictor" => {
+                let v = value(&mut it, "--predictor")?;
+                o.predictor = match v.as_str() {
+                    "perfect" => PredictorKind::Perfect,
+                    "nottaken" | "not-taken" => PredictorKind::NotTaken,
+                    "taken" => PredictorKind::Taken,
+                    "btfn" => PredictorKind::Btfn,
+                    other => match other.strip_prefix("bimodal:") {
+                        Some(k) => PredictorKind::Bimodal(
+                            k.parse().map_err(|_| "bad bimodal size".to_string())?,
+                        ),
+                        None => return Err(format!("unknown predictor `{v}`")),
+                    },
+                }
+            }
+            "--alus" => {
+                o.alus = Some(
+                    value(&mut it, "--alus")?
+                        .parse()
+                        .map_err(|_| "bad --alus".to_string())?,
+                )
+            }
+            "--mem-exp" => {
+                o.mem_exp = value(&mut it, "--mem-exp")?
+                    .parse()
+                    .map_err(|_| "bad --mem-exp".to_string())?
+            }
+            "--butterfly" => o.network = NetworkKind::Butterfly,
+            "--renaming" => o.renaming = true,
+            "--cache" => o.cache = true,
+            "--fetch-width" => {
+                o.fetch_width = Some(
+                    value(&mut it, "--fetch-width")?
+                        .parse()
+                        .map_err(|_| "bad --fetch-width".to_string())?,
+                )
+            }
+            "--per-hop" => {
+                o.per_hop = Some(
+                    value(&mut it, "--per-hop")?
+                        .parse()
+                        .map_err(|_| "bad --per-hop".to_string())?,
+                )
+            }
+            "--regs" => {
+                o.regs = value(&mut it, "--regs")?
+                    .parse()
+                    .map_err(|_| "bad --regs".to_string())?
+            }
+            "--max-cycles" => {
+                o.max_cycles = value(&mut it, "--max-cycles")?
+                    .parse()
+                    .map_err(|_| "bad --max-cycles".to_string())?
+            }
+            "--diagram" => o.diagram = true,
+            "--occupancy" => o.occupancy = true,
+            "--show-regs" => o.show_regs = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if o.path.is_empty() {
+                    o.path = path.to_string();
+                } else {
+                    return Err(format!("unexpected positional argument `{path}`"));
+                }
+            }
+        }
+    }
+    if o.path.is_empty() {
+        return Err("missing assembly file".into());
+    }
+    Ok(o)
+}
+
+/// Build the processor configuration from parsed options.
+pub fn build_config(o: &RunOptions) -> Result<ProcConfig, String> {
+    let cluster = match o.arch {
+        ArchChoice::UsI => 1,
+        ArchChoice::UsII => o.window,
+        ArchChoice::Hybrid => o.cluster.unwrap_or((o.window / 4).max(1)),
+    };
+    let mut mem = MemConfig {
+        n_leaves: o.window,
+        bandwidth: Bandwidth::new(1.0, o.mem_exp.clamp(0.0, 1.0)),
+        banks: (o.window / 2).max(1),
+        bank_occupancy: 1,
+        hop_latency: 1,
+        base_latency: 0,
+        words: 1 << 16,
+        network: o.network,
+        cluster_cache: None,
+    };
+    if o.cache {
+        mem = mem.with_cluster_cache(CacheConfig::small((o.window / cluster).max(1)));
+    }
+    let mut cfg = ProcConfig {
+        window: o.window,
+        cluster,
+        mem,
+        max_cycles: o.max_cycles,
+        ..ProcConfig::ultrascalar_i(o.window)
+    }
+    .with_predictor(o.predictor);
+    if let Some(k) = o.alus {
+        cfg = cfg.with_shared_alus(k);
+    }
+    if o.renaming {
+        cfg = cfg.with_memory_renaming();
+    }
+    if let Some(f) = o.fetch_width {
+        cfg = cfg.with_fetch_width(f);
+    }
+    if let Some(h) = o.per_hop {
+        cfg = cfg.with_forwarding(ForwardModel::Pipelined { per_hop: h });
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Load a program from raw file bytes: `.ubin` object files are
+/// decoded, anything else is treated as assembly text.
+pub fn load_program(path: &str, bytes: &[u8], regs: usize) -> Result<Program, String> {
+    if path.ends_with(".ubin") {
+        read_binary(bytes).map_err(|e| e.to_string())
+    } else {
+        let src = std::str::from_utf8(bytes).map_err(|e| format!("not UTF-8: {e}"))?;
+        assemble(src, regs).map_err(|e| e.to_string())
+    }
+}
+
+/// Serialise a program to `.ubin` bytes (for `usim asm --emit`).
+pub fn emit_binary(source: &str, regs: usize) -> Result<Vec<u8>, String> {
+    let program = assemble(source, regs).map_err(|e| e.to_string())?;
+    Ok(write_binary(&program))
+}
+
+/// Execute a parsed run against assembly source text; returns the
+/// report that the binary prints.
+pub fn execute_run(o: &RunOptions, source: &str) -> Result<(RunResult, String), String> {
+    let program: Program = assemble(source, o.regs).map_err(|e| e.to_string())?;
+    execute_program(o, &program)
+}
+
+/// Execute a parsed run against an already-loaded program.
+pub fn execute_program(
+    o: &RunOptions,
+    program: &Program,
+) -> Result<(RunResult, String), String> {
+    let cfg = build_config(o)?;
+    let mut proc = Ultrascalar::new(cfg);
+    let name = proc.name();
+    let r = proc.run(program);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name}: {} — {} instructions in {} cycles (IPC {:.2})\n",
+        if r.halted { "halted" } else { "CYCLE BUDGET EXPIRED" },
+        r.stats.committed,
+        r.cycles,
+        r.ipc()
+    ));
+    out.push_str(&format!(
+        "branches {} (mispredicted {}), flushed {}, mean occupancy {:.1}\n",
+        r.stats.branches,
+        r.stats.mispredictions,
+        r.stats.flushed,
+        r.stats.mean_occupancy()
+    ));
+    out.push_str(&format!(
+        "memory: {} loads, {} stores, {} link rejections, {} bank conflicts",
+        r.stats.mem.loads, r.stats.mem.stores, r.stats.mem.link_rejections,
+        r.stats.mem.bank_conflicts
+    ));
+    if r.stats.mem.cache_hits + r.stats.mem.cache_misses > 0 {
+        out.push_str(&format!(
+            ", cache {}/{} hits",
+            r.stats.mem.cache_hits,
+            r.stats.mem.cache_hits + r.stats.mem.cache_misses
+        ));
+    }
+    if r.stats.store_forwards > 0 {
+        out.push_str(&format!(", {} store→load forwards", r.stats.store_forwards));
+    }
+    out.push('\n');
+    if o.show_regs {
+        out.push_str("registers:\n");
+        for (i, v) in r.regs.iter().enumerate() {
+            if *v != 0 {
+                out.push_str(&format!("  r{i} = {v} ({v:#x})\n"));
+            }
+        }
+    }
+    if o.diagram {
+        out.push('\n');
+        out.push_str(&render_timing_diagram(&r.timings));
+    }
+    if o.occupancy {
+        out.push('\n');
+        out.push_str(&render_station_occupancy(&r.timings, o.window));
+    }
+    Ok((r, out))
+}
+
+/// `usim asm`: assemble and list a program.
+pub fn execute_asm(source: &str, regs: usize) -> Result<String, String> {
+    let program = assemble(source, regs).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (i, instr) in program.instrs.iter().enumerate() {
+        out.push_str(&format!(
+            "{i:>4}: {:016x}  {}\n",
+            ultrascalar_isa::encode(instr),
+            disassemble(instr)
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_run(&args("prog.asm")).unwrap();
+        assert_eq!(o.path, "prog.asm");
+        assert_eq!(o.arch, ArchChoice::UsI);
+        assert_eq!(o.window, 16);
+    }
+
+    #[test]
+    fn parse_full_flag_set() {
+        let o = parse_run(&args(
+            "k.asm --arch hybrid --window 32 --cluster 8 --predictor bimodal:64 \
+             --alus 4 --mem-exp 0.5 --butterfly --renaming --cache \
+             --fetch-width 8 --per-hop 1 --regs 16 --diagram --occupancy \
+             --show-regs --max-cycles 1000",
+        ))
+        .unwrap();
+        assert_eq!(o.arch, ArchChoice::Hybrid);
+        assert_eq!(o.window, 32);
+        assert_eq!(o.cluster, Some(8));
+        assert_eq!(o.predictor, PredictorKind::Bimodal(64));
+        assert_eq!(o.alus, Some(4));
+        assert_eq!(o.mem_exp, 0.5);
+        assert_eq!(o.network, NetworkKind::Butterfly);
+        assert!(o.renaming && o.cache && o.diagram && o.occupancy && o.show_regs);
+        assert_eq!(o.fetch_width, Some(8));
+        assert_eq!(o.per_hop, Some(1));
+        assert_eq!(o.regs, 16);
+        assert_eq!(o.max_cycles, 1000);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_run(&args("")).is_err());
+        assert!(parse_run(&args("a.asm --arch quantum")).is_err());
+        assert!(parse_run(&args("a.asm --window")).is_err());
+        assert!(parse_run(&args("a.asm --bogus")).is_err());
+        assert!(parse_run(&args("a.asm b.asm")).is_err());
+        assert!(parse_run(&args("a.asm --predictor bimodal:x")).is_err());
+    }
+
+    #[test]
+    fn build_config_maps_arch() {
+        let mut o = parse_run(&args("a.asm --arch usii --window 8")).unwrap();
+        assert_eq!(build_config(&o).unwrap().cluster, 8);
+        o.arch = ArchChoice::UsI;
+        assert_eq!(build_config(&o).unwrap().cluster, 1);
+        o.arch = ArchChoice::Hybrid;
+        o.cluster = None;
+        assert_eq!(build_config(&o).unwrap().cluster, 2);
+    }
+
+    #[test]
+    fn build_config_rejects_bad_cluster() {
+        let o = parse_run(&args("a.asm --arch hybrid --window 8 --cluster 3")).unwrap();
+        assert!(build_config(&o).is_err());
+    }
+
+    #[test]
+    fn execute_run_end_to_end() {
+        let o = parse_run(&args("mem.asm --window 8 --show-regs --diagram")).unwrap();
+        let src = "
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            halt
+        ";
+        let (r, report) = execute_run(&o, src).unwrap();
+        assert!(r.halted);
+        assert_eq!(r.regs[3], 42);
+        assert!(report.contains("IPC"));
+        assert!(report.contains("r3 = 42"));
+        assert!(report.contains("mul"));
+    }
+
+    #[test]
+    fn execute_run_with_every_feature() {
+        let o = parse_run(&args(
+            "k.asm --arch hybrid --window 8 --cluster 4 --alus 2 --renaming \
+             --cache --fetch-width 4 --per-hop 1 --mem-exp 0.5 --butterfly",
+        ))
+        .unwrap();
+        let src = "
+            li r1, 3
+            li r2, 50
+            sw r2, (r1)
+            lw r3, (r1)
+            addi r3, r3, 1
+            halt
+        ";
+        let (r, _) = execute_run(&o, src).unwrap();
+        assert!(r.halted);
+        assert_eq!(r.regs[3], 51);
+    }
+
+    #[test]
+    fn execute_asm_lists_encodings() {
+        let out = execute_asm("li r1, 5\nhalt", 8).unwrap();
+        assert!(out.contains("li   r1, 5"));
+        assert!(out.contains("halt"));
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn bad_assembly_is_reported() {
+        let o = parse_run(&args("x.asm")).unwrap();
+        assert!(execute_run(&o, "frobnicate r1").is_err());
+    }
+}

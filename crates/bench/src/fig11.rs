@@ -1,0 +1,240 @@
+//! The paper's Figure 11 as executable data: expected asymptotic
+//! exponents per architecture × bandwidth regime, and the measured
+//! exponents obtained by sweeping `n` through the layout models.
+//!
+//! Fits are in `n` at fixed `L` (the paper's table is parameterised the
+//! same way); `Θ(log …)` entries are checked as near-zero fitted
+//! exponents, and polylog factors widen the tolerance of polynomial
+//! entries slightly.
+
+use ultrascalar_memsys::{bandwidth::Regime, Bandwidth};
+use ultrascalar_vlsi::metrics::ArchParams;
+use ultrascalar_vlsi::{fit, hybrid, usi, usii, Tech};
+
+/// The four architecture columns of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Ultrascalar I (CSPP-tree datapath, H-tree layout).
+    UsI,
+    /// Ultrascalar II with linear gate delay (Figure 7 grid).
+    UsIILinear,
+    /// Ultrascalar II with log gate delay (Figure 8 mesh-of-trees).
+    UsIILog,
+    /// Hybrid with linear-gate clusters of size `Θ(L)`.
+    Hybrid,
+}
+
+impl Arch {
+    /// All columns, in the paper's order.
+    pub const ALL: [Arch; 4] = [Arch::UsI, Arch::UsIILinear, Arch::UsIILog, Arch::Hybrid];
+
+    /// Column label as printed in Figure 11.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arch::UsI => "Ultrascalar I",
+            Arch::UsIILinear => "Ultrascalar II (linear gates)",
+            Arch::UsIILog => "Ultrascalar II (log gates)",
+            Arch::Hybrid => "Hybrid (linear-gate clusters)",
+        }
+    }
+}
+
+/// An expected asymptotic growth rate in `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expo {
+    /// Polynomial `Θ(n^p)` (possibly with polylog factors).
+    Power(f64),
+    /// Polylogarithmic — a power-law fit must come out near zero.
+    Log,
+}
+
+impl Expo {
+    /// Does a measured exponent match this claim?
+    pub fn matches(&self, measured: f64) -> bool {
+        match *self {
+            Expo::Power(p) => (measured - p).abs() < 0.16,
+            Expo::Log => measured.abs() < 0.25,
+        }
+    }
+
+    /// Render for the comparison table.
+    pub fn describe(&self) -> String {
+        match *self {
+            Expo::Power(p) => format!("n^{p:.2}"),
+            Expo::Log => "polylog".to_string(),
+        }
+    }
+}
+
+/// The four rows of one Figure 11 cell group.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpectedExponents {
+    /// Gate delay growth.
+    pub gate: Expo,
+    /// Wire delay growth.
+    pub wire: Expo,
+    /// Total delay growth.
+    pub total: Expo,
+    /// Area growth.
+    pub area: Expo,
+}
+
+/// The paper's Figure 11 claims, reduced to growth exponents in `n` at
+/// fixed `L`.
+pub fn expected(arch: Arch, regime: Regime) -> ExpectedExponents {
+    use Expo::{Log, Power};
+    let bandwidth_bound = matches!(regime, Regime::AboveSqrt);
+    match arch {
+        // Gate Θ(log n); wire Θ(√n·L) (+ M(n) above the knife edge);
+        // area Θ(nL²) (+ M² above).
+        Arch::UsI => ExpectedExponents {
+            gate: Log,
+            wire: Power(if bandwidth_bound { 1.0 } else { 0.5 }),
+            total: Power(if bandwidth_bound { 1.0 } else { 0.5 }),
+            area: Power(if bandwidth_bound { 2.0 } else { 1.0 }),
+        },
+        // Θ(n + L) everywhere; area Θ((n + L)²). Bandwidth-independent.
+        Arch::UsIILinear => ExpectedExponents {
+            gate: Power(1.0),
+            wire: Power(1.0),
+            total: Power(1.0),
+            area: Power(2.0),
+        },
+        // Gate Θ(log(n + L)); wire Θ((n + L)·log(n + L)).
+        Arch::UsIILog => ExpectedExponents {
+            gate: Log,
+            wire: Power(1.0),
+            total: Power(1.0),
+            area: Power(2.0),
+        },
+        // Gate Θ(L + log n); wire Θ(√(nL)) (+ M(n)); area Θ(nL) (+ M²).
+        Arch::Hybrid => ExpectedExponents {
+            gate: Log,
+            wire: Power(if bandwidth_bound { 1.0 } else { 0.5 }),
+            total: Power(if bandwidth_bound { 1.0 } else { 0.5 }),
+            area: Power(if bandwidth_bound { 2.0 } else { 1.0 }),
+        },
+    }
+}
+
+/// Fitted growth exponents of one architecture over an `n` sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredExponents {
+    /// Gate-delay exponent.
+    pub gate: f64,
+    /// Wire-delay exponent.
+    pub wire: f64,
+    /// Total-delay exponent.
+    pub total: f64,
+    /// Area exponent.
+    pub area: f64,
+}
+
+/// Evaluate an architecture's metrics at one parameter point.
+pub fn metrics_of(
+    arch: Arch,
+    p: &ArchParams,
+    tech: &Tech,
+) -> ultrascalar_vlsi::Metrics {
+    match arch {
+        Arch::UsI => usi::metrics(p, tech),
+        Arch::UsIILinear => usii::metrics_linear(p, tech),
+        Arch::UsIILog => usii::metrics_log(p, tech),
+        Arch::Hybrid => hybrid::metrics(p, tech),
+    }
+}
+
+/// Sweep `n = 4^4 … 4^10` at fixed `l` and fit the tail exponents.
+pub fn measured_exponents(
+    arch: Arch,
+    mem: Bandwidth,
+    l: usize,
+    tech: &Tech,
+) -> MeasuredExponents {
+    let sweep: Vec<(f64, ultrascalar_vlsi::Metrics)> = (4..=10u32)
+        .map(|k| {
+            let n = 4usize.pow(k);
+            let p = ArchParams { n, l, bits: 32, mem };
+            (n as f64, metrics_of(arch, &p, tech))
+        })
+        .collect();
+    let tail = 4;
+    let fit_of = |f: &dyn Fn(&ultrascalar_vlsi::Metrics) -> f64| {
+        let pts: Vec<(f64, f64)> = sweep.iter().map(|(n, m)| (*n, f(m))).collect();
+        fit::fit_exponent_tail(&pts, tail).exponent
+    };
+    MeasuredExponents {
+        gate: fit_of(&|m| m.gate_delay),
+        wire: fit_of(&|m| m.wire_um),
+        total: fit_of(&|m| m.total_delay_ps(tech)),
+        area: fit_of(&|m| m.area_um2),
+    }
+}
+
+/// The bandwidth instance used for each regime row of the table.
+pub fn regime_bandwidth(regime: Regime) -> Bandwidth {
+    match regime {
+        Regime::BelowSqrt => Bandwidth::sublinear_sqrt(0.25),
+        Regime::Sqrt => Bandwidth::sqrt(),
+        Regime::AboveSqrt => Bandwidth::full(),
+    }
+}
+
+/// All three regime rows, in the paper's order.
+pub const REGIMES: [Regime; 3] = [Regime::BelowSqrt, Regime::Sqrt, Regime::AboveSqrt];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The central reproduction check for Figure 11: every measured
+    /// exponent matches the paper's Θ-claim, for every architecture and
+    /// every bandwidth regime.
+    #[test]
+    fn every_cell_of_figure11_matches() {
+        let tech = Tech::cmos_035();
+        for regime in REGIMES {
+            let mem = regime_bandwidth(regime);
+            for arch in Arch::ALL {
+                let want = expected(arch, regime);
+                let got = measured_exponents(arch, mem, 32, &tech);
+                assert!(
+                    want.gate.matches(got.gate),
+                    "{:?}/{regime:?} gate: want {} got {:.3}",
+                    arch,
+                    want.gate.describe(),
+                    got.gate
+                );
+                assert!(
+                    want.wire.matches(got.wire),
+                    "{:?}/{regime:?} wire: want {} got {:.3}",
+                    arch,
+                    want.wire.describe(),
+                    got.wire
+                );
+                assert!(
+                    want.total.matches(got.total),
+                    "{:?}/{regime:?} total: want {} got {:.3}",
+                    arch,
+                    want.total.describe(),
+                    got.total
+                );
+                assert!(
+                    want.area.matches(got.area),
+                    "{:?}/{regime:?} area: want {} got {:.3}",
+                    arch,
+                    want.area.describe(),
+                    got.area
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expo_matching() {
+        assert!(Expo::Power(0.5).matches(0.52));
+        assert!(!Expo::Power(0.5).matches(0.8));
+        assert!(Expo::Log.matches(0.1));
+        assert!(!Expo::Log.matches(0.5));
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal fixed-width table printer for the experiment binaries.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a rule under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}", c, w = width[i]));
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        let mut out = fmt_row(&self.header);
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1))
+        ));
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "value" starts at the same offset everywhere.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1'), Some(col));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('x'));
+    }
+}

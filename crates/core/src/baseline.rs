@@ -1,0 +1,448 @@
+//! A conventional idealized out-of-order superscalar: the baseline the
+//! paper compares against ("the datapath … exploits the same
+//! instruction-level parallelism as today's superscalars").
+//!
+//! Deliberately implemented the *conventional* way — a register rename
+//! map consulted once at dispatch, reorder-buffer tags, broadcast
+//! value substitution at retirement, rename-map rollback on flush —
+//! rather than the Ultrascalar's continuous nearest-preceding-writer
+//! search. The integration tests assert cycle-for-cycle equality
+//! against [`crate::engine::Ultrascalar`] with `C = 1`, which is the
+//! paper's functional-equivalence claim.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::config::ProcConfig;
+use crate::fetch::{FetchUnit, TraceCache};
+use crate::processor::{Processor, RunResult};
+use crate::station::{MemPhase, StationEntry};
+use crate::stats::ProcStats;
+use crate::timing::InstrTiming;
+use ultrascalar_isa::{Instr, Program, Reg};
+use ultrascalar_memsys::{MemRequest, MemSystem, ReqKind};
+
+const ORACLE_FUEL: usize = 50_000_000;
+
+/// A source operand captured at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operand {
+    /// No operand in this slot.
+    None,
+    /// An immediate value (from the committed register file, or
+    /// substituted at the producer's retirement).
+    Value(u32),
+    /// Waiting on the ROB entry with this sequence number.
+    Tag(u64),
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    st: StationEntry,
+    ring_index: usize,
+    src: [Operand; 2],
+}
+
+/// The baseline processor. `window`, `latency`, `predictor`, `mem`,
+/// `alus` and `max_cycles` of the configuration are used (`cluster` is
+/// ignored — retirement is per-entry; `memory_renaming` and pipelined
+/// forwarding are Ultrascalar-specific mechanisms and are ignored
+/// here).
+#[derive(Debug, Clone)]
+pub struct BaselineOoO {
+    cfg: ProcConfig,
+}
+
+impl BaselineOoO {
+    /// Create a baseline processor.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ProcConfig) -> Self {
+        cfg.validate().expect("invalid processor configuration");
+        BaselineOoO { cfg }
+    }
+}
+
+impl Processor for BaselineOoO {
+    fn name(&self) -> String {
+        format!("baseline-ooo(n={})", self.cfg.window)
+    }
+
+    fn run(&mut self, program: &Program) -> RunResult {
+        program.validate().expect("program must validate");
+        let n = self.cfg.window;
+        let lat = self.cfg.latency;
+
+        let mut fetch = FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL);
+        let mut mem = MemSystem::new(self.cfg.mem.clone(), &program.init_mem);
+        let mut committed_regs = program.init_regs.clone();
+        let mut rename: Vec<Option<u64>> = vec![None; program.num_regs];
+        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(n);
+        let mut next_seq: u64 = 0;
+        let mut alloc_counter: usize = 0;
+        let mut stats = ProcStats::default();
+        let mut timings: Vec<InstrTiming> = Vec::new();
+        let mut halted = false;
+        let mut alu_free_at: Vec<u64> = self.cfg.alus.map(|k| vec![0u64; k]).unwrap_or_default();
+        let mut trace_cache = self
+            .cfg
+            .trace_cache
+            .map(|(entries, penalty)| TraceCache::new(entries, penalty));
+        let mut fetch_stalled_until: u64 = 0;
+
+        // Dispatch: fill the ROB, consulting the rename map once per
+        // operand (the conventional design point); at most
+        // `fetch_width` instructions per cycle.
+        let fetch_budget = self.cfg.fetch_width.unwrap_or(n);
+        let dispatch = |rob: &mut VecDeque<RobEntry>,
+                        fetch: &mut FetchUnit,
+                        rename: &mut Vec<Option<u64>>,
+                        committed_regs: &Vec<u32>,
+                        next_seq: &mut u64,
+                        alloc_counter: &mut usize,
+                        stats: &mut ProcStats,
+                        visible_at: u64| {
+            let mut budget = fetch_budget;
+            while rob.len() < n && budget > 0 {
+                budget -= 1;
+                let Some(f) = fetch.next() else { return };
+                let st = StationEntry::new(*next_seq, f.pc, f.instr, f.predicted_next, visible_at);
+                let mut src = [Operand::None; 2];
+                for (slot, r) in f.instr.reads().into_iter().enumerate() {
+                    if let Some(r) = r {
+                        src[slot] = match rename[r.index()] {
+                            Some(tag) => {
+                                stats.record_forward(*next_seq - tag);
+                                Operand::Tag(tag)
+                            }
+                            None => {
+                                stats.regfile_reads += 1;
+                                Operand::Value(committed_regs[r.index()])
+                            }
+                        };
+                    }
+                }
+                if let Some(rd) = f.instr.writes() {
+                    rename[rd.index()] = Some(*next_seq);
+                }
+                rob.push_back(RobEntry {
+                    st,
+                    ring_index: *alloc_counter,
+                    src,
+                });
+                *next_seq += 1;
+                *alloc_counter += 1;
+            }
+        };
+
+        dispatch(
+            &mut rob,
+            &mut fetch,
+            &mut rename,
+            &committed_regs,
+            &mut next_seq,
+            &mut alloc_counter,
+            &mut stats,
+            0,
+        );
+
+        let mut t: u64 = 0;
+        while t < self.cfg.max_cycles {
+            if rob.is_empty() && fetch.exhausted() {
+                break;
+            }
+            stats.occupancy_sum += rob.len() as u64;
+
+            // ---- Wakeup & select: an operand is ready when its
+            // producer's result has been on the bypass network since
+            // the previous cycle (same convention as the Ultrascalar).
+            // The serialisation flags are computed in the same scan.
+            let mut all_stores_done = true;
+            let mut all_loads_done = true;
+            let mut all_branches_done = true;
+            let mut requests: Vec<MemRequest> = Vec::new();
+            let mut locator: HashMap<u64, usize> = HashMap::new();
+            let mut free_alus = alu_free_at.iter().filter(|&&f| f <= t).count();
+            // Producer lookup: seq → (done_before_t, value).
+            let ready_val: HashMap<u64, (bool, u32)> = rob
+                .iter()
+                .map(|e| {
+                    (
+                        e.st.seq,
+                        (e.st.done_before(t), e.st.result.unwrap_or(0)),
+                    )
+                })
+                .collect();
+
+            for i in 0..rob.len() {
+                locator.insert(rob[i].st.seq, i);
+                let e = &rob[i];
+                let leaf = e.ring_index % n;
+                let operand = |o: Operand| -> (bool, u32) {
+                    match o {
+                        Operand::None => (true, 0),
+                        Operand::Value(v) => (true, v),
+                        Operand::Tag(tag) => *ready_val
+                            .get(&tag)
+                            .expect("tag producer still in ROB until substituted"),
+                    }
+                };
+                let eligible = e.st.issued_at.is_none() && t >= e.st.fetched_at;
+                if eligible {
+                    let (r0, v0) = operand(e.src[0]);
+                    let (r1, v1) = operand(e.src[1]);
+                    if r0 && r1 {
+                        let instr = e.st.instr;
+                        let seq = e.st.seq;
+                        // Shared-ALU admission (Alu/AluImm classes),
+                        // oldest-first by scan order.
+                        let needs_alu = matches!(instr, Instr::Alu { .. } | Instr::AluImm { .. });
+                        let alu_ok = self.cfg.alus.is_none() || free_alus > 0;
+                        if needs_alu && !alu_ok {
+                            stats.alu_stalls += 1;
+                        }
+                        let grab_alu = |rob: &VecDeque<RobEntry>,
+                                            free: &mut usize,
+                                            alu_free_at: &mut Vec<u64>,
+                                            i: usize,
+                                            t: u64| {
+                            if self.cfg.alus.is_some() {
+                                *free -= 1;
+                                let done = rob[i].st.completed_at.expect("just set");
+                                let slot = alu_free_at
+                                    .iter_mut()
+                                    .find(|f| **f <= t)
+                                    .expect("free ALU counted");
+                                *slot = done + 1;
+                            }
+                        };
+                        match instr {
+                            Instr::Alu { op, .. } if alu_ok => {
+                                let e = &mut rob[i].st;
+                                e.issued_at = Some(t);
+                                e.completed_at = Some(t + lat.of(&instr) - 1);
+                                e.result = Some(op.apply(v0, v1));
+                                e.actual_next = Some(e.pc + 1);
+                                grab_alu(&rob, &mut free_alus, &mut alu_free_at, i, t);
+                            }
+                            Instr::AluImm { op, imm, .. } if alu_ok => {
+                                let e = &mut rob[i].st;
+                                e.issued_at = Some(t);
+                                e.completed_at = Some(t + lat.of(&instr) - 1);
+                                e.result = Some(op.apply(v0, imm as u32));
+                                e.actual_next = Some(e.pc + 1);
+                                grab_alu(&rob, &mut free_alus, &mut alu_free_at, i, t);
+                            }
+                            Instr::Alu { .. } | Instr::AluImm { .. } => {}
+                            Instr::LoadImm { imm, .. } => {
+                                let e = &mut rob[i].st;
+                                e.issued_at = Some(t);
+                                e.completed_at = Some(t + lat.of(&instr) - 1);
+                                e.result = Some(imm as u32);
+                                e.actual_next = Some(e.pc + 1);
+                            }
+                            Instr::Branch { cond, target, .. } => {
+                                let taken = cond.eval(v0, v1);
+                                let e = &mut rob[i].st;
+                                e.issued_at = Some(t);
+                                e.completed_at = Some(t + lat.of(&instr) - 1);
+                                e.taken = Some(taken);
+                                e.actual_next =
+                                    Some(if taken { target as usize } else { e.pc + 1 });
+                            }
+                            Instr::Jump { target } => {
+                                let e = &mut rob[i].st;
+                                e.issued_at = Some(t);
+                                e.completed_at = Some(t);
+                                e.actual_next = Some(target as usize);
+                            }
+                            Instr::Halt | Instr::Nop => {
+                                let e = &mut rob[i].st;
+                                e.issued_at = Some(t);
+                                e.completed_at = Some(t);
+                                e.actual_next = Some(e.pc + 1);
+                            }
+                            Instr::Load { offset, .. } => {
+                                if all_stores_done {
+                                    let addr =
+                                        (v0.wrapping_add(offset as u32) as usize) % mem.words();
+                                    requests.push(MemRequest {
+                                        id: seq,
+                                        leaf,
+                                        addr,
+                                        kind: ReqKind::Load,
+                                    });
+                                    rob[i].st.mem = MemPhase::Requesting;
+                                }
+                            }
+                            Instr::Store { offset, .. } => {
+                                if all_stores_done && all_loads_done && all_branches_done {
+                                    let addr =
+                                        (v0.wrapping_add(offset as u32) as usize) % mem.words();
+                                    requests.push(MemRequest {
+                                        id: seq,
+                                        leaf,
+                                        addr,
+                                        kind: ReqKind::Store(v1),
+                                    });
+                                    rob[i].st.mem = MemPhase::Requesting;
+                                }
+                            }
+                        }
+                    }
+                }
+                let e = &rob[i].st;
+                let done = e.done_before(t);
+                if e.instr.is_load() {
+                    all_loads_done &= done;
+                }
+                if e.instr.is_store() {
+                    all_stores_done &= done;
+                }
+                if e.instr.is_branch() {
+                    all_branches_done &= done;
+                }
+            }
+
+            // ---- Memory.
+            let (accepted, responses) = mem.tick(t, &requests);
+            for id in accepted {
+                if let Some(&i) = locator.get(&id) {
+                    rob[i].st.issued_at = Some(t);
+                    rob[i].st.mem = MemPhase::InFlight;
+                }
+            }
+            for resp in responses {
+                if let Some(&i) = locator.get(&resp.id) {
+                    let e = &mut rob[i].st;
+                    if e.mem == MemPhase::InFlight {
+                        e.completed_at = Some(t);
+                        e.result = resp.value;
+                        e.actual_next = Some(e.pc + 1);
+                        e.mem = MemPhase::None;
+                    }
+                }
+            }
+
+            // ---- Branch resolution + flush with rename-map rollback.
+            for i in 0..rob.len() {
+                let e = &rob[i].st;
+                if e.instr.is_branch() && e.completed_at == Some(t) {
+                    fetch.train(e.pc, e.taken.unwrap_or(false));
+                    if e.mispredicted() {
+                        let correct = e.actual_next.expect("resolved");
+                        stats.flushed += (rob.len() - (i + 1)) as u64;
+                        rob.truncate(i + 1);
+                        alloc_counter = rob[i].ring_index + 1;
+                        // Rollback: rebuild the rename map from the
+                        // surviving ROB (hardware restores a
+                        // checkpoint).
+                        rename.iter_mut().for_each(|r| *r = None);
+                        for e in rob.iter() {
+                            if let Some(rd) = e.st.instr.writes() {
+                                rename[rd.index()] = Some(e.st.seq);
+                            }
+                        }
+                        fetch.redirect(correct);
+                        if let Some(tc) = &mut trace_cache {
+                            fetch_stalled_until = t + 1 + tc.redirect(correct);
+                        }
+                        break;
+                    }
+                }
+            }
+
+            // ---- In-order retirement (per entry), with broadcast
+            // substitution of the retiring tag.
+            while let Some(front) = rob.front() {
+                if !front.st.done_before(t) {
+                    break;
+                }
+                let e = rob.pop_front().expect("front exists");
+                let seq = e.st.seq;
+                let result = e.st.result;
+                let synthetic = e.st.is_synthetic(program.len());
+                if !synthetic {
+                    stats.committed += 1;
+                    timings.push(InstrTiming {
+                        seq,
+                        pc: e.st.pc,
+                        instr: e.st.instr,
+                        fetched: e.st.fetched_at,
+                        issue: e.st.issued_at.expect("retired ⇒ issued"),
+                        complete: e.st.completed_at.expect("retired ⇒ completed"),
+                        slot: e.ring_index % n,
+                    });
+                    if e.st.instr.is_branch() {
+                        stats.branches += 1;
+                        if e.st.mispredicted() {
+                            stats.mispredictions += 1;
+                        }
+                    }
+                    if let Some(rd) = e.st.instr.writes() {
+                        committed_regs[rd.index()] =
+                            result.expect("writer retired with result");
+                        if rename[rd.index()] == Some(seq) {
+                            rename[rd.index()] = None;
+                        }
+                    }
+                }
+                // Broadcast: outstanding consumers capture the value.
+                if let Some(v) = result {
+                    for waiting in rob.iter_mut() {
+                        for s in &mut waiting.src {
+                            if *s == Operand::Tag(seq) {
+                                *s = Operand::Value(v);
+                            }
+                        }
+                    }
+                }
+                if matches!(e.st.instr, Instr::Halt) {
+                    halted = true;
+                    break;
+                }
+            }
+            if halted {
+                t += 1;
+                break;
+            }
+
+            // ---- Dispatch new instructions, visible next cycle
+            // (unless a trace-cache miss is stalling fetch).
+            if t + 1 >= fetch_stalled_until {
+                dispatch(
+                    &mut rob,
+                    &mut fetch,
+                    &mut rename,
+                    &committed_regs,
+                    &mut next_seq,
+                    &mut alloc_counter,
+                    &mut stats,
+                    t + 1,
+                );
+            }
+
+            t += 1;
+        }
+
+        stats.cycles = t;
+        stats.mem = mem.stats();
+        timings.sort_by_key(|x| x.seq);
+        RunResult {
+            halted,
+            cycles: t,
+            regs: committed_regs,
+            mem: mem.snapshot().to_vec(),
+            stats,
+            timings,
+        }
+    }
+}
+
+/// Helper mirroring `Instr::reads` indices for rename capture (kept for
+/// potential external use).
+#[allow(dead_code)]
+fn read_regs(i: &Instr) -> [Option<Reg>; 2] {
+    i.reads()
+}

@@ -1,0 +1,640 @@
+//! The unified Ultrascalar engine: US-I (`C = 1`), US-II (`C = n`) and
+//! the hybrid (`1 < C < n`) as one cycle-accurate model.
+//!
+//! See the crate docs for the cycle conventions. The per-cycle work —
+//! one program-order scan maintaining running AND flags ("all earlier
+//! finished / stored / loaded / confirmed") and a last-writer-per-
+//! register map — is exactly the computation the hardware's CSPP
+//! circuits perform in `Θ(log n)` gate delay; the simulator does it in
+//! `O(n + L)` serial work per cycle.
+//!
+//! Three of the paper's extension mechanisms are implemented behind
+//! configuration switches (all off by default):
+//!
+//! * **shared ALUs** (`ProcConfig::alus`): the Memo 2 prioritised
+//!   prefix scheduler — at most `k` `Alu`/`AluImm` instructions hold a
+//!   functional unit at once, granted oldest-first (§1, §7);
+//! * **memory renaming** (`ProcConfig::memory_renaming`): loads
+//!   forward from the nearest older in-window store to the same
+//!   address and bypass the conservative serialisation once all older
+//!   store addresses are known to differ (§7);
+//! * **pipelined forwarding** (`ProcConfig::forward`): result delivery
+//!   costs extra cycles proportional to the H-tree distance between
+//!   producer and consumer stations (§7's pipelining/self-timing
+//!   study).
+
+// Index-based window loops are deliberate throughout: entries are
+// mutated mid-scan, which iterator borrows cannot express.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::config::ProcConfig;
+use crate::fetch::{FetchUnit, TraceCache};
+use crate::processor::{Processor, RunResult};
+use crate::station::{MemPhase, StationEntry};
+use crate::stats::ProcStats;
+use crate::timing::InstrTiming;
+use ultrascalar_isa::{Instr, Program};
+use ultrascalar_memsys::{MemRequest, MemSystem, ReqKind};
+
+/// Fuel given to the golden interpreter when pre-computing the perfect
+/// fetch path. Far beyond any workload in this repository.
+const ORACLE_FUEL: usize = 50_000_000;
+
+/// A cluster of up to `C` stations. In hardware every cluster always
+/// has `C` stations; here `entries` holds only the occupied ones (all
+/// clusters except possibly the youngest are full).
+#[derive(Debug, Clone)]
+struct Cluster {
+    /// Monotone allocation index; `index % K` is the physical position
+    /// in the cluster ring (fat-tree placement).
+    ring_index: usize,
+    entries: Vec<StationEntry>,
+}
+
+/// Snapshot of the most recent preceding writer of a register during
+/// the program-order scan.
+#[derive(Debug, Clone, Copy)]
+struct Writer {
+    seq: u64,
+    completed_at: Option<u64>,
+    value: u32,
+    /// Window ring position of the writer (for distance-based
+    /// forwarding latency).
+    pos: usize,
+}
+
+/// The resolved value of one source operand.
+enum Source {
+    /// From an in-window producer (`dist` = seq distance).
+    Forwarded { value: u32, ready: bool, dist: u64 },
+    /// From the committed register file (always ready).
+    Committed { value: u32 },
+}
+
+impl Source {
+    fn ready(&self) -> bool {
+        match self {
+            Source::Forwarded { ready, .. } => *ready,
+            Source::Committed { .. } => true,
+        }
+    }
+    fn value(&self) -> u32 {
+        match self {
+            Source::Forwarded { value, .. } | Source::Committed { value } => *value,
+        }
+    }
+}
+
+/// Resolved state of an older store, tracked during the scan for
+/// memory renaming.
+#[derive(Debug, Clone, Copy)]
+struct StoreInfo {
+    /// Are the store's address and data known (operands ready)?
+    resolved: bool,
+    addr: usize,
+    value: u32,
+}
+
+/// The unified Ultrascalar processor model.
+#[derive(Debug, Clone)]
+pub struct Ultrascalar {
+    cfg: ProcConfig,
+}
+
+impl Ultrascalar {
+    /// Create a processor with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ProcConfig) -> Self {
+        cfg.validate().expect("invalid processor configuration");
+        Ultrascalar { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProcConfig {
+        &self.cfg
+    }
+}
+
+impl Processor for Ultrascalar {
+    fn name(&self) -> String {
+        let n = self.cfg.window;
+        let c = self.cfg.cluster;
+        if c == 1 {
+            format!("ultrascalar-i(n={n})")
+        } else if c == n {
+            format!("ultrascalar-ii(n={n})")
+        } else {
+            format!("hybrid(n={n},C={c})")
+        }
+    }
+
+    fn run(&mut self, program: &Program) -> RunResult {
+        program.validate().expect("program must validate");
+        let n = self.cfg.window;
+        let c = self.cfg.cluster;
+        let k = n / c;
+        let lat = self.cfg.latency;
+        let fwd = self.cfg.forward;
+        let renaming = self.cfg.memory_renaming;
+
+        let mut fetch = FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL);
+        let mut mem = MemSystem::new(self.cfg.mem.clone(), &program.init_mem);
+        let mut committed_regs = program.init_regs.clone();
+        let mut window: VecDeque<Cluster> = VecDeque::with_capacity(k);
+        let mut next_seq: u64 = 0;
+        let mut alloc_counter: usize = 0;
+        let mut stats = ProcStats::default();
+        let mut timings: Vec<InstrTiming> = Vec::new();
+        let mut halted = false;
+        // Shared-ALU pool: first cycle each unit is free again.
+        let mut alu_free_at: Vec<u64> = self.cfg.alus.map(|k| vec![0u64; k]).unwrap_or_default();
+        // Trace-cache fetch model: redirects to uncached trace heads
+        // stall refill.
+        let mut trace_cache = self
+            .cfg
+            .trace_cache
+            .map(|(entries, penalty)| TraceCache::new(entries, penalty));
+        let mut fetch_stalled_until: u64 = 0;
+
+        // Refill: fill the youngest partial cluster, then allocate new
+        // clusters, stations becoming live at `visible_at`; at most
+        // `fetch_width` instructions per cycle.
+        let fetch_budget = self.cfg.fetch_width.unwrap_or(n);
+        let refill = |window: &mut VecDeque<Cluster>,
+                      fetch: &mut FetchUnit,
+                      next_seq: &mut u64,
+                      alloc_counter: &mut usize,
+                      visible_at: u64| {
+            let mut budget = fetch_budget;
+            let pull = |fetch: &mut FetchUnit,
+                        seq: &mut u64,
+                        budget: &mut usize|
+             -> Option<StationEntry> {
+                if *budget == 0 {
+                    return None;
+                }
+                let f = fetch.next()?;
+                let e = StationEntry::new(*seq, f.pc, f.instr, f.predicted_next, visible_at);
+                *seq += 1;
+                *budget -= 1;
+                Some(e)
+            };
+            if let Some(back) = window.back_mut() {
+                while back.entries.len() < c {
+                    match pull(fetch, next_seq, &mut budget) {
+                        Some(e) => back.entries.push(e),
+                        None => return,
+                    }
+                }
+            }
+            while window.len() < k {
+                let mut entries = Vec::with_capacity(c);
+                while entries.len() < c {
+                    match pull(fetch, next_seq, &mut budget) {
+                        Some(e) => entries.push(e),
+                        None => break,
+                    }
+                }
+                if entries.is_empty() {
+                    return;
+                }
+                window.push_back(Cluster {
+                    ring_index: *alloc_counter,
+                    entries,
+                });
+                *alloc_counter += 1;
+            }
+        };
+
+        // Initial fill: the window starts filling at cycle 0.
+        refill(&mut window, &mut fetch, &mut next_seq, &mut alloc_counter, 0);
+
+        let mut t: u64 = 0;
+        while t < self.cfg.max_cycles {
+            if window.is_empty() && fetch.exhausted() {
+                // Nothing in flight and nothing left to fetch.
+                break;
+            }
+            stats.occupancy_sum += window.iter().map(|cl| cl.entries.len() as u64).sum::<u64>();
+
+            // ---- Phase A: program-order scan; issue & collect memory
+            // requests. Prefix flags mirror the CSPP circuits, computed
+            // on start-of-cycle state.
+            let mut all_stores_done = true;
+            let mut all_loads_done = true;
+            let mut all_branches_done = true;
+            let mut all_stores_resolved = true;
+            let mut store_infos: Vec<StoreInfo> = Vec::new();
+            let mut last_writer: Vec<Option<Writer>> = vec![None; program.num_regs];
+            let mut requests: Vec<MemRequest> = Vec::new();
+            let mut locator: HashMap<u64, (usize, usize)> = HashMap::new();
+            let mut free_alus = alu_free_at.iter().filter(|&&f| f <= t).count();
+
+            for ci in 0..window.len() {
+                for ei in 0..window[ci].entries.len() {
+                    let pos = (window[ci].ring_index % k) * c + ei;
+                    let entry = &window[ci].entries[ei];
+                    locator.insert(entry.seq, (ci, ei));
+
+                    // Resolve this entry's sources from the scan state,
+                    // applying the forwarding-latency model.
+                    let seq = entry.seq;
+                    let resolve = |r: ultrascalar_isa::Reg| -> Source {
+                        match last_writer[r.index()] {
+                            Some(w) => Source::Forwarded {
+                                value: w.value,
+                                ready: w
+                                    .completed_at
+                                    .is_some_and(|done| done + fwd.extra(w.pos, pos) < t),
+                                dist: seq - w.seq,
+                            },
+                            None => Source::Committed {
+                                value: committed_regs[r.index()],
+                            },
+                        }
+                    };
+
+                    let eligible = entry.issued_at.is_none() && t >= entry.fetched_at;
+                    // A memory op may spend several cycles re-offering a
+                    // rejected request; record its forwardings only on
+                    // the first attempt.
+                    let first_attempt = entry.mem == MemPhase::None;
+                    let mut issued_alu_class = false;
+                    if eligible {
+                        let srcs = entry.instr.reads();
+                        let s0 = srcs[0].map(&resolve);
+                        let s1 = srcs[1].map(&resolve);
+                        let ready = s0.as_ref().is_none_or(Source::ready)
+                            && s1.as_ref().is_none_or(Source::ready);
+                        if ready {
+                            let record_fw =
+                                |stats: &mut ProcStats, s: &Option<Source>| match s {
+                                    Some(Source::Forwarded { dist, .. }) => {
+                                        stats.record_forward(*dist)
+                                    }
+                                    Some(Source::Committed { .. }) => stats.regfile_reads += 1,
+                                    None => {}
+                                };
+                            let instr = entry.instr;
+                            match instr {
+                                Instr::Alu { op, .. } => {
+                                    if self.cfg.alus.is_none() || free_alus > 0 {
+                                        if self.cfg.alus.is_some() {
+                                            free_alus -= 1;
+                                            issued_alu_class = true;
+                                        }
+                                        let v = op.apply(
+                                            s0.as_ref().expect("alu rs1").value(),
+                                            s1.as_ref().expect("alu rs2").value(),
+                                        );
+                                        let e = &mut window[ci].entries[ei];
+                                        e.issued_at = Some(t);
+                                        e.completed_at = Some(t + lat.of(&instr) - 1);
+                                        e.result = Some(v);
+                                        e.actual_next = Some(e.pc + 1);
+                                        record_fw(&mut stats, &s0);
+                                        record_fw(&mut stats, &s1);
+                                    } else {
+                                        stats.alu_stalls += 1;
+                                    }
+                                }
+                                Instr::AluImm { op, imm, .. } => {
+                                    if self.cfg.alus.is_none() || free_alus > 0 {
+                                        if self.cfg.alus.is_some() {
+                                            free_alus -= 1;
+                                            issued_alu_class = true;
+                                        }
+                                        let v = op.apply(
+                                            s0.as_ref().expect("alui rs1").value(),
+                                            imm as u32,
+                                        );
+                                        let e = &mut window[ci].entries[ei];
+                                        e.issued_at = Some(t);
+                                        e.completed_at = Some(t + lat.of(&instr) - 1);
+                                        e.result = Some(v);
+                                        e.actual_next = Some(e.pc + 1);
+                                        record_fw(&mut stats, &s0);
+                                    } else {
+                                        stats.alu_stalls += 1;
+                                    }
+                                }
+                                Instr::LoadImm { imm, .. } => {
+                                    let e = &mut window[ci].entries[ei];
+                                    e.issued_at = Some(t);
+                                    e.completed_at = Some(t + lat.of(&instr) - 1);
+                                    e.result = Some(imm as u32);
+                                    e.actual_next = Some(e.pc + 1);
+                                }
+                                Instr::Branch { cond, target, .. } => {
+                                    let a = s0.as_ref().expect("branch rs1").value();
+                                    let b = s1.as_ref().expect("branch rs2").value();
+                                    let taken = cond.eval(a, b);
+                                    let e = &mut window[ci].entries[ei];
+                                    e.issued_at = Some(t);
+                                    e.completed_at = Some(t + lat.of(&instr) - 1);
+                                    e.taken = Some(taken);
+                                    e.actual_next =
+                                        Some(if taken { target as usize } else { e.pc + 1 });
+                                    record_fw(&mut stats, &s0);
+                                    record_fw(&mut stats, &s1);
+                                }
+                                Instr::Jump { target } => {
+                                    let e = &mut window[ci].entries[ei];
+                                    e.issued_at = Some(t);
+                                    e.completed_at = Some(t);
+                                    e.actual_next = Some(target as usize);
+                                }
+                                Instr::Halt | Instr::Nop => {
+                                    let e = &mut window[ci].entries[ei];
+                                    e.issued_at = Some(t);
+                                    e.completed_at = Some(t);
+                                    e.actual_next = Some(e.pc + 1);
+                                }
+                                Instr::Load { offset, .. } => {
+                                    let base = s0.as_ref().expect("load base").value();
+                                    let addr = (base.wrapping_add(offset as u32) as usize)
+                                        % mem.words();
+                                    if renaming {
+                                        // Memory renaming: once every
+                                        // older store's address is
+                                        // known, either forward from
+                                        // the nearest match or go to
+                                        // memory immediately.
+                                        if all_stores_resolved {
+                                            let hit = store_infos
+                                                .iter()
+                                                .rev()
+                                                .find(|s| s.addr == addr);
+                                            if let Some(s) = hit {
+                                                let v = s.value;
+                                                let e = &mut window[ci].entries[ei];
+                                                e.issued_at = Some(t);
+                                                e.completed_at = Some(t);
+                                                e.result = Some(v);
+                                                e.actual_next = Some(e.pc + 1);
+                                                stats.store_forwards += 1;
+                                                record_fw(&mut stats, &s0);
+                                            } else {
+                                                requests.push(MemRequest {
+                                                    id: seq,
+                                                    leaf: pos,
+                                                    addr,
+                                                    kind: ReqKind::Load,
+                                                });
+                                                let e = &mut window[ci].entries[ei];
+                                                e.mem = MemPhase::Requesting;
+                                                if first_attempt {
+                                                    record_fw(&mut stats, &s0);
+                                                }
+                                            }
+                                        }
+                                    } else if all_stores_done {
+                                        requests.push(MemRequest {
+                                            id: seq,
+                                            leaf: pos,
+                                            addr,
+                                            kind: ReqKind::Load,
+                                        });
+                                        let e = &mut window[ci].entries[ei];
+                                        e.mem = MemPhase::Requesting;
+                                        if first_attempt {
+                                            record_fw(&mut stats, &s0);
+                                        }
+                                    }
+                                }
+                                Instr::Store { offset, .. } => {
+                                    if all_stores_done && all_loads_done && all_branches_done {
+                                        let base = s0.as_ref().expect("store base").value();
+                                        let val = s1.as_ref().expect("store src").value();
+                                        let addr = (base.wrapping_add(offset as u32) as usize)
+                                            % mem.words();
+                                        requests.push(MemRequest {
+                                            id: seq,
+                                            leaf: pos,
+                                            addr,
+                                            kind: ReqKind::Store(val),
+                                        });
+                                        let e = &mut window[ci].entries[ei];
+                                        e.mem = MemPhase::Requesting;
+                                        if first_attempt {
+                                            record_fw(&mut stats, &s0);
+                                            record_fw(&mut stats, &s1);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+
+                    // Update the prefix state with this entry (its own
+                    // start-of-cycle doneness — unaffected by an issue
+                    // this cycle, since done_before is strict).
+                    let entry = &window[ci].entries[ei];
+                    let done = entry.done_before(t);
+                    if entry.instr.is_load() {
+                        all_loads_done &= done;
+                    }
+                    if entry.instr.is_store() {
+                        all_stores_done &= done;
+                        if renaming {
+                            // Recompute the store's operands against
+                            // the *current* scan state (values are
+                            // stable once their producers are ready).
+                            let srcs = entry.instr.reads();
+                            let s0 = srcs[0].map(&resolve);
+                            let s1 = srcs[1].map(&resolve);
+                            let resolved = s0.as_ref().is_none_or(Source::ready)
+                                && s1.as_ref().is_none_or(Source::ready);
+                            let info = if resolved {
+                                let base = s0.as_ref().expect("store base").value();
+                                let offset = match entry.instr {
+                                    Instr::Store { offset, .. } => offset,
+                                    _ => unreachable!("store arm"),
+                                };
+                                StoreInfo {
+                                    resolved: true,
+                                    addr: (base.wrapping_add(offset as u32) as usize)
+                                        % mem.words(),
+                                    value: s1.as_ref().expect("store src").value(),
+                                }
+                            } else {
+                                StoreInfo {
+                                    resolved: false,
+                                    addr: 0,
+                                    value: 0,
+                                }
+                            };
+                            all_stores_resolved &= info.resolved;
+                            store_infos.push(info);
+                        }
+                    }
+                    if entry.instr.is_branch() {
+                        all_branches_done &= done;
+                    }
+                    if let Some(rd) = entry.instr.writes() {
+                        last_writer[rd.index()] = Some(Writer {
+                            seq: entry.seq,
+                            completed_at: entry.completed_at,
+                            value: entry.result.unwrap_or(0),
+                            pos,
+                        });
+                    }
+                    if issued_alu_class {
+                        // Occupy a shared ALU through the completion
+                        // cycle.
+                        let done_at = window[ci].entries[ei]
+                            .completed_at
+                            .expect("alu-class issue sets completion");
+                        let slot = alu_free_at
+                            .iter_mut()
+                            .find(|f| **f <= t)
+                            .expect("a free ALU was counted");
+                        *slot = done_at + 1;
+                    }
+                }
+            }
+
+            // ---- Phase B: memory arbitration and responses.
+            let (accepted, responses) = mem.tick(t, &requests);
+            for id in accepted {
+                if let Some(&(ci, ei)) = locator.get(&id) {
+                    let e = &mut window[ci].entries[ei];
+                    e.issued_at = Some(t);
+                    e.mem = MemPhase::InFlight;
+                }
+            }
+            for resp in responses {
+                if let Some(&(ci, ei)) = locator.get(&resp.id) {
+                    let e = &mut window[ci].entries[ei];
+                    if e.mem == MemPhase::InFlight {
+                        e.completed_at = Some(t);
+                        e.result = resp.value;
+                        e.actual_next = Some(e.pc + 1);
+                        e.mem = MemPhase::None;
+                    }
+                }
+            }
+
+            // Issue-rate histogram: stations that began execution (or
+            // had a memory request accepted) this cycle.
+            let issued_now = window
+                .iter()
+                .flat_map(|cl| cl.entries.iter())
+                .filter(|e| e.issued_at == Some(t))
+                .count();
+            stats.record_issue_count(issued_now);
+
+            // ---- Phase C: branch resolution, training and the paper's
+            // one-cycle misprediction recovery.
+            'resolve: for ci in 0..window.len() {
+                for ei in 0..window[ci].entries.len() {
+                    let e = &window[ci].entries[ei];
+                    if e.instr.is_branch() && e.completed_at == Some(t) {
+                        fetch.train(e.pc, e.taken.unwrap_or(false));
+                        if e.mispredicted() {
+                            let correct = e.actual_next.expect("resolved branch has next");
+                            // Flush everything younger: later clusters
+                            // entirely, this cluster past the branch.
+                            let mut flushed = 0u64;
+                            while window.len() > ci + 1 {
+                                flushed +=
+                                    window.pop_back().map_or(0, |cl| cl.entries.len() as u64);
+                            }
+                            let keep = ei + 1;
+                            flushed += (window[ci].entries.len() - keep) as u64;
+                            window[ci].entries.truncate(keep);
+                            stats.flushed += flushed;
+                            // Refilled clusters reuse the flushed
+                            // physical slots (hardware overwrites the
+                            // squashed stations in place).
+                            alloc_counter = window[ci].ring_index + 1;
+                            fetch.redirect(correct);
+                            if let Some(tc) = &mut trace_cache {
+                                fetch_stalled_until = t + 1 + tc.redirect(correct);
+                            }
+                            break 'resolve;
+                        }
+                    }
+                }
+            }
+
+            // ---- Phase D: in-order commit at cluster granularity
+            // (the oldest-station CSPP, evaluated on start-of-cycle
+            // state).
+            while let Some(front) = window.front() {
+                let complete_cluster = front.entries.len() == c || fetch.exhausted();
+                let all_done = front.entries.iter().all(|e| e.done_before(t));
+                if !(complete_cluster && all_done) {
+                    break;
+                }
+                let cluster = window.pop_front().expect("front exists");
+                for (ei, e) in cluster.entries.into_iter().enumerate() {
+                    let synthetic = e.is_synthetic(program.len());
+                    if !synthetic {
+                        stats.committed += 1;
+                        timings.push(InstrTiming {
+                            seq: e.seq,
+                            pc: e.pc,
+                            instr: e.instr,
+                            fetched: e.fetched_at,
+                            issue: e.issued_at.expect("committed ⇒ issued"),
+                            complete: e.completed_at.expect("committed ⇒ completed"),
+                            slot: (cluster.ring_index % k) * c + ei,
+                        });
+                        if e.instr.is_branch() {
+                            stats.branches += 1;
+                            if e.mispredicted() {
+                                stats.mispredictions += 1;
+                            }
+                        }
+                        if let Some(rd) = e.instr.writes() {
+                            committed_regs[rd.index()] =
+                                e.result.expect("writer committed with result");
+                        }
+                    }
+                    if matches!(e.instr, Instr::Halt) {
+                        halted = true;
+                    }
+                }
+                if halted {
+                    break;
+                }
+            }
+            if halted {
+                t += 1;
+                break;
+            }
+
+            // ---- Phase E: refill freed stations, live next cycle
+            // (unless a trace-cache miss is stalling fetch).
+            if t + 1 >= fetch_stalled_until {
+                refill(
+                    &mut window,
+                    &mut fetch,
+                    &mut next_seq,
+                    &mut alloc_counter,
+                    t + 1,
+                );
+            }
+
+            t += 1;
+        }
+
+        stats.cycles = t;
+        stats.mem = mem.stats();
+        timings.sort_by_key(|x| x.seq);
+        RunResult {
+            halted,
+            cycles: t,
+            regs: committed_regs,
+            mem: mem.snapshot().to_vec(),
+            stats,
+            timings,
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Functional-unit latencies.
+//!
+//! The paper's Figure 3 timing diagram "assume\[s\] that division takes
+//! 10 clock cycles, multiplication 3, and addition 1"; those are the
+//! defaults here.
+
+use ultrascalar_isa::{AluOp, Instr};
+
+/// Cycles each operation class occupies its station's functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Simple ALU ops (add/sub/logic/shift/compare).
+    pub alu: u64,
+    /// Multiplication.
+    pub mul: u64,
+    /// Division and remainder.
+    pub div: u64,
+    /// Branch resolution.
+    pub branch: u64,
+    /// Register-producing non-memory trivial ops (`li`).
+    pub imm: u64,
+}
+
+impl Default for LatencyModel {
+    /// The paper's Figure 3 latencies.
+    fn default() -> Self {
+        LatencyModel {
+            alu: 1,
+            mul: 3,
+            div: 10,
+            branch: 1,
+            imm: 1,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// All-single-cycle latencies (useful for tests where only the
+    /// dataflow shape matters).
+    pub fn unit() -> Self {
+        LatencyModel {
+            alu: 1,
+            mul: 1,
+            div: 1,
+            branch: 1,
+            imm: 1,
+        }
+    }
+
+    /// Latency in cycles for one instruction's functional-unit phase
+    /// (memory instructions return the address-generation latency; the
+    /// memory system adds its own).
+    pub fn of(&self, i: &Instr) -> u64 {
+        match i {
+            Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
+                AluOp::Mul => self.mul,
+                AluOp::Div | AluOp::Rem => self.div,
+                _ => self.alu,
+            },
+            Instr::LoadImm { .. } => self.imm,
+            Instr::Branch { .. } => self.branch,
+            // Loads/stores: address generation is folded into the
+            // memory round trip; jumps, nops and halts are resolved at
+            // fetch/decode and occupy no FU time beyond one cycle.
+            Instr::Load { .. } | Instr::Store { .. } => 1,
+            Instr::Jump { .. } | Instr::Halt | Instr::Nop => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultrascalar_isa::Reg;
+
+    #[test]
+    fn figure3_defaults() {
+        let m = LatencyModel::default();
+        let alu = |op| Instr::Alu {
+            op,
+            rd: Reg(0),
+            rs1: Reg(0),
+            rs2: Reg(0),
+        };
+        assert_eq!(m.of(&alu(AluOp::Add)), 1);
+        assert_eq!(m.of(&alu(AluOp::Sub)), 1);
+        assert_eq!(m.of(&alu(AluOp::Mul)), 3);
+        assert_eq!(m.of(&alu(AluOp::Div)), 10);
+        assert_eq!(m.of(&alu(AluOp::Rem)), 10);
+        assert_eq!(m.of(&Instr::Nop), 1);
+    }
+
+    #[test]
+    fn unit_model_is_flat() {
+        let m = LatencyModel::unit();
+        for op in AluOp::ALL {
+            assert_eq!(
+                m.of(&Instr::Alu {
+                    op,
+                    rd: Reg(0),
+                    rs1: Reg(0),
+                    rs2: Reg(0)
+                }),
+                1
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Branch predictors.
+//!
+//! The paper assumes a fetch mechanism (trace cache + branch
+//! prediction, §2) without fixing a predictor; we provide the standard
+//! menu so the misprediction-recovery machinery ("revert from branch
+//! misprediction in one clock cycle") can be exercised at any accuracy
+//! point, including a *perfect* oracle for pure-dataflow studies.
+
+/// Which predictor a processor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Oracle: fetch follows the architecturally correct path
+    /// (zero mispredictions).
+    Perfect,
+    /// Always predict not-taken (fall through).
+    NotTaken,
+    /// Always predict taken.
+    Taken,
+    /// Backward-taken / forward-not-taken.
+    Btfn,
+    /// Bimodal table of 2-bit saturating counters with the given number
+    /// of entries (power of two recommended).
+    Bimodal(usize),
+}
+
+/// Dynamic predictor state (only the bimodal has any).
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    kind: PredictorKind,
+    counters: Vec<u8>,
+}
+
+impl Predictor {
+    /// Instantiate a predictor.
+    ///
+    /// # Panics
+    /// Panics for `Bimodal(0)`.
+    pub fn new(kind: PredictorKind) -> Self {
+        let counters = match kind {
+            PredictorKind::Bimodal(entries) => {
+                assert!(entries > 0, "bimodal predictor needs entries");
+                vec![1u8; entries] // weakly not-taken
+            }
+            _ => Vec::new(),
+        };
+        Predictor { kind, counters }
+    }
+
+    /// The kind this predictor was built with.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Predict the direction of the conditional branch at `pc` with the
+    /// given target.
+    pub fn predict(&self, pc: usize, target: usize) -> bool {
+        match self.kind {
+            // Perfect prediction is realised in the fetch unit (it
+            // replays the golden path); if consulted it behaves like
+            // BTFN, but it never is in normal operation.
+            PredictorKind::Perfect | PredictorKind::Btfn => target <= pc,
+            PredictorKind::NotTaken => false,
+            PredictorKind::Taken => true,
+            PredictorKind::Bimodal(_) => self.counters[pc % self.counters.len()] >= 2,
+        }
+    }
+
+    /// Train on a resolved branch.
+    pub fn update(&mut self, pc: usize, taken: bool) {
+        if let PredictorKind::Bimodal(_) = self.kind {
+            let n = self.counters.len();
+            let c = &mut self.counters[pc % n];
+            if taken {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_predictors() {
+        let nt = Predictor::new(PredictorKind::NotTaken);
+        assert!(!nt.predict(10, 2));
+        let t = Predictor::new(PredictorKind::Taken);
+        assert!(t.predict(10, 2));
+        let b = Predictor::new(PredictorKind::Btfn);
+        assert!(b.predict(10, 2)); // backward: taken
+        assert!(!b.predict(10, 20)); // forward: not taken
+    }
+
+    #[test]
+    fn bimodal_learns_a_loop_branch() {
+        let mut p = Predictor::new(PredictorKind::Bimodal(16));
+        // Initially weakly not-taken.
+        assert!(!p.predict(5, 1));
+        // Train taken twice → predicts taken.
+        p.update(5, true);
+        p.update(5, true);
+        assert!(p.predict(5, 1));
+        // Saturates: one not-taken doesn't flip it.
+        p.update(5, true);
+        p.update(5, false);
+        assert!(p.predict(5, 1));
+        // But repeated not-taken does.
+        p.update(5, false);
+        p.update(5, false);
+        assert!(!p.predict(5, 1));
+    }
+
+    #[test]
+    fn bimodal_entries_are_independent_mod_table() {
+        let mut p = Predictor::new(PredictorKind::Bimodal(4));
+        p.update(0, true);
+        p.update(0, true);
+        assert!(p.predict(0, 0));
+        assert!(!p.predict(1, 0)); // untrained entry
+        assert!(p.predict(4, 0)); // aliases with pc 0
+    }
+
+    #[test]
+    #[should_panic(expected = "needs entries")]
+    fn zero_entry_bimodal_rejected() {
+        let _ = Predictor::new(PredictorKind::Bimodal(0));
+    }
+}

@@ -1,0 +1,84 @@
+//! The common processor interface and run results.
+
+use crate::stats::ProcStats;
+use crate::timing::InstrTiming;
+use ultrascalar_isa::Program;
+
+/// The outcome of running a program to completion on a processor model.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Did the program's halt commit (vs the cycle budget expiring)?
+    pub halted: bool,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Committed architectural register file.
+    pub regs: Vec<u32>,
+    /// Final data-memory contents.
+    pub mem: Vec<u32>,
+    /// Statistics.
+    pub stats: ProcStats,
+    /// Per-committed-instruction issue/complete cycles, in program
+    /// order (the paper's Figure 3 data).
+    pub timings: Vec<InstrTiming>,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// A processor model that can run a program to completion.
+pub trait Processor {
+    /// Short display name ("ultrascalar-i", "hybrid(C=8)", …).
+    fn name(&self) -> String;
+
+    /// Run `program` until its halt commits or the cycle budget runs
+    /// out.
+    fn run(&mut self, program: &Program) -> RunResult;
+}
+
+/// Compare a run result against the golden interpreter's architectural
+/// state; returns a human-readable mismatch description if any.
+pub fn check_against_golden(
+    result: &RunResult,
+    program: &Program,
+    max_steps: usize,
+) -> Result<(), String> {
+    let mut interp = ultrascalar_isa::Interp::new(program, result.mem.len());
+    let out = interp.run(max_steps);
+    if !out.halted() {
+        return Err("golden interpreter did not halt within fuel".into());
+    }
+    if !result.halted {
+        return Err("processor did not halt within cycle budget".into());
+    }
+    if interp.regs != result.regs {
+        for (i, (a, b)) in interp.regs.iter().zip(&result.regs).enumerate() {
+            if a != b {
+                return Err(format!("register r{i}: golden {a}, processor {b}"));
+            }
+        }
+    }
+    if result.stats.committed != out.steps() as u64 {
+        return Err(format!(
+            "committed count: golden {}, processor {}",
+            out.steps(),
+            result.stats.committed
+        ));
+    }
+    if interp.mem.len() != result.mem.len() {
+        return Err(format!(
+            "memory sizes differ: golden {}, processor {}",
+            interp.mem.len(),
+            result.mem.len()
+        ));
+    }
+    for (addr, (a, b)) in interp.mem.iter().zip(&result.mem).enumerate() {
+        if a != b {
+            return Err(format!("memory[{addr}]: golden {a}, processor {b}"));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! Run statistics collected by every processor model.
+
+use ultrascalar_memsys::MemStats;
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Default)]
+pub struct ProcStats {
+    /// Cycles simulated (until the halt committed).
+    pub cycles: u64,
+    /// Architectural (committed) instructions, excluding the synthetic
+    /// end-of-program halt.
+    pub committed: u64,
+    /// Branch instructions committed.
+    pub branches: u64,
+    /// Committed branches that had been mispredicted.
+    pub mispredictions: u64,
+    /// Wrong-path instructions flushed.
+    pub flushed: u64,
+    /// Sum over cycles of occupied stations (divide by cycles for mean
+    /// occupancy).
+    pub occupancy_sum: u64,
+    /// Histogram of producer→consumer forwarding distances in dynamic
+    /// instructions (index 0 = immediate predecessor); reads satisfied
+    /// by the committed register file are counted in
+    /// [`ProcStats::regfile_reads`]. Used for the paper's §7 locality
+    /// back-of-envelope.
+    pub forward_dist: Vec<u64>,
+    /// Operand reads satisfied from the committed register file.
+    pub regfile_reads: u64,
+    /// Histogram of instructions issued per cycle: `issue_hist[k]` =
+    /// number of cycles in which exactly `k` instructions started
+    /// execution (the window's realised ILP profile).
+    pub issue_hist: Vec<u64>,
+    /// Loads satisfied by store→load forwarding (memory renaming on).
+    pub store_forwards: u64,
+    /// Issue opportunities lost to shared-ALU contention: ready
+    /// instructions that could not start because no ALU was free.
+    pub alu_stalls: u64,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl ProcStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean window occupancy (stations holding instructions).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Record that `k` instructions issued in some cycle.
+    pub fn record_issue_count(&mut self, k: usize) {
+        if self.issue_hist.len() <= k {
+            self.issue_hist.resize(k + 1, 0);
+        }
+        self.issue_hist[k] += 1;
+    }
+
+    /// Mean instructions issued per cycle (from the histogram).
+    pub fn mean_issue_rate(&self) -> f64 {
+        let cycles: u64 = self.issue_hist.iter().sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let issued: u64 = self
+            .issue_hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        issued as f64 / cycles as f64
+    }
+
+    /// Record one forwarding at the given dynamic distance.
+    pub fn record_forward(&mut self, dist: u64) {
+        let d = dist as usize;
+        if self.forward_dist.len() <= d {
+            self.forward_dist.resize(d + 1, 0);
+        }
+        self.forward_dist[d] += 1;
+    }
+
+    /// Fraction of in-window forwardings with distance 1 (producer is
+    /// the immediate predecessor) — the paper's §7 "half of the
+    /// communications paths from one station to its successor are
+    /// completely local" estimate. Distances are recorded as
+    /// `consumer.seq − producer.seq`, so the local bucket is index 1.
+    pub fn local_forward_fraction(&self) -> f64 {
+        let total: u64 = self.forward_dist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.forward_dist.get(1).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Misprediction rate over committed branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_occupancy() {
+        let s = ProcStats {
+            cycles: 10,
+            committed: 25,
+            occupancy_sum: 40,
+            ..ProcStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mean_occupancy() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_safe() {
+        let s = ProcStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mean_occupancy(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.local_forward_fraction(), 0.0);
+    }
+
+    #[test]
+    fn forward_histogram() {
+        let mut s = ProcStats::default();
+        s.record_forward(1);
+        s.record_forward(1);
+        s.record_forward(3);
+        assert_eq!(s.forward_dist, vec![0, 2, 0, 1]);
+        // Two of three forwardings came from the immediate predecessor.
+        assert!((s.local_forward_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-instruction timing records, the Figure 3 ASCII diagram, and a
+//! station-occupancy (window) visualiser.
+
+use ultrascalar_isa::{disassemble, Instr};
+
+/// Issue/complete cycles of one committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrTiming {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Static instruction index.
+    pub pc: usize,
+    /// The instruction.
+    pub instr: Instr,
+    /// Cycle the instruction entered its execution station.
+    pub fetched: u64,
+    /// Cycle execution began.
+    pub issue: u64,
+    /// Cycle at whose end the result entered the datapath.
+    pub complete: u64,
+    /// Window ring slot (station) the instruction occupied.
+    pub slot: usize,
+}
+
+impl InstrTiming {
+    /// Occupied execution cycles, inclusive.
+    pub fn duration(&self) -> u64 {
+        self.complete - self.issue + 1
+    }
+
+    /// Cycles spent waiting in the station before issue.
+    pub fn wait(&self) -> u64 {
+        self.issue - self.fetched
+    }
+}
+
+/// Render the paper's Figure 3: one row per instruction, `.` while
+/// waiting for operands, a `=` bar spanning the cycles it executes.
+///
+/// ```text
+/// div  r3, r1, r2   |==========  |
+/// add  r0, r0, r3   |..........==|
+/// ```
+pub fn render_timing_diagram(timings: &[InstrTiming]) -> String {
+    if timings.is_empty() {
+        return String::from("(no instructions)\n");
+    }
+    let t_end = timings.iter().map(|t| t.complete).max().unwrap_or(0) + 1;
+    let width = t_end as usize;
+    let mut out = String::new();
+    for t in timings {
+        let text = disassemble(&t.instr);
+        out.push_str(&format!("{text:<22} |"));
+        for c in 0..width as u64 {
+            out.push(if c >= t.issue && c <= t.complete {
+                '='
+            } else if c >= t.fetched && c < t.issue {
+                '.'
+            } else {
+                ' '
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("{:<22}  ", "cycles"));
+    for c in 0..width {
+        out.push(if c % 5 == 0 {
+            char::from_digit((c / 5 % 10) as u32, 10).unwrap_or('?')
+        } else {
+            '.'
+        });
+    }
+    out.push('\n');
+    out
+}
+
+/// Render the window as the hardware sees it: one row per execution
+/// station (ring slot), time left to right, each instruction shown by a
+/// repeating letter (`a` for seq 0, `b` for seq 1, …; uppercase on its
+/// issue-to-complete span). Shows the wrap-around reuse of stations —
+/// the Ultrascalar I's sliding window, the Ultrascalar II's batch
+/// refill, the hybrid's cluster granularity.
+pub fn render_station_occupancy(timings: &[InstrTiming], n_slots: usize) -> String {
+    if timings.is_empty() {
+        return String::from("(no instructions)\n");
+    }
+    let t_end = timings.iter().map(|t| t.complete).max().unwrap_or(0) + 2;
+    let width = t_end as usize;
+    let mut grid = vec![vec![' '; width]; n_slots];
+    for t in timings {
+        let letter = (b'a' + (t.seq % 26) as u8) as char;
+        let upper = letter.to_ascii_uppercase();
+        if t.slot >= n_slots {
+            continue;
+        }
+        for c in t.fetched..=t.complete {
+            let cell = &mut grid[t.slot][c as usize];
+            *cell = if c >= t.issue { upper } else { letter };
+        }
+    }
+    let mut out = String::new();
+    for (slot, row) in grid.iter().enumerate() {
+        out.push_str(&format!("station {slot:>2} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("{:<10}  ", "cycles"));
+    for c in 0..width {
+        out.push(if c % 5 == 0 {
+            char::from_digit((c / 5 % 10) as u32, 10).unwrap_or('?')
+        } else {
+            '.'
+        });
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultrascalar_isa::{AluOp, Reg};
+
+    fn t(seq: u64, issue: u64, complete: u64) -> InstrTiming {
+        InstrTiming {
+            seq,
+            pc: seq as usize,
+            instr: Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(0),
+                rs1: Reg(1),
+                rs2: Reg(2),
+            },
+            fetched: issue.saturating_sub(1),
+            issue,
+            complete,
+            slot: seq as usize % 4,
+        }
+    }
+
+    #[test]
+    fn duration_and_wait() {
+        assert_eq!(t(0, 3, 3).duration(), 1);
+        assert_eq!(t(0, 0, 9).duration(), 10);
+        assert_eq!(t(0, 3, 3).wait(), 1);
+    }
+
+    #[test]
+    fn diagram_bars_span_execution() {
+        let d = render_timing_diagram(&[t(0, 0, 2), t(1, 3, 3)]);
+        let lines: Vec<&str> = d.lines().collect();
+        assert!(lines[0].contains("|=== |"));
+        assert!(lines[1].contains("|  .=|"));
+        assert!(lines[2].contains("cycles"));
+    }
+
+    #[test]
+    fn empty_diagram() {
+        assert!(render_timing_diagram(&[]).contains("no instructions"));
+        assert!(render_station_occupancy(&[], 4).contains("no instructions"));
+    }
+
+    #[test]
+    fn occupancy_grid_places_instructions_on_their_slots() {
+        let d = render_station_occupancy(&[t(0, 1, 2), t(1, 2, 4)], 4);
+        let lines: Vec<&str> = d.lines().collect();
+        assert!(lines[0].starts_with("station  0"));
+        assert!(lines[0].contains('A'), "{d}");
+        assert!(lines[1].contains('B'), "{d}");
+        // Waiting phase is lowercase.
+        assert!(lines[1].contains('b'), "{d}");
+    }
+
+    #[test]
+    fn occupancy_ignores_out_of_range_slots() {
+        let mut x = t(0, 0, 1);
+        x.slot = 99;
+        let d = render_station_occupancy(&[x], 4);
+        assert!(!d.contains('A'));
+    }
+}

@@ -1,0 +1,226 @@
+//! Architectural-equivalence tests: every processor model must produce
+//! exactly the golden interpreter's architectural state, and the
+//! Ultrascalar I must be cycle-for-cycle identical to the conventional
+//! baseline (the paper's central functional claim).
+
+use proptest::prelude::*;
+use ultrascalar::processor::check_against_golden;
+use ultrascalar::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_isa::workload::{self, RandomCfg};
+use ultrascalar_isa::Program;
+use ultrascalar_memsys::{Bandwidth, MemConfig, NetworkKind};
+
+const FUEL: usize = 5_000_000;
+
+fn all_processor_configs(n: usize) -> Vec<ProcConfig> {
+    let mut v = vec![
+        ProcConfig::ultrascalar_i(n),
+        ProcConfig::ultrascalar_ii(n),
+    ];
+    if n >= 4 {
+        v.push(ProcConfig::hybrid(n, n / 2));
+        if n.is_multiple_of(4) {
+            v.push(ProcConfig::hybrid(n, n / 4));
+        }
+    }
+    v
+}
+
+fn check(cfg: ProcConfig, program: &Program, label: &str) {
+    let mut p = Ultrascalar::new(cfg);
+    let result = p.run(program);
+    check_against_golden(&result, program, FUEL)
+        .unwrap_or_else(|e| panic!("{label} on {}: {e}", p.name()));
+}
+
+#[test]
+fn all_models_match_golden_on_standard_suite() {
+    for (name, prog) in workload::standard_suite(11) {
+        for cfg in all_processor_configs(8) {
+            check(cfg, &prog, name);
+        }
+    }
+}
+
+#[test]
+fn all_models_match_golden_with_imperfect_predictors() {
+    for (name, prog) in workload::standard_suite(5) {
+        for kind in [
+            PredictorKind::NotTaken,
+            PredictorKind::Taken,
+            PredictorKind::Btfn,
+            PredictorKind::Bimodal(64),
+        ] {
+            for cfg in all_processor_configs(8) {
+                check(cfg.with_predictor(kind), &prog, name);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_models_match_golden_with_constrained_memory() {
+    let mem = MemConfig {
+        n_leaves: 8,
+        bandwidth: Bandwidth::sqrt(),
+        banks: 2,
+        bank_occupancy: 2,
+        hop_latency: 1,
+        base_latency: 1,
+        words: 1 << 12,
+        network: NetworkKind::FatTree,
+        cluster_cache: None,
+    };
+    for (name, prog) in workload::standard_suite(7) {
+        for cfg in all_processor_configs(8) {
+            check(
+                cfg.with_mem(mem.clone())
+                    .with_predictor(PredictorKind::Bimodal(32)),
+                &prog,
+                name,
+            );
+        }
+    }
+}
+
+#[test]
+fn random_programs_match_golden_across_models_and_windows() {
+    for seed in 0..12u64 {
+        let prog = workload::random_program(&RandomCfg {
+            seed,
+            len: 150,
+            ..RandomCfg::default()
+        });
+        for n in [1usize, 2, 4, 8, 16] {
+            for cfg in all_processor_configs(n) {
+                check(
+                    cfg.with_predictor(PredictorKind::Bimodal(16)),
+                    &prog,
+                    &format!("random seed {seed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn window_of_one_still_works() {
+    // n = 1 degenerates to an in-order scalar pipeline; everything must
+    // still match the golden state.
+    for (name, prog) in workload::standard_suite(3) {
+        check(ProcConfig::ultrascalar_i(1), &prog, name);
+    }
+}
+
+/// The paper's functional-equivalence claim: the Ultrascalar I extracts
+/// exactly the ILP of a conventional renaming/broadcast out-of-order
+/// core. We require *cycle-for-cycle identical* timing.
+fn assert_cycle_identical(cfg: ProcConfig, program: &Program, label: &str) {
+    let mut us = Ultrascalar::new(cfg.clone());
+    let mut base = BaselineOoO::new(cfg);
+    let a = us.run(program);
+    let b = base.run(program);
+    assert_eq!(a.halted, b.halted, "{label}: halted");
+    assert_eq!(a.cycles, b.cycles, "{label}: total cycles");
+    assert_eq!(a.regs, b.regs, "{label}: registers");
+    assert_eq!(a.mem, b.mem, "{label}: memory");
+    assert_eq!(
+        a.stats.committed, b.stats.committed,
+        "{label}: committed count"
+    );
+    assert_eq!(a.timings.len(), b.timings.len(), "{label}: timing length");
+    for (x, y) in a.timings.iter().zip(&b.timings) {
+        assert_eq!(x, y, "{label}: instruction timing for seq {}", x.seq);
+    }
+}
+
+#[test]
+fn ultrascalar_i_is_cycle_identical_to_baseline_on_suite() {
+    for (name, prog) in workload::standard_suite(13) {
+        assert_cycle_identical(ProcConfig::ultrascalar_i(8), &prog, name);
+        assert_cycle_identical(ProcConfig::ultrascalar_i(16), &prog, name);
+    }
+}
+
+#[test]
+fn ultrascalar_i_is_cycle_identical_to_baseline_with_mispredictions() {
+    for (name, prog) in workload::standard_suite(17) {
+        for kind in [PredictorKind::NotTaken, PredictorKind::Bimodal(8)] {
+            assert_cycle_identical(
+                ProcConfig::ultrascalar_i(8).with_predictor(kind),
+                &prog,
+                name,
+            );
+        }
+    }
+}
+
+#[test]
+fn ultrascalar_i_is_cycle_identical_to_baseline_under_memory_pressure() {
+    let mem = MemConfig {
+        n_leaves: 8,
+        bandwidth: Bandwidth::constant(1.0),
+        banks: 2,
+        bank_occupancy: 3,
+        hop_latency: 2,
+        base_latency: 1,
+        words: 1 << 12,
+        network: NetworkKind::FatTree,
+        cluster_cache: None,
+    };
+    for (name, prog) in workload::standard_suite(19) {
+        assert_cycle_identical(
+            ProcConfig::ultrascalar_i(8)
+                .with_mem(mem.clone())
+                .with_predictor(PredictorKind::Bimodal(8)),
+            &prog,
+            name,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_models_match_golden(
+        seed in 0u64..10_000,
+        n_pow in 0u32..5,
+        mem_frac in 0.0f64..0.5,
+        branch_frac in 0.0f64..0.2,
+    ) {
+        let n = 1usize << n_pow;
+        let prog = workload::random_program(&RandomCfg {
+            seed,
+            len: 120,
+            mem_frac,
+            branch_frac,
+            ..RandomCfg::default()
+        });
+        for cfg in all_processor_configs(n) {
+            let mut p = Ultrascalar::new(cfg.with_predictor(PredictorKind::Bimodal(16)));
+            let r = p.run(&prog);
+            prop_assert!(check_against_golden(&r, &prog, FUEL).is_ok(),
+                "{} diverged on seed {seed}", p.name());
+        }
+    }
+
+    #[test]
+    fn prop_usi_cycle_identical_to_baseline(
+        seed in 0u64..10_000,
+        n_pow in 0u32..5,
+    ) {
+        let n = 1usize << n_pow;
+        let prog = workload::random_program(&RandomCfg {
+            seed,
+            len: 100,
+            ..RandomCfg::default()
+        });
+        let cfg = ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::Bimodal(16));
+        let a = Ultrascalar::new(cfg.clone()).run(&prog);
+        let b = BaselineOoO::new(cfg).run(&prog);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.regs, b.regs);
+        prop_assert_eq!(a.timings, b.timings);
+    }
+}

@@ -1,0 +1,431 @@
+//! Instruction forms and execution semantics.
+//!
+//! Every instruction reads at most **two** registers and writes at most
+//! **one** — the constraint the Ultrascalar II datapath (paper §4)
+//! hard-wires into its two argument columns and one result row per
+//! execution station. The accessors [`Instr::reads`] and
+//! [`Instr::writes`] expose exactly those sets.
+
+use std::fmt;
+
+/// A logical register identifier.
+///
+/// The ISA is parametric in the number of logical registers `L` (the
+/// paper's headline scaling parameter); a `Reg` is valid for a given
+/// program iff `index < L`, which [`crate::program::Program::validate`]
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The register index as a usize, for register-file indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Integer ALU operations (no floating point, per the paper's ISA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by rs2 mod 32).
+    Sll,
+    /// Logical shift right (by rs2 mod 32).
+    Srl,
+    /// Arithmetic shift right (by rs2 mod 32).
+    Sra,
+    /// Set-less-than, signed: `rd = (rs1 <s rs2) ? 1 : 0`.
+    Slt,
+    /// Set-less-than, unsigned.
+    Sltu,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Unsigned division; division by zero yields `u32::MAX`
+    /// (RISC-V-style, so speculative wrong-path divides cannot trap).
+    Div,
+    /// Unsigned remainder; remainder by zero yields `rs1`.
+    Rem,
+}
+
+impl AluOp {
+    /// Every ALU operation, for iteration in tests and generators.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+    ];
+
+    /// Apply the operation to two 32-bit operands.
+    ///
+    /// Total (never traps): division/remainder by zero follow the
+    /// RISC-V convention so that speculatively executed wrong-path
+    /// instructions are harmless, as the paper's recovery model
+    /// requires.
+    #[inline]
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a.checked_div(b).unwrap_or(u32::MAX),
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+
+    /// Mnemonic stem used by the assembler (`add`, `sub`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+        }
+    }
+}
+
+/// Branch conditions (two register sources, like the ALU forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchCond {
+    /// Every branch condition.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// Evaluate the condition on two operands.
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i32) < (b as i32),
+            BranchCond::Ge => (a as i32) >= (b as i32),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+
+    /// Assembler mnemonic (`beq`, `bne`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+}
+
+/// One instruction. Branch and jump targets are absolute instruction
+/// indices (resolved by the assembler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Three-register ALU operation: `rd = rs1 op rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register–immediate ALU operation: `rd = rs1 op imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate operand (sign-extended to 32 bits).
+        imm: i32,
+    },
+    /// Load immediate: `rd = imm`. Reads no registers.
+    LoadImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// Word load: `rd = mem[rs(base) + offset]` (word-addressed).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset (sign-extended).
+        offset: i32,
+    },
+    /// Word store: `mem[rs(base) + offset] = src`.
+    Store {
+        /// Register holding the value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset (sign-extended).
+        offset: i32,
+    },
+    /// Conditional branch to an absolute instruction index.
+    Branch {
+        /// Condition on `rs1`, `rs2`.
+        cond: BranchCond,
+        /// First comparand.
+        rs1: Reg,
+        /// Second comparand.
+        rs2: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jump {
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Stop the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// The registers this instruction reads, in operand order.
+    /// Always at most two (the paper's ISA constraint).
+    #[inline]
+    pub fn reads(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::AluImm { rs1, .. } => [Some(rs1), None],
+            Instr::LoadImm { .. } => [None, None],
+            Instr::Load { base, .. } => [Some(base), None],
+            Instr::Store { src, base, .. } => [Some(base), Some(src)],
+            Instr::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::Jump { .. } | Instr::Halt | Instr::Nop => [None, None],
+        }
+    }
+
+    /// The register this instruction writes, if any.
+    /// Always at most one (the paper's ISA constraint).
+    #[inline]
+    pub fn writes(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::LoadImm { rd, .. }
+            | Instr::Load { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Is this a load from memory?
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. })
+    }
+
+    /// Is this a store to memory?
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Is this a control-flow instruction (branch or jump)?
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Branch { .. } | Instr::Jump { .. })
+    }
+
+    /// Is this a conditional branch?
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// The highest register index mentioned, if any — used to validate a
+    /// program against a register-file size `L`.
+    pub fn max_reg(&self) -> Option<u8> {
+        let mut m: Option<u8> = None;
+        for r in self.reads().into_iter().flatten() {
+            m = Some(m.map_or(r.0, |x| x.max(r.0)));
+        }
+        if let Some(r) = self.writes() {
+            m = Some(m.map_or(r.0, |x| x.max(r.0)));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Sltu.apply(u32::MAX, 0), 0);
+        assert_eq!(AluOp::Mul.apply(7, 6), 42);
+        assert_eq!(AluOp::Div.apply(42, 6), 7);
+        assert_eq!(AluOp::Rem.apply(43, 6), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(AluOp::Div.apply(5, 0), u32::MAX);
+        assert_eq!(AluOp::Rem.apply(5, 0), 5);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(AluOp::Sll.apply(1, 32), 1);
+        assert_eq!(AluOp::Sll.apply(1, 33), 2);
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(u32::MAX, 0)); // signed
+        assert!(!BranchCond::Ltu.eval(u32::MAX, 0)); // unsigned
+        assert!(BranchCond::Ge.eval(0, u32::MAX)); // 0 >= -1 signed
+        assert!(BranchCond::Geu.eval(u32::MAX, 0));
+    }
+
+    #[test]
+    fn every_instruction_reads_at_most_two_and_writes_at_most_one() {
+        // The accessors are typed to enforce this; spot-check the
+        // densest forms.
+        let st = Instr::Store {
+            src: Reg(1),
+            base: Reg(2),
+            offset: 0,
+        };
+        assert_eq!(st.reads().iter().flatten().count(), 2);
+        assert_eq!(st.writes(), None);
+
+        let alu = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
+        assert_eq!(alu.reads().iter().flatten().count(), 2);
+        assert_eq!(alu.writes(), Some(Reg(3)));
+    }
+
+    #[test]
+    fn max_reg_scans_all_fields() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(9),
+            rs1: Reg(2),
+            rs2: Reg(30),
+        };
+        assert_eq!(i.max_reg(), Some(30));
+        assert_eq!(Instr::Halt.max_reg(), None);
+        assert_eq!(Instr::Jump { target: 5 }.max_reg(), None);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Instr::Load {
+            rd: Reg(0),
+            base: Reg(1),
+            offset: 0
+        }
+        .is_load());
+        assert!(Instr::Store {
+            src: Reg(0),
+            base: Reg(1),
+            offset: 0
+        }
+        .is_store());
+        assert!(Instr::Jump { target: 0 }.is_control());
+        assert!(!Instr::Jump { target: 0 }.is_branch());
+        assert!(Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            target: 0
+        }
+        .is_branch());
+    }
+}

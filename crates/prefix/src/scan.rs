@@ -1,0 +1,128 @@
+//! Serial reference scans.
+//!
+//! These are the O(n)-work, O(n)-depth "ring of multiplexers"
+//! evaluations (paper Figure 1): trivially correct, used as oracles for
+//! the logarithmic tree implementations in [`crate::tree`] and
+//! [`crate::cspp`], and as the fast path for small widths.
+
+use crate::op::PrefixOp;
+
+/// Inclusive scan: `out[i] = x[0] ⊗ x[1] ⊗ … ⊗ x[i]`.
+///
+/// Returns an empty vector for empty input.
+pub fn scan_inclusive<T: Clone, O: PrefixOp<T>>(xs: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for x in xs {
+        let next = match &acc {
+            None => x.clone(),
+            Some(a) => O::combine(a, x),
+        };
+        out.push(next.clone());
+        acc = Some(next);
+    }
+    out
+}
+
+/// Exclusive scan: `out[0] = identity`, `out[i] = x[0] ⊗ … ⊗ x[i-1]`.
+///
+/// The identity element is supplied by the caller because not every
+/// operator used in the processor has one expressible in `T` (e.g. the
+/// register-forwarding operator's identity is "no writer yet", which the
+/// hardware encodes in the segment bit instead).
+pub fn scan_exclusive<T: Clone, O: PrefixOp<T>>(xs: &[T], identity: T) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = identity;
+    for x in xs {
+        out.push(acc.clone());
+        acc = O::combine(&acc, x);
+    }
+    out
+}
+
+/// Segmented inclusive scan (linear reference).
+///
+/// `seg[i]` marks the start of a new segment at position `i`; the
+/// accumulation restarts there: `out[i] = x[s] ⊗ … ⊗ x[i]` where `s ≤ i`
+/// is the nearest position with `seg[s]` (or 0 if none).
+///
+/// # Panics
+/// Panics if `xs.len() != seg.len()`.
+pub fn scan_segmented_inclusive<T: Clone, O: PrefixOp<T>>(xs: &[T], seg: &[bool]) -> Vec<T> {
+    assert_eq!(xs.len(), seg.len(), "value/segment length mismatch");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc: Option<T> = None;
+    for (x, &s) in xs.iter().zip(seg) {
+        let next = match (&acc, s) {
+            (_, true) | (None, _) => x.clone(),
+            (Some(a), false) => O::combine(a, x),
+        };
+        out.push(next.clone());
+        acc = Some(next);
+    }
+    out
+}
+
+/// Full reduction `x[0] ⊗ … ⊗ x[n-1]`, or `None` for empty input.
+pub fn reduce<T: Clone, O: PrefixOp<T>>(xs: &[T]) -> Option<T> {
+    let (first, rest) = xs.split_first()?;
+    Some(rest.iter().fold(first.clone(), |acc, x| O::combine(&acc, x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BoolAnd, First, Sum};
+
+    #[test]
+    fn inclusive_sum() {
+        let xs = [1u32, 2, 3, 4];
+        assert_eq!(scan_inclusive::<_, Sum>(&xs), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn exclusive_sum() {
+        let xs = [1u32, 2, 3, 4];
+        assert_eq!(scan_exclusive::<_, Sum>(&xs, 0), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: [u32; 0] = [];
+        assert!(scan_inclusive::<_, Sum>(&xs).is_empty());
+        assert!(scan_exclusive::<_, Sum>(&xs, 0).is_empty());
+        assert_eq!(reduce::<u32, Sum>(&xs), None);
+    }
+
+    #[test]
+    fn segmented_sum_restarts() {
+        let xs = [1u32, 2, 3, 4, 5];
+        let seg = [false, false, true, false, true];
+        assert_eq!(
+            scan_segmented_inclusive::<_, Sum>(&xs, &seg),
+            vec![1, 3, 3, 7, 5]
+        );
+    }
+
+    #[test]
+    fn segmented_first_finds_segment_leader() {
+        let xs = [10u32, 11, 12, 13, 14];
+        let seg = [true, false, true, false, false];
+        assert_eq!(
+            scan_segmented_inclusive::<_, First>(&xs, &seg),
+            vec![10, 10, 12, 12, 12]
+        );
+    }
+
+    #[test]
+    fn and_reduction() {
+        assert_eq!(reduce::<bool, BoolAnd>(&[true, true, false]), Some(false));
+        assert_eq!(reduce::<bool, BoolAnd>(&[true, true]), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn segmented_length_mismatch_panics() {
+        let _ = scan_segmented_inclusive::<u32, Sum>(&[1, 2], &[true]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Tree-structured scans with circuit-depth accounting.
+//!
+//! A parallel-prefix *tree* evaluates a scan in `Θ(log n)` combining
+//! depth instead of the `Θ(n)` of a serial chain — this is exactly the
+//! transformation the paper applies to go from the linear mux-ring
+//! datapath (Figure 1) to the logarithmic CSPP datapath (Figure 4).
+//!
+//! [`TreeScan`] materialises the binary tree so that, besides computing
+//! the scan, it can *report the number of operator applications on the
+//! critical path* ([`TreeScan::depth`]). The `ultrascalar-vlsi` crate
+//! cross-checks its closed-form gate-delay expressions against these
+//! measured depths, and the benches for the paper's Figure 11 use them
+//! as the "gate delay" measurements.
+
+use crate::op::PrefixOp;
+
+/// An up-sweep/down-sweep scan over an explicit binary tree.
+///
+/// The tree is the canonical layout used by hardware parallel-prefix
+/// networks: leaves in order, internal nodes combining contiguous
+/// intervals, left-balanced for arbitrary (non-power-of-two) widths.
+#[derive(Debug, Clone)]
+pub struct TreeScan<T> {
+    n: usize,
+    /// `summaries[k]` holds the interval summary of node `k` in a heap
+    /// layout over `2*ceil_pow2(n)` slots; `None` outside the tree.
+    summaries: Vec<Option<T>>,
+    size: usize,
+    /// Operator applications on the longest root-to-leaf path
+    /// (up-sweep + down-sweep).
+    depth: usize,
+    /// Total operator applications (work).
+    work: usize,
+}
+
+fn ceil_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+impl<T: Clone> TreeScan<T> {
+    /// Build the up-sweep phase: compute interval summaries for every
+    /// tree node from the leaf values.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn build<O: PrefixOp<T>>(xs: &[T]) -> Self {
+        assert!(!xs.is_empty(), "TreeScan requires at least one element");
+        let n = xs.len();
+        let size = ceil_pow2(n);
+        let mut summaries: Vec<Option<T>> = vec![None; 2 * size];
+        for (i, x) in xs.iter().enumerate() {
+            summaries[size + i] = Some(x.clone());
+        }
+        let mut work = 0usize;
+        for k in (1..size).rev() {
+            let l = summaries[2 * k].clone();
+            let r = summaries[2 * k + 1].clone();
+            summaries[k] = match (l, r) {
+                (Some(a), Some(b)) => {
+                    work += 1;
+                    Some(O::combine(&a, &b))
+                }
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+        }
+        // Up-sweep contributes ceil(log2 n) levels; the down-sweep the
+        // same again. Depth is finalised in the scan methods.
+        let levels = size.trailing_zeros() as usize;
+        TreeScan {
+            n,
+            summaries,
+            size,
+            depth: levels,
+            work,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the tree has no leaves (never: `build` rejects empty).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total reduction of all leaves (the root summary).
+    pub fn root(&self) -> &T {
+        self.summaries[1]
+            .as_ref()
+            .expect("non-empty tree has a root summary")
+    }
+
+    /// Operator applications on the critical path of a full
+    /// up-sweep + down-sweep evaluation: `2 * ceil(log2 n)`.
+    pub fn depth(&self) -> usize {
+        2 * self.depth
+    }
+
+    /// Total operator applications performed so far (up-sweep only
+    /// until a scan method is called).
+    pub fn work(&self) -> usize {
+        self.work
+    }
+
+    /// Down-sweep producing the *exclusive* scan. `before_all` is the
+    /// value flowing into the leftmost leaf — the committed state in the
+    /// processor datapath, or the wrapped-around root summary in a
+    /// cyclic circuit.
+    pub fn scan_exclusive<O: PrefixOp<T>>(&mut self, before_all: T) -> Vec<T> {
+        // prefix[k] = combination of everything strictly before node k's
+        // interval, seeded with `before_all`.
+        let mut prefix: Vec<Option<T>> = vec![None; 2 * self.size];
+        prefix[1] = Some(before_all);
+        for k in 1..self.size {
+            let p = match prefix[k].clone() {
+                Some(p) => p,
+                None => continue,
+            };
+            // Left child sees the same prefix.
+            prefix[2 * k] = Some(p.clone());
+            // Right child sees prefix ⊗ left-summary.
+            if 2 * k + 1 < 2 * self.size {
+                prefix[2 * k + 1] = match &self.summaries[2 * k] {
+                    Some(ls) => {
+                        self.work += 1;
+                        Some(O::combine(&p, ls))
+                    }
+                    None => Some(p),
+                };
+            }
+        }
+        (0..self.n)
+            .map(|i| {
+                prefix[self.size + i]
+                    .clone()
+                    .expect("every leaf receives a prefix")
+            })
+            .collect()
+    }
+}
+
+/// Convenience: inclusive tree scan of `xs` (depth `Θ(log n)`).
+///
+/// `inclusive[0] = x0` and `inclusive[i] = exclusive[i] ⊗ x[i]`, where
+/// the exclusive scan over `xs[1..]` is seeded with `x0` — this avoids
+/// requiring an identity element for `O`.
+pub fn tree_scan_inclusive<T: Clone, O: PrefixOp<T>>(xs: &[T]) -> Vec<T> {
+    let Some((first, tail)) = xs.split_first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(xs.len());
+    out.push(first.clone());
+    if tail.is_empty() {
+        return out;
+    }
+    let mut tail_tree = TreeScan::build::<O>(tail);
+    let ex = tail_tree.scan_exclusive::<O>(first.clone());
+    for (e, x) in ex.iter().zip(tail) {
+        out.push(O::combine(e, x));
+    }
+    out
+}
+
+/// Convenience: exclusive tree scan with an explicit identity/seed.
+pub fn tree_scan_exclusive<T: Clone, O: PrefixOp<T>>(xs: &[T], identity: T) -> Vec<T> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut tree = TreeScan::build::<O>(xs);
+    tree.scan_exclusive::<O>(identity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{First, Max, Sum};
+    use crate::scan;
+
+    #[test]
+    fn matches_serial_inclusive_all_small_sizes() {
+        for n in 1..70usize {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+            assert_eq!(
+                tree_scan_inclusive::<_, Sum>(&xs),
+                scan::scan_inclusive::<_, Sum>(&xs),
+                "width {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_exclusive_all_small_sizes() {
+        for n in 1..70usize {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            assert_eq!(
+                tree_scan_exclusive::<_, Sum>(&xs, 0),
+                scan::scan_exclusive::<_, Sum>(&xs, 0),
+                "width {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        for k in 0..12u32 {
+            let n = 1usize << k;
+            let xs = vec![1u32; n];
+            let tree = TreeScan::build::<Sum>(&xs);
+            assert_eq!(tree.depth(), 2 * k as usize, "n = {n}");
+        }
+        // Non-power-of-two widths round up.
+        let tree = TreeScan::build::<Sum>(&vec![1u32; 100]);
+        assert_eq!(tree.depth(), 2 * 7);
+    }
+
+    #[test]
+    fn work_is_linear() {
+        // Up-sweep of a power-of-two width performs exactly n-1 combines.
+        for k in 1..10u32 {
+            let n = 1usize << k;
+            let tree = TreeScan::build::<Sum>(&vec![1u32; n]);
+            assert_eq!(tree.work(), n - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn root_is_total_reduction() {
+        let xs: Vec<u32> = (1..=10).collect();
+        let tree = TreeScan::build::<Sum>(&xs);
+        assert_eq!(*tree.root(), 55);
+        let tree = TreeScan::build::<Max>(&xs);
+        assert_eq!(*tree.root(), 10);
+    }
+
+    #[test]
+    fn first_scan_propagates_oldest_value() {
+        let xs = [42u32, 1, 2, 3];
+        assert_eq!(tree_scan_inclusive::<_, First>(&xs), vec![42; 4]);
+    }
+
+    #[test]
+    fn exclusive_seed_flows_to_first_leaf() {
+        let xs = [5u32, 6];
+        assert_eq!(tree_scan_exclusive::<_, Sum>(&xs, 100), vec![100, 105]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_build_panics() {
+        let _ = TreeScan::<u32>::build::<Sum>(&[]);
+    }
+}

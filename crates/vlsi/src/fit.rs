@@ -1,0 +1,130 @@
+//! Growth-exponent estimation by least-squares on log–log points.
+//!
+//! The Figure 11 bench sweeps `n`, evaluates each layout's metrics, and
+//! fits `metric ≈ c·n^p`; the fitted `p` is compared against the
+//! paper's Θ-claims (e.g. wire delay of the low-bandwidth Ultrascalar I
+//! grows as `√n`, so `p ≈ 0.5`).
+
+/// Result of a log–log linear fit `log y = p·log x + log c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentFit {
+    /// The growth exponent `p` (slope).
+    pub exponent: f64,
+    /// The coefficient `c` (intercept, de-logged).
+    pub coeff: f64,
+    /// Coefficient of determination of the fit in log space.
+    pub r_squared: f64,
+}
+
+/// Fit a power law to `(x, y)` samples.
+///
+/// # Panics
+/// Panics with fewer than two samples or non-positive coordinates.
+pub fn fit_exponent(points: &[(f64, f64)]) -> ExponentFit {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    for &(x, y) in points {
+        assert!(x > 0.0 && y > 0.0, "log–log fit needs positive data");
+    }
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values must not be all equal");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    ExponentFit {
+        exponent: slope,
+        coeff: intercept.exp(),
+        r_squared,
+    }
+}
+
+/// Fit the exponent using only the tail of the sweep (asymptotic
+/// behaviour: constants die out at large `n`).
+pub fn fit_exponent_tail(points: &[(f64, f64)], tail: usize) -> ExponentFit {
+    let start = points.len().saturating_sub(tail.max(2));
+    fit_exponent(&points[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, 3.0 * x.powf(0.5))
+            })
+            .collect();
+        let f = fit_exponent(&pts);
+        assert!((f.exponent - 0.5).abs() < 1e-9, "{f:?}");
+        assert!((f.coeff - 3.0).abs() < 1e-6);
+        assert!(f.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn linear_and_quadratic() {
+        let lin: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        assert!((fit_exponent(&lin).exponent - 1.0).abs() < 1e-9);
+        let quad: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (i as f64, 0.5 * (i as f64).powi(2)))
+            .collect();
+        assert!((fit_exponent(&quad).exponent - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_fit_ignores_small_n_constants() {
+        // y = x + 1000: looks flat early, linear late.
+        let pts: Vec<(f64, f64)> = (0..23)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, x + 1000.0)
+            })
+            .collect();
+        let full = fit_exponent(&pts);
+        let tail = fit_exponent_tail(&pts, 4);
+        assert!(tail.exponent > full.exponent);
+        assert!((tail.exponent - 1.0).abs() < 0.05, "{tail:?}");
+    }
+
+    #[test]
+    fn logarithmic_data_fits_near_zero_exponent() {
+        let pts: Vec<(f64, f64)> = (4..20)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, x.log2())
+            })
+            .collect();
+        let f = fit_exponent(&pts);
+        assert!(f.exponent < 0.15, "{f:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_point_rejected() {
+        let _ = fit_exponent(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn nonpositive_rejected() {
+        let _ = fit_exponent(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,464 @@
+//! Explicit floorplan placement: the recursive layouts of Figures 6
+//! and 10 as concrete, overlap-checked rectangle placements.
+//!
+//! The analytic modules ([`crate::usi`], [`crate::hybrid`]) evaluate
+//! the side-length recurrences numerically; this module *constructs*
+//! the layout — every station, channel strip and cluster gets a placed
+//! rectangle — so tests can verify that the geometry is realisable
+//! (components are disjoint, the bounding box matches the recurrence)
+//! and the experiment binaries can render the floorplans the paper
+//! draws.
+
+use crate::metrics::ArchParams;
+use crate::tech::Tech;
+use crate::{usi, usii};
+
+/// An axis-aligned rectangle (µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Right edge.
+    pub fn x2(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge.
+    pub fn y2(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Do two rectangles overlap with positive area (touching edges do
+    /// not count)?
+    pub fn overlaps(&self, o: &Rect) -> bool {
+        const EPS: f64 = 1e-6;
+        self.x + EPS < o.x2() && o.x + EPS < self.x2() && self.y + EPS < o.y2()
+            && o.y + EPS < self.y2()
+    }
+}
+
+/// What a placed rectangle is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// An execution station (leaf), by index.
+    Station(usize),
+    /// An Ultrascalar II cluster (hybrid leaf), by index.
+    Cluster(usize),
+    /// A routing channel with its prefix/fat-tree nodes, by H-tree
+    /// combine level (1 = innermost pairing).
+    Channel(usize),
+}
+
+/// A complete placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Placed components.
+    pub rects: Vec<(Component, Rect)>,
+}
+
+impl Placement {
+    /// The bounding box of everything placed.
+    pub fn bounding(&self) -> Rect {
+        let mut x1 = f64::MAX;
+        let mut y1 = f64::MAX;
+        let mut x2 = f64::MIN;
+        let mut y2 = f64::MIN;
+        for (_, r) in &self.rects {
+            x1 = x1.min(r.x);
+            y1 = y1.min(r.y);
+            x2 = x2.max(r.x2());
+            y2 = y2.max(r.y2());
+        }
+        Rect {
+            x: x1,
+            y: y1,
+            w: x2 - x1,
+            h: y2 - y1,
+        }
+    }
+
+    /// Indices of pairs of *leaf* components (stations/clusters) that
+    /// overlap — must be empty for a legal floorplan. Channels are
+    /// allowed to abut everything (they are the space between leaves)
+    /// but leaves must never overlap each other or a channel.
+    pub fn violations(&self) -> Vec<(usize, usize)> {
+        let mut bad = Vec::new();
+        for i in 0..self.rects.len() {
+            for j in i + 1..self.rects.len() {
+                let (ci, ri) = &self.rects[i];
+                let (cj, rj) = &self.rects[j];
+                let both_channels = matches!(ci, Component::Channel(_))
+                    && matches!(cj, Component::Channel(_));
+                if !both_channels && ri.overlaps(rj) {
+                    bad.push((i, j));
+                }
+            }
+        }
+        bad
+    }
+
+    /// Leaf (station/cluster) count.
+    pub fn leaves(&self) -> usize {
+        self.rects
+            .iter()
+            .filter(|(c, _)| matches!(c, Component::Station(_) | Component::Cluster(_)))
+            .count()
+    }
+
+    /// Fraction of the bounding box covered by leaf components
+    /// (the rest is interconnect — the paper's core area story).
+    pub fn leaf_utilisation(&self) -> f64 {
+        let leaf_area: f64 = self
+            .rects
+            .iter()
+            .filter(|(c, _)| matches!(c, Component::Station(_) | Component::Cluster(_)))
+            .map(|(_, r)| r.area())
+            .sum();
+        leaf_area / self.bounding().area()
+    }
+
+    /// Coarse ASCII rendering (`cols` characters wide): stations `S`,
+    /// clusters `C`, channels `#`, empty space `.`.
+    pub fn ascii(&self, cols: usize) -> String {
+        let bb = self.bounding();
+        let cols = cols.max(8);
+        let scale = bb.w / cols as f64;
+        let rows = ((bb.h / scale).ceil() as usize).max(1);
+        let mut grid = vec![vec!['.'; cols]; rows];
+        // Channels first, leaves on top.
+        let mut order: Vec<&(Component, Rect)> = self.rects.iter().collect();
+        order.sort_by_key(|(c, _)| match c {
+            Component::Channel(_) => 0,
+            _ => 1,
+        });
+        for (c, r) in order {
+            let ch = match c {
+                Component::Station(_) => 'S',
+                Component::Cluster(_) => 'C',
+                Component::Channel(_) => '#',
+            };
+            let cx1 = (((r.x - bb.x) / scale) as usize).min(cols - 1);
+            let cx2 = (((r.x2() - bb.x) / scale).ceil() as usize).clamp(cx1 + 1, cols);
+            let cy1 = (((r.y - bb.y) / scale) as usize).min(rows - 1);
+            let cy2 = (((r.y2() - bb.y) / scale).ceil() as usize).clamp(cy1 + 1, rows);
+            for row in grid.iter_mut().take(cy2).skip(cy1) {
+                for cell in row.iter_mut().take(cx2).skip(cx1) {
+                    *cell = ch;
+                }
+            }
+        }
+        let mut out = String::with_capacity(rows * (cols + 1));
+        for row in grid.iter().rev() {
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Recursively place an H-tree of `n` leaves of side `leaf_side`,
+/// returning the placement (leaves labelled by in-order index via
+/// `mk_leaf`) and the bounding rect. Channels between siblings carry
+/// the level's `chan` width, split evenly across the two cut axes, as
+/// in [`usi::htree`].
+fn place_htree(
+    n: usize,
+    leaf_side: f64,
+    chan: &dyn Fn(usize) -> f64,
+    mk_leaf: &dyn Fn(usize) -> Component,
+) -> Placement {
+    assert!(n > 0 && n.is_power_of_two(), "H-tree needs a power-of-two n");
+    // Work bottom-up: at each doubling, duplicate the current placement
+    // and separate the copies by the channel strip.
+    let mut rects: Vec<(Component, Rect)> = vec![(
+        mk_leaf(0),
+        Rect {
+            x: 0.0,
+            y: 0.0,
+            w: leaf_side,
+            h: leaf_side,
+        },
+    )];
+    let mut w = leaf_side;
+    let mut h = leaf_side;
+    let mut size = 1usize;
+    let mut horizontal = true;
+    let mut leaf_count = 1usize;
+    while size < n {
+        size *= 2;
+        let c = chan(size) / 2.0;
+        let mut copy: Vec<(Component, Rect)> = rects
+            .iter()
+            .map(|(comp, r)| {
+                let comp = match comp {
+                    Component::Station(i) => mk_leaf(i + leaf_count),
+                    Component::Cluster(i) => mk_leaf(i + leaf_count),
+                    Component::Channel(l) => Component::Channel(*l),
+                };
+                let r = if horizontal {
+                    Rect {
+                        x: r.x + w + c,
+                        ..*r
+                    }
+                } else {
+                    Rect {
+                        y: r.y + h + c,
+                        ..*r
+                    }
+                };
+                (comp, r)
+            })
+            .collect();
+        // The channel strip between the halves.
+        let level = size.trailing_zeros() as usize;
+        let strip = if horizontal {
+            Rect {
+                x: w,
+                y: 0.0,
+                w: c,
+                h,
+            }
+        } else {
+            Rect {
+                x: 0.0,
+                y: h,
+                w,
+                h: c,
+            }
+        };
+        rects.append(&mut copy);
+        rects.push((Component::Channel(level), strip));
+        if horizontal {
+            w = 2.0 * w + c;
+        } else {
+            h = 2.0 * h + c;
+        }
+        horizontal = !horizontal;
+        leaf_count *= 2;
+    }
+    Placement { rects }
+}
+
+/// Place an `n`-station Ultrascalar I (Figure 6).
+pub fn usi_floorplan(p: &ArchParams, tech: &Tech) -> Placement {
+    let leaf = tech.station_side_um(p.l, p.bits);
+    let chan = |subtree: usize| usi::channel_um(p.l, p.bits, p.mem.capacity(subtree), tech);
+    place_htree(
+        p.n.next_power_of_two().max(1),
+        leaf,
+        &chan,
+        &Component::Station,
+    )
+}
+
+/// Place a hybrid (Figure 10): clusters of `c` stations as H-tree
+/// leaves.
+///
+/// # Panics
+/// Panics unless `c` divides `n` and `n/c` is a power of two.
+pub fn hybrid_floorplan(p: &ArchParams, c: usize, tech: &Tech) -> Placement {
+    assert!(c >= 1 && p.n.is_multiple_of(c), "cluster size must divide n");
+    let k = p.n / c;
+    assert!(k.is_power_of_two(), "cluster count must be a power of two");
+    let cluster = ArchParams { n: c, ..*p };
+    let leaf = usii::side_linear_um(&cluster, tech);
+    let chan = |clusters: usize| usi::channel_um(p.l, p.bits, p.mem.capacity(clusters * c), tech);
+    place_htree(k, leaf, &chan, &Component::Cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultrascalar_memsys::Bandwidth;
+
+    fn params(n: usize) -> ArchParams {
+        ArchParams {
+            n,
+            l: 32,
+            bits: 32,
+            mem: Bandwidth::constant(1.0),
+        }
+    }
+
+    #[test]
+    fn usi_floorplan_has_all_stations_disjoint() {
+        for n in [1usize, 4, 16, 64] {
+            let f = usi_floorplan(&params(n), &Tech::cmos_035());
+            assert_eq!(f.leaves(), n, "n={n}");
+            assert!(f.violations().is_empty(), "n={n}: {:?}", f.violations());
+        }
+    }
+
+    #[test]
+    fn bounding_box_matches_recurrence() {
+        let tech = Tech::cmos_035();
+        for n in [4usize, 16, 64, 256] {
+            let p = params(n);
+            let f = usi_floorplan(&p, &tech);
+            let bb = f.bounding();
+            let side = usi::side_um(&p, &tech);
+            assert!(
+                (bb.w.max(bb.h) - side).abs() / side < 1e-9,
+                "n={n}: bb {} vs recurrence {}",
+                bb.w.max(bb.h),
+                side
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_floorplan_places_clusters() {
+        let tech = Tech::cmos_035();
+        let p = params(32);
+        let f = hybrid_floorplan(&p, 8, &tech);
+        assert_eq!(f.leaves(), 4);
+        assert!(f.violations().is_empty());
+        let bb = f.bounding();
+        let side = crate::hybrid::side_um(&p, 8, &tech);
+        assert!((bb.w.max(bb.h) - side).abs() / side < 1e-9);
+    }
+
+    #[test]
+    fn interconnect_dominates_usi_at_scale() {
+        // The paper's point in one number: at n = 64, L = 32 the
+        // stations occupy a small fraction of the Ultrascalar I die;
+        // the channels eat the rest.
+        let f = usi_floorplan(&params(64), &Tech::cmos_035());
+        let util = f.leaf_utilisation();
+        assert!(util < 0.10, "station utilisation {util:.3}");
+        // The hybrid packs far better.
+        let fh = hybrid_floorplan(&params(128), 32, &Tech::cmos_035());
+        assert!(fh.leaf_utilisation() > 4.0 * util);
+    }
+
+    #[test]
+    fn ascii_renders_stations_and_channels() {
+        let f = usi_floorplan(&params(16), &Tech::cmos_035());
+        let art = f.ascii(48);
+        assert!(art.contains('S'));
+        assert!(art.contains('#'));
+        // 16 disjoint station blobs exist; crude check: enough S cells.
+        let s_count = art.chars().filter(|&c| c == 'S').count();
+        assert!(s_count >= 16, "{s_count}");
+    }
+
+    #[test]
+    fn channel_levels_recorded() {
+        let f = usi_floorplan(&params(16), &Tech::cmos_035());
+        let mut levels: Vec<usize> = f
+            .rects
+            .iter()
+            .filter_map(|(c, _)| match c {
+                Component::Channel(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert_eq!(levels, vec![1, 2, 3, 4]); // sizes 2, 4, 8, 16
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bad_htree_size_panics() {
+        let _ = place_htree(3, 1.0, &|_| 0.0, &Component::Station);
+    }
+}
+
+impl Placement {
+    /// Render the placement as a standalone SVG document (stations in
+    /// blue, clusters in teal, channels in grey), scaled to `width_px`.
+    pub fn svg(&self, width_px: u32) -> String {
+        let bb = self.bounding();
+        let scale = width_px as f64 / bb.w.max(1e-9);
+        let h_px = (bb.h * scale).ceil().max(1.0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" \
+             height=\"{h_px:.0}\" viewBox=\"0 0 {width_px} {h_px:.0}\">\n"
+        ));
+        out.push_str(&format!(
+            "  <rect x=\"0\" y=\"0\" width=\"{width_px}\" height=\"{h_px:.0}\" \
+             fill=\"#ffffff\"/>\n"
+        ));
+        // Channels behind, leaves in front.
+        let mut order: Vec<&(Component, Rect)> = self.rects.iter().collect();
+        order.sort_by_key(|(c, _)| match c {
+            Component::Channel(_) => 0,
+            _ => 1,
+        });
+        for (c, r) in order {
+            let (fill, label) = match c {
+                Component::Station(i) => ("#4477aa", format!("S{i}")),
+                Component::Cluster(i) => ("#44aa99", format!("C{i}")),
+                Component::Channel(l) => ("#bbbbbb", format!("ch{l}")),
+            };
+            // SVG y grows downward; flip.
+            let x = (r.x - bb.x) * scale;
+            let y = (bb.y2() - r.y2()) * scale;
+            let w = r.w * scale;
+            let h = r.h * scale;
+            out.push_str(&format!(
+                "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" \
+                 fill=\"{fill}\" stroke=\"#333333\" stroke-width=\"0.5\">\
+                 <title>{label}</title></rect>\n"
+            ));
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+    use ultrascalar_memsys::Bandwidth;
+
+    #[test]
+    fn svg_contains_every_component() {
+        let p = ArchParams {
+            n: 16,
+            l: 32,
+            bits: 32,
+            mem: Bandwidth::constant(1.0),
+        };
+        let f = usi_floorplan(&p, &Tech::cmos_035());
+        let svg = f.svg(640);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        let rects = svg.matches("<rect").count();
+        // Background + every placed component.
+        assert_eq!(rects, 1 + f.rects.len());
+        assert!(svg.contains("<title>S0</title>"));
+        assert!(svg.contains("ch1"));
+    }
+
+    #[test]
+    fn svg_is_well_nested() {
+        let p = ArchParams {
+            n: 4,
+            l: 8,
+            bits: 32,
+            mem: Bandwidth::constant(1.0),
+        };
+        let f = usi_floorplan(&p, &Tech::cmos_035());
+        let svg = f.svg(100);
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+        assert_eq!(svg.matches("<rect").count(), svg.matches("/rect>").count() + 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Three-dimensional packaging bounds (§7).
+//!
+//! The paper states (without full derivation) that in a true 3-D
+//! technology:
+//!
+//! * an Ultrascalar I with small memory bandwidth lays out in volume
+//!   `Θ(n·L^(3/2))` with wire lengths `Θ(n^(1/3)·L^(1/2))`; large
+//!   bandwidth (`M(n) = Ω(n^(2/3+ε))`) requires an additional volume of
+//!   `Θ(M(n)^(3/2))` (the bounding box's *surface* must carry `Ω(M(n))`
+//!   wires, so its side is `Ω(M(n)^(1/2))`);
+//! * the Ultrascalar II requires volume `Θ(n² + L²)` whether linear- or
+//!   log-depth circuits are used (in 3-D the mesh-of-trees loses its
+//!   extra log factor);
+//! * the hybrid's optimal cluster size becomes `C* = Θ(L^(3/4))` and its
+//!   volume `Θ(n·L^(3/4))` (vs `Θ(n·L)` area in 2-D).
+//!
+//! These are evaluated as calibrated closed forms (the paper gives no
+//! recurrences for 3-D); constants derive from the technology's cell
+//! volume so the 2-D and 3-D models are commensurable.
+
+use crate::metrics::ArchParams;
+use crate::tech::Tech;
+
+/// Unit volume: one datapath cell extruded to a cube, µm³.
+fn cell_volume(tech: &Tech) -> f64 {
+    tech.cell_side_um.powi(3)
+}
+
+/// 3-D metric record (volumes instead of areas).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics3d {
+    /// Volume, µm³.
+    pub volume_um3: f64,
+    /// Longest wire, µm.
+    pub wire_um: f64,
+    /// Bounding-cube side, µm.
+    pub side_um: f64,
+}
+
+impl Metrics3d {
+    fn from_volume(volume_um3: f64, wire_um: f64) -> Self {
+        Metrics3d {
+            volume_um3,
+            wire_um,
+            side_um: volume_um3.cbrt(),
+        }
+    }
+}
+
+/// Ultrascalar I in 3-D.
+pub fn usi_3d(p: &ArchParams, tech: &Tech) -> Metrics3d {
+    let n = p.n as f64;
+    let l = p.l as f64;
+    let m = p.mem.eval(p.n);
+    let base = cell_volume(tech) * (p.bits as f64) * n * l.powf(1.5);
+    // Large bandwidth adds Θ(M^(3/2)) volume; the wire bound is the
+    // larger of the datapath and the memory-surface requirements.
+    let mem_extra = cell_volume(tech) * (p.bits as f64) * m.powf(1.5);
+    let wire = tech.cell_side_um
+        * (p.bits as f64).sqrt()
+        * (n.powf(1.0 / 3.0) * l.sqrt()).max(m.sqrt());
+    Metrics3d::from_volume(base + mem_extra, wire)
+}
+
+/// Ultrascalar II in 3-D: volume `Θ(n² + L²)` for both the linear and
+/// the log-depth circuits.
+pub fn usii_3d(p: &ArchParams, tech: &Tech) -> Metrics3d {
+    let n = p.n as f64;
+    let l = p.l as f64;
+    let v = cell_volume(tech) * (p.bits as f64) * (n * n + l * l);
+    let wire = 2.0 * v.cbrt();
+    Metrics3d::from_volume(v, wire)
+}
+
+/// The 3-D optimal cluster size `C* = Θ(L^(3/4))`.
+pub fn optimal_cluster_3d(l: usize) -> usize {
+    (l as f64).powf(0.75).round().max(1.0) as usize
+}
+
+/// Hybrid in 3-D at the optimal cluster size: volume `Θ(n·L^(3/4))`.
+pub fn hybrid_3d(p: &ArchParams, tech: &Tech) -> Metrics3d {
+    let n = p.n as f64;
+    let l = p.l as f64;
+    let m = p.mem.eval(p.n);
+    let v = cell_volume(tech) * (p.bits as f64) * (n * l.powf(0.75) + m.powf(1.5));
+    let wire = 2.0 * v.cbrt();
+    Metrics3d::from_volume(v, wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::fit_exponent_tail;
+    use ultrascalar_memsys::Bandwidth;
+
+    fn params(n: usize, l: usize, mem: Bandwidth) -> ArchParams {
+        ArchParams {
+            n,
+            l,
+            bits: 32,
+            mem,
+        }
+    }
+
+    fn sweep_n(f: impl Fn(usize) -> f64) -> crate::fit::ExponentFit {
+        let pts: Vec<(f64, f64)> = (6..=16)
+            .map(|k| ((1u64 << k) as f64, f(1usize << k)))
+            .collect();
+        fit_exponent_tail(&pts, 5)
+    }
+
+    #[test]
+    fn usi_3d_volume_linear_in_n_small_bandwidth() {
+        let tech = Tech::cmos_035();
+        let f = sweep_n(|n| usi_3d(&params(n, 32, Bandwidth::constant(1.0)), &tech).volume_um3);
+        assert!((f.exponent - 1.0).abs() < 0.05, "{f:?}");
+    }
+
+    #[test]
+    fn usi_3d_wire_is_cube_root_in_n() {
+        let tech = Tech::cmos_035();
+        let f = sweep_n(|n| usi_3d(&params(n, 32, Bandwidth::constant(1.0)), &tech).wire_um);
+        assert!((f.exponent - 1.0 / 3.0).abs() < 0.05, "{f:?}");
+    }
+
+    #[test]
+    fn usi_3d_large_bandwidth_dominates() {
+        let tech = Tech::cmos_035();
+        // M(n) = n: volume must grow as n^(3/2). A small L keeps the
+        // Θ(n·L^(3/2)) base term from masking the asymptote in-range.
+        let f = sweep_n(|n| usi_3d(&params(n, 2, Bandwidth::full()), &tech).volume_um3);
+        assert!((f.exponent - 1.5).abs() < 0.08, "{f:?}");
+    }
+
+    #[test]
+    fn usii_3d_volume_quadratic() {
+        let tech = Tech::cmos_035();
+        let f = sweep_n(|n| usii_3d(&params(n, 32, Bandwidth::full()), &tech).volume_um3);
+        assert!((f.exponent - 2.0).abs() < 0.05, "{f:?}");
+    }
+
+    #[test]
+    fn optimal_cluster_3d_is_l_to_three_quarters() {
+        assert_eq!(optimal_cluster_3d(16), 8);
+        assert_eq!(optimal_cluster_3d(256), 64);
+        assert_eq!(optimal_cluster_3d(1), 1);
+    }
+
+    #[test]
+    fn hybrid_3d_beats_2d_scaling_in_l() {
+        // Volume Θ(n·L^(3/4)) vs area Θ(n·L): the 3-D hybrid's
+        // L-exponent is 3/4.
+        let tech = Tech::cmos_035();
+        let pts: Vec<(f64, f64)> = (3..=9)
+            .map(|k| {
+                let l = 1usize << k;
+                (
+                    l as f64,
+                    hybrid_3d(&params(1 << 14, l, Bandwidth::constant(1.0)), &tech).volume_um3,
+                )
+            })
+            .collect();
+        let f = fit_exponent_tail(&pts, 4);
+        assert!((f.exponent - 0.75).abs() < 0.05, "{f:?}");
+    }
+
+    #[test]
+    fn hybrid_3d_dominates_usi_3d() {
+        let tech = Tech::cmos_035();
+        for k in [10u32, 14] {
+            let p = params(1 << k, 64, Bandwidth::constant(1.0));
+            assert!(hybrid_3d(&p, &tech).volume_um3 < usi_3d(&p, &tech).volume_um3);
+        }
+    }
+}

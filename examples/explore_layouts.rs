@@ -1,0 +1,71 @@
+//! Explore the VLSI design space: pick a window size, register count
+//! and memory-bandwidth exponent, and see what each architecture costs
+//! in silicon — the paper's Figure 11 as an interactive tool.
+//!
+//! ```text
+//! cargo run --example explore_layouts [n] [L] [bandwidth-exponent]
+//! # e.g. a 1024-wide machine with 64 registers and √n memory ports:
+//! cargo run --example explore_layouts 1024 64 0.5
+//! ```
+
+use std::env;
+use ultrascalar_suite::memsys::Bandwidth;
+use ultrascalar_suite::vlsi::metrics::ArchParams;
+use ultrascalar_suite::vlsi::{hybrid, usi, usii, Tech};
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let l: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let p_exp: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+
+    let tech = Tech::cmos_035();
+    let params = ArchParams {
+        n,
+        l,
+        bits: 32,
+        mem: Bandwidth::new(1.0, p_exp),
+    };
+
+    println!(
+        "n = {n} stations, L = {l} logical 32-bit registers, M(s) = s^{p_exp} \
+         ({} ports at the root), 0.35 µm process\n",
+        params.mem.capacity(n)
+    );
+    println!(
+        "{:<32} {:>10} {:>12} {:>12} {:>12}",
+        "architecture", "side (mm)", "area (mm²)", "wire (mm)", "delay (ns)"
+    );
+    let (c_star, hy_opt) = hybrid::optimal_cluster(&params, &tech);
+    let rows = [
+        ("Ultrascalar I (H-tree)".to_string(), usi::metrics(&params, &tech)),
+        (
+            "Ultrascalar II (linear grid)".to_string(),
+            usii::metrics_linear(&params, &tech),
+        ),
+        (
+            "Ultrascalar II (mesh of trees)".to_string(),
+            usii::metrics_log(&params, &tech),
+        ),
+        (format!("Hybrid (C* = {c_star})"), hy_opt),
+    ];
+    for (name, m) in &rows {
+        println!(
+            "{:<32} {:>10.2} {:>12.1} {:>12.2} {:>12.2}",
+            name,
+            m.side_um / 1e3,
+            m.area_mm2(),
+            m.wire_um / 1e3,
+            m.total_delay_ps(&tech) / 1e3
+        );
+    }
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.area_um2.partial_cmp(&b.1.area_um2).unwrap())
+        .unwrap();
+    println!("\nsmallest: {}", best.0);
+    println!(
+        "(the paper: US-II wins for n ≪ L², US-I for n ≫ L², the hybrid\n\
+         with C = Θ(L) dominates both once n ≥ L)"
+    );
+}

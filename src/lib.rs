@@ -1,0 +1,10 @@
+//! Umbrella crate for the Ultrascalar reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! a single dependency root.
+pub use ultrascalar as core;
+pub use ultrascalar_circuit as circuit;
+pub use ultrascalar_isa as isa;
+pub use ultrascalar_memsys as memsys;
+pub use ultrascalar_prefix as prefix;
+pub use ultrascalar_vlsi as vlsi;

@@ -1,0 +1,106 @@
+//! Integration tests for the `usim` CLI plumbing and the shipped
+//! sample programs in `asm/`.
+
+use ultrascalar_bench::cli;
+use ultrascalar_suite::isa::{assemble, Interp};
+
+fn sample(path: &str) -> String {
+    std::fs::read_to_string(format!("{}/{path}", env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn all_shipped_samples_assemble_and_halt() {
+    for name in ["asm/dot_product.asm", "asm/collatz.asm", "asm/fib.asm"] {
+        let src = sample(name);
+        let p = assemble(&src, 32).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut m = Interp::new(&p, 1 << 16);
+        assert!(m.run(5_000_000).halted(), "{name} must halt");
+    }
+}
+
+#[test]
+fn collatz_of_27_is_111_steps() {
+    let p = assemble(&sample("asm/collatz.asm"), 32).unwrap();
+    let mut m = Interp::new(&p, 1 << 10);
+    m.run(1_000_000);
+    assert_eq!(m.regs[2], 111);
+}
+
+#[test]
+fn cli_runs_every_sample_on_every_arch() {
+    for name in ["asm/dot_product.asm", "asm/collatz.asm", "asm/fib.asm"] {
+        let src = sample(name);
+        for arch in ["usi", "usii", "hybrid"] {
+            let o = cli::parse_run(
+                &[name, "--arch", arch, "--window", "16"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let (r, report) = cli::execute_run(&o, &src).unwrap();
+            assert!(r.halted, "{name} on {arch}");
+            assert!(report.contains("IPC"), "{name} on {arch}");
+        }
+    }
+}
+
+#[test]
+fn cli_feature_flags_run_the_samples() {
+    let src = sample("asm/dot_product.asm");
+    let o = cli::parse_run(
+        &[
+            "x.asm",
+            "--arch",
+            "hybrid",
+            "--window",
+            "16",
+            "--cluster",
+            "4",
+            "--renaming",
+            "--cache",
+            "--alus",
+            "4",
+            "--fetch-width",
+            "8",
+            "--mem-exp",
+            "0.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let (r, _) = cli::execute_run(&o, &src).unwrap();
+    assert!(r.halted);
+    // dot product of a[i]=i+1, b[i]=2i+1 over 16 elements.
+    let expect: u32 = (0..16u32).map(|i| (i + 1) * (2 * i + 1)).sum();
+    assert_eq!(r.regs[4], expect);
+}
+
+#[test]
+fn cli_results_match_direct_interpreter() {
+    let src = sample("asm/fib.asm");
+    let o = cli::parse_run(&["f.asm".to_string(), "--arch".into(), "usii".into()]).unwrap();
+    let (r, _) = cli::execute_run(&o, &src).unwrap();
+    let p = assemble(&src, 32).unwrap();
+    let mut m = Interp::new(&p, 1 << 16);
+    m.run(1_000_000);
+    assert_eq!(r.regs, m.regs);
+}
+
+#[test]
+fn asm_subcommand_round_trips_samples() {
+    for name in ["asm/dot_product.asm", "asm/collatz.asm", "asm/fib.asm"] {
+        let src = sample(name);
+        let listing = cli::execute_asm(&src, 32).unwrap();
+        // Every listed line re-assembles.
+        // Listing format: "{idx:>4}: {encoding:016x}  {text}".
+        let stripped: String = listing
+            .lines()
+            .map(|l| format!("{}\n", &l[24..]))
+            .collect();
+        assert!(assemble(&stripped, 32).is_ok(), "{name} relisting");
+    }
+}
