@@ -1,0 +1,303 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of criterion it actually uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The statistics are deliberately simple: each benchmark is
+//! auto-calibrated (the routine is timed over a geometrically growing
+//! iteration count until the measurement is long enough to trust), then
+//! measured once over a budget proportional to `sample_size`, and the
+//! mean wall time per iteration is printed together with the optional
+//! throughput. No HTML reports, no regression analysis — just honest
+//! ns/iter numbers suitable for before/after comparisons.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Scale the measurement budget (upstream: number of samples).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Benchmark identifier: a function name plus an optional parameter,
+/// mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Identifier consisting of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream writes reports here; we already
+    /// printed each line as it completed).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            // ~2 ms of measurement per sample-size unit: sample_size 10
+            // ≈ 20 ms/bench, the default 100 ≈ 200 ms/bench.
+            budget: Duration::from_millis(2) * self.criterion.sample_size as u32,
+        };
+        f(&mut b);
+        let ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        let mut line = format!(
+            "{}/{:<28} time: {:>12}/iter  ({} iters)",
+            self.name,
+            id.id,
+            fmt_ns(ns),
+            b.iters
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let rate = n as f64 / (ns * 1e-9);
+                let _ = write!(line, "  thrpt: {} elem/s", fmt_rate(rate));
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                let rate = n as f64 / (ns * 1e-9);
+                let _ = write!(line, "  thrpt: {} B/s", fmt_rate(rate));
+            }
+            _ => {}
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.3}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.3}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.3}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch geometrically until one batch takes
+        // long enough (≥ 1 ms) to give a trustworthy per-iter estimate.
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(1) || n >= 1 << 22 {
+                break (dt.as_nanos().max(1) as f64 / n as f64).max(0.1);
+            }
+            n = n.saturating_mul(4);
+        };
+        // Measure: one batch sized to fill the budget.
+        let m = ((self.budget.as_nanos() as f64 / per_iter_ns) as u64).clamp(1, 100_000_000);
+        let start = Instant::now();
+        for _ in 0..m {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = m;
+    }
+}
+
+/// Define a named group of benchmark target functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).id, "f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of `proptest` it actually uses: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, `prop_assert!` /
+//! `prop_assert_eq!`, [`strategy::Just`], [`any`], `prop_oneof!`,
+//! integer/float range strategies, tuple strategies, `.prop_map`, and
+//! [`collection::vec`].
+//!
+//! Unlike upstream proptest this stub does **not** shrink failing
+//! inputs — a failure reports the generated values via the panic
+//! message of the assertion that tripped, plus the deterministic case
+//! seed. Cases are generated from a seed derived from the test's module
+//! path and name, so every run of a given test binary explores the same
+//! inputs (reproducible CI) while different tests explore different
+//! streams.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the (unshrunk) offline
+        // suite fast while still exercising a meaningful input spread.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one test, seeded from its fully qualified name
+/// (FNV-1a) so each test gets a distinct but reproducible stream.
+#[doc(hidden)]
+pub fn rng_for(test_path: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with lengths drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi_excl {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_excl)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The main property-test macro. Supports the subset of upstream
+/// grammar used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     /// docs
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in collection::vec(any::<bool>(), 1..64)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __run = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(__msg) = __run() {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the current case
+/// with the formatted message (no shrinking in this offline stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, ::std::format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Pick uniformly among several strategies with a common `Value` type,
+/// mirroring `prop_oneof!` (weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($arm))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+        }
+
+        #[test]
+        fn exact_vec_size(v in crate::collection::vec(any::<bool>(), 12)) {
+            prop_assert_eq!(v.len(), 12);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![
+                Just(0usize),
+                (1usize..4).prop_map(|v| v * 10),
+                (0usize..2, 0usize..2).prop_map(|(a, b)| 100 + a + b),
+            ],
+        ) {
+            prop_assert!(x == 0 || (10..40).contains(&x) || (100..102 + 1).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = 0u64..1000;
+        let mut r1 = crate::rng_for("a::b::c");
+        let mut r2 = crate::rng_for("a::b::c");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 1000, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use ultrascalar::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_isa::{workload, Interp};
+use ultrascalar_isa::{workload, Interp, Program};
+use ultrascalar_memsys::MemConfig;
 
 fn bench_interp(c: &mut Criterion) {
     let prog = workload::dot_product(256);
@@ -63,9 +64,81 @@ fn bench_simulated_cycle_rate(c: &mut Criterion) {
     g.finish();
 }
 
+/// Dependent `div` chains in a loop: each iteration stalls the window
+/// for tens of cycles at a time, the regime the event-driven loop is
+/// built for.
+fn div_chain(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r2, 3
+            li   r3, {iters}
+            li   r7, 0
+            li   r1, 1000000007
+        loop:
+            div  r4, r1, r2
+            div  r4, r4, r2
+            div  r4, r4, r2
+            div  r1, r4, r2     ; loop-carried: serial at any window size
+            subi r3, r3, 1
+            bne  r3, r7, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 8).expect("div_chain kernel assembles")
+}
+
+/// Whole-processor step throughput (simulated cycles per wall-second):
+/// US-I, US-II and the hybrid at n ∈ {16, 64, 256} on a long-latency
+/// div chain, a memory-latency-bound pointer chase, and a dense-issue
+/// dot product. `event/…` rows run the default event-driven engine,
+/// `naive/…` rows the retained tick-every-cycle reference — the pair
+/// simulates identical cycle counts, so the elem/s throughput columns
+/// compare directly.
+fn bench_step_throughput(c: &mut Criterion) {
+    let workloads: Vec<(&str, Program, bool)> = vec![
+        ("div_chain", div_chain(48), false),
+        // Realistic (banked, hop-latency) memory makes every hop of the
+        // chase a long-latency event.
+        ("pointer_chase", workload::pointer_chase(96, 11), true),
+        ("dense_dot", workload::dot_product(96), false),
+    ];
+    let mut g = c.benchmark_group("step_throughput");
+    for &n in &[16usize, 64, 256] {
+        let archs: Vec<(String, ProcConfig)> = vec![
+            ("usi".to_string(), ProcConfig::ultrascalar_i(n)),
+            ("usii".to_string(), ProcConfig::ultrascalar_ii(n)),
+            (format!("hybrid_c{}", n / 4), ProcConfig::hybrid(n, n / 4)),
+        ]
+        .into_iter()
+        .map(|(a, cfg)| (a, cfg.with_predictor(PredictorKind::Bimodal(64))))
+        .collect();
+        for (arch, cfg) in &archs {
+            for (kernel, prog, realistic_mem) in &workloads {
+                let cfg = if *realistic_mem {
+                    cfg.clone().with_mem(MemConfig::realistic(n, 1 << 12))
+                } else {
+                    cfg.clone()
+                };
+                let r = Ultrascalar::new(cfg.clone()).run(prog);
+                assert!(r.halted, "{arch}/{kernel} halts at n = {n}");
+                g.throughput(Throughput::Elements(r.cycles));
+                let id = format!("{arch}/{kernel}/n={n}");
+                g.bench_with_input(BenchmarkId::new("event", &id), &cfg, |b, cfg| {
+                    b.iter(|| Ultrascalar::new(cfg.clone()).run(black_box(prog)).cycles)
+                });
+                let naive = cfg.clone().without_cycle_skipping();
+                g.bench_with_input(BenchmarkId::new("naive", &id), &naive, |b, cfg| {
+                    b.iter(|| Ultrascalar::new(cfg.clone()).run(black_box(prog)).cycles)
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_interp, bench_processors, bench_simulated_cycle_rate
+    targets = bench_interp, bench_processors, bench_simulated_cycle_rate, bench_step_throughput
 }
 criterion_main!(benches);

@@ -35,11 +35,9 @@ fn bench_cspp(c: &mut Criterion) {
             &(&vals, &seg),
             |b, (v, s)| b.iter(|| cspp_ring::<_, First>(black_box(v), black_box(s))),
         );
-        g.bench_with_input(
-            BenchmarkId::new("tree", n),
-            &(&vals, &seg),
-            |b, (v, s)| b.iter(|| cspp_tree::<_, First>(black_box(v), black_box(s))),
-        );
+        g.bench_with_input(BenchmarkId::new("tree", n), &(&vals, &seg), |b, (v, s)| {
+            b.iter(|| cspp_tree::<_, First>(black_box(v), black_box(s)))
+        });
     }
     g.finish();
 }

@@ -77,7 +77,11 @@ fn main() {
             format!("{cached_net_loads}"),
             format!(
                 "{:.0}%",
-                if total == 0 { 0.0 } else { 100.0 * hits as f64 / total as f64 }
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * hits as f64 / total as f64
+                }
             ),
         ]);
     }

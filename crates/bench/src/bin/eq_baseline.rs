@@ -35,8 +35,12 @@ fn main() {
             format!("{}", a.cycles),
             format!("{}", b.cycles),
             format!("{:.2}", a.ipc()),
-            if identical { "yes — every instruction's issue/complete cycle matches" } else { "NO" }
-                .to_string(),
+            if identical {
+                "yes — every instruction's issue/complete cycle matches"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     println!("{t}");

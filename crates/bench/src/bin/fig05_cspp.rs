@@ -35,9 +35,18 @@ fn main() {
     }
     let eval = nl.evaluate(&inputs, &[]).expect("settles");
 
-    let mut t = Table::new(vec!["station", "input", "all earlier met? (model)", "(gates)"]);
+    let mut t = Table::new(vec![
+        "station",
+        "input",
+        "all earlier met? (model)",
+        "(gates)",
+    ]);
     for i in 0..n {
-        let note = if i == oldest { " — ignored (oldest)" } else { "" };
+        let note = if i == oldest {
+            " — ignored (oldest)"
+        } else {
+            ""
+        };
         t.row(vec![
             format!("{i}"),
             format!("{}", cond[i] as u8),

@@ -47,8 +47,16 @@ fn main() {
             Bandwidth::sublinear_sqrt(0.25),
             "X(n) = Θ(√n·L)",
         ),
-        ("Case 2: M(n) = Θ(n^(1/2))", Bandwidth::sqrt(), "X(n) = Θ(√n(L+log n))"),
-        ("Case 3: M(n) = Θ(n)", Bandwidth::full(), "X(n) = Θ(√n·L + M(n)) = Θ(n)"),
+        (
+            "Case 2: M(n) = Θ(n^(1/2))",
+            Bandwidth::sqrt(),
+            "X(n) = Θ(√n(L+log n))",
+        ),
+        (
+            "Case 3: M(n) = Θ(n)",
+            Bandwidth::full(),
+            "X(n) = Θ(√n·L + M(n)) = Θ(n)",
+        ),
     ] {
         println!("{name} — paper solution {solution}");
         let mut t = Table::new(vec!["n", "X(n) mm", "2W(n) mm", "area mm^2", "X(4n)/X(n)"]);
@@ -79,7 +87,10 @@ fn main() {
         println!(
             "fitted side exponent {:.3} (paper: {})\n",
             f.exponent,
-            if matches!(mem.regime(), ultrascalar_memsys::bandwidth::Regime::AboveSqrt) {
+            if matches!(
+                mem.regime(),
+                ultrascalar_memsys::bandwidth::Regime::AboveSqrt
+            ) {
                 "1.0 — bandwidth-bound"
             } else {
                 "0.5 — √n growth (per-4x side ratio → 2)"

@@ -30,7 +30,10 @@ fn main() {
          ignoring station 0's earlier unfinished write — out-of-order issue.\n"
     );
 
-    for (tree, label) in [(false, "linear grid (Figure 7)"), (true, "mesh of trees (Figure 8)")] {
+    for (tree, label) in [
+        (false, "linear grid (Figure 7)"),
+        (true, "mesh of trees (Figure 8)"),
+    ] {
         let mut nl = Netlist::new();
         let dp = UsiiDatapath::build(&mut nl, 4, 4, 9, tree);
         let mut inputs = vec![false; nl.num_inputs()];
@@ -57,7 +60,11 @@ fn main() {
         set(&dp.arg_request[3][1], 1, &mut inputs);
 
         let eval = nl.evaluate(&inputs, &[]).expect("datapath settles");
-        println!("{label}: {} gates, settled depth {}", nl.logic_gate_count(), eval.max_level());
+        println!(
+            "{label}: {} gates, settled depth {}",
+            nl.logic_gate_count(),
+            eval.max_level()
+        );
         let mut t = Table::new(vec!["signal", "value"]);
         t.row(vec![
             "station 3 argument R2".to_string(),
@@ -77,14 +84,21 @@ fn main() {
     }
 
     println!("depth scaling (all rows bound, request matches row 0 only):");
-    let mut t = Table::new(vec!["n (stations)", "linear depth", "tree depth", "linear gates", "tree gates"]);
+    let mut t = Table::new(vec![
+        "n (stations)",
+        "linear depth",
+        "tree depth",
+        "linear gates",
+        "tree gates",
+    ]);
     for k in 2..=6u32 {
         let n = 1usize << k;
         let mut row = vec![format!("{n}")];
         let mut gates = Vec::new();
         for tree in [false, true] {
             let mut nl = Netlist::new();
-            let col = ultrascalar_circuit::generators::UsiiColumn::build(&mut nl, n + 4, 3, 8, tree);
+            let col =
+                ultrascalar_circuit::generators::UsiiColumn::build(&mut nl, n + 4, 3, 8, tree);
             let mut inputs = vec![false; nl.num_inputs()];
             for r in 0..n + 4 {
                 for (i, &w) in col.row_regnum[r].iter().enumerate() {

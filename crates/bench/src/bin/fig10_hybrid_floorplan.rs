@@ -27,14 +27,20 @@ fn main() {
 
     println!("Figure 10 — hybrid floorplan: n = 32, four clusters of C = 8,");
     println!("L = 8 logical registers, full memory bandwidth (M(n) = Θ(n))\n");
-    println!("cluster (8-station Ultrascalar II grid): {:.2} mm on a side", cl_side / 1e3);
+    println!(
+        "cluster (8-station Ultrascalar II grid): {:.2} mm on a side",
+        cl_side / 1e3
+    );
     println!(
         "hybrid: side U(32) = {:.2} mm, area {:.1} mm², longest wire {:.2} mm,",
         m.side_um / 1e3,
         m.area_mm2(),
         m.wire_um / 1e3
     );
-    println!("gate depth {} levels (cluster search + inter-cluster CSPP tree)\n", m.gate_delay);
+    println!(
+        "gate depth {} levels (cluster search + inter-cluster CSPP tree)\n",
+        m.gate_delay
+    );
 
     let plan = ultrascalar_vlsi::floorplan::hybrid_floorplan(&p, 8, &tech);
     assert!(plan.violations().is_empty());
@@ -46,7 +52,13 @@ fn main() {
     println!("{}", plan.ascii(56));
 
     println!("two-level structure across cluster sizes (n = 32, L = 8):");
-    let mut t = Table::new(vec!["C", "clusters", "cluster mm", "hybrid side mm", "gate levels"]);
+    let mut t = Table::new(vec![
+        "C",
+        "clusters",
+        "cluster mm",
+        "hybrid side mm",
+        "gate levels",
+    ]);
     for c in hybrid::feasible_clusters(32) {
         let mc = hybrid::metrics_with_cluster(&p, c, &tech);
         let cl = usii::side_linear_um(&ArchParams { n: c, ..p }, &tech);

@@ -3,17 +3,62 @@
 //! committed IPC of the three processors — plus the conventional
 //! baseline — across the kernel suite and window sizes.
 //!
+//! Every (window, kernel) cell runs its four simulations as one sweep
+//! point on the work-stealing harness; rows are printed in input order
+//! so the output is byte-identical to a serial run. `--json` writes
+//! per-point wall time and simulated cycles to `BENCH_engine.json`.
+//!
 //! ```text
-//! cargo run -p ultrascalar-bench --bin ipc_ablation
+//! cargo run -p ultrascalar-bench --bin ipc_ablation [--json]
 //! ```
 
 use ultrascalar::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::sweep::{json_flag_set, parallel_map_timed, JsonReport};
 use ultrascalar_bench::Table;
 use ultrascalar_isa::workload;
 
+/// One table cell: the four processors' results on one kernel.
+struct Cell {
+    kernel: &'static str,
+    base_ipc: f64,
+    usi_ipc: f64,
+    hy_ipc: f64,
+    usii_ipc: f64,
+    slowdown: f64,
+    cycles: u64,
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut report = JsonReport::new("ipc_ablation");
     println!("IPC across processors (bimodal predictor, ideal memory)\n");
-    for n in [8usize, 16, 32] {
+
+    let windows = [8usize, 16, 32];
+    let kernels = workload::standard_suite(7);
+    let points: Vec<(usize, usize)> = windows
+        .iter()
+        .flat_map(|&n| (0..kernels.len()).map(move |k| (n, k)))
+        .collect();
+    let cells = parallel_map_timed(&points, |&(n, k)| {
+        let (name, prog) = &kernels[k];
+        let pred = PredictorKind::Bimodal(64);
+        let base = BaselineOoO::new(ProcConfig::ultrascalar_i(n).with_predictor(pred)).run(prog);
+        let usi = Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(pred)).run(prog);
+        let hy = Ultrascalar::new(ProcConfig::hybrid(n, n / 4).with_predictor(pred)).run(prog);
+        let usii = Ultrascalar::new(ProcConfig::ultrascalar_ii(n).with_predictor(pred)).run(prog);
+        Cell {
+            kernel: name,
+            base_ipc: base.ipc(),
+            usi_ipc: usi.ipc(),
+            hy_ipc: hy.ipc(),
+            usii_ipc: usii.ipc(),
+            slowdown: usii.cycles as f64 / usi.cycles as f64,
+            cycles: base.cycles + usi.cycles + hy.cycles + usii.cycles,
+        }
+    });
+
+    let mut it = points.iter().zip(&cells);
+    for n in windows {
         println!("window n = {n} (hybrid: C = {}):", n / 4);
         let mut t = Table::new(vec![
             "kernel",
@@ -23,23 +68,16 @@ fn main() {
             "US-II (C=n)",
             "US-II slowdown",
         ]);
-        for (name, prog) in workload::standard_suite(7) {
-            let pred = PredictorKind::Bimodal(64);
-            let base = BaselineOoO::new(ProcConfig::ultrascalar_i(n).with_predictor(pred))
-                .run(&prog);
-            let usi = Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(pred))
-                .run(&prog);
-            let hy = Ultrascalar::new(ProcConfig::hybrid(n, n / 4).with_predictor(pred))
-                .run(&prog);
-            let usii = Ultrascalar::new(ProcConfig::ultrascalar_ii(n).with_predictor(pred))
-                .run(&prog);
+        for _ in 0..kernels.len() {
+            let (_, (cell, wall)) = it.next().expect("one cell per (window, kernel)");
+            report.point(&format!("n={n}/{}", cell.kernel), *wall, Some(cell.cycles));
             t.row(vec![
-                name.to_string(),
-                format!("{:.2}", base.ipc()),
-                format!("{:.2}", usi.ipc()),
-                format!("{:.2}", hy.ipc()),
-                format!("{:.2}", usii.ipc()),
-                format!("{:.2}x", usii.cycles as f64 / usi.cycles as f64),
+                cell.kernel.to_string(),
+                format!("{:.2}", cell.base_ipc),
+                format!("{:.2}", cell.usi_ipc),
+                format!("{:.2}", cell.hy_ipc),
+                format!("{:.2}", cell.usii_ipc),
+                format!("{:.2}x", cell.slowdown),
             ]);
         }
         println!("{t}");
@@ -49,4 +87,8 @@ fn main() {
          hybrid gives most of it back, and the batch-refill US-II pays the\n\
          window-barrier penalty the paper describes in §4."
     );
+
+    if json_flag_set(&args) {
+        report.write_default().expect("write BENCH_engine.json");
+    }
 }

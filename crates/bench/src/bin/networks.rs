@@ -10,9 +10,7 @@
 use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
 use ultrascalar_bench::Table;
 use ultrascalar_isa::workload;
-use ultrascalar_memsys::{
-    Bandwidth, MemConfig, MemRequest, MemSystem, NetworkKind, ReqKind,
-};
+use ultrascalar_memsys::{Bandwidth, MemConfig, MemRequest, MemSystem, NetworkKind, ReqKind};
 
 fn drain(cfg: MemConfig, reqs: &[MemRequest]) -> u64 {
     let mut m = MemSystem::new(cfg, &[]);
@@ -56,12 +54,16 @@ fn main() {
             })
             .collect()
     };
-    let bitrev6 = |x: usize| {
-        (0..6).fold(0usize, |acc, b| acc | ((x >> b & 1) << (5 - b)))
-    };
+    let bitrev6 = |x: usize| (0..6).fold(0usize, |acc, b| acc | ((x >> b & 1) << (5 - b)));
     let patterns: Vec<(&str, Vec<MemRequest>)> = vec![
-        ("uniform stride-1 (all leaves)", mk((0..n).map(|i| (i, i)).collect())),
-        ("single hot address (all leaves)", mk((0..n).map(|i| (i, 5)).collect())),
+        (
+            "uniform stride-1 (all leaves)",
+            mk((0..n).map(|i| (i, i)).collect()),
+        ),
+        (
+            "single hot address (all leaves)",
+            mk((0..n).map(|i| (i, 5)).collect()),
+        ),
         (
             // Fat-tree weakness: a burst from one 16-leaf subtree is
             // capped by that subtree's M(16) = 4 links; the butterfly

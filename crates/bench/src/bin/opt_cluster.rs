@@ -38,7 +38,14 @@ fn main() {
     println!("{t}");
 
     println!("argmin across register counts — the paper's C* = Θ(L):");
-    let mut t = Table::new(vec!["L", "C*", "C*/L", "side at C* (mm)", "side at C=1 (mm)", "side at C=n (mm)"]);
+    let mut t = Table::new(vec![
+        "L",
+        "C*",
+        "C*/L",
+        "side at C* (mm)",
+        "side at C=1 (mm)",
+        "side at C=n (mm)",
+    ]);
     for l in [8usize, 16, 32, 64, 128] {
         let p = ArchParams {
             n,

@@ -29,8 +29,7 @@ fn main() {
     let mut rows: Vec<(f64, f64)> = Vec::new();
     for (name, prog) in workload::standard_suite(17) {
         let pred = PredictorKind::Bimodal(64);
-        let flat =
-            Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(pred)).run(&prog);
+        let flat = Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(pred)).run(&prog);
         let p1 = Ultrascalar::new(
             ProcConfig::ultrascalar_i(n)
                 .with_predictor(pred)

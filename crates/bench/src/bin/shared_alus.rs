@@ -4,16 +4,26 @@
 //! Sweep the Memo 2 scheduler's pool size on the paper's closing
 //! configuration (window 128) and report IPC cost vs ALU-area savings.
 //!
+//! Every (pool size, kernel) simulation is an independent sweep point
+//! on the work-stealing harness; the cross-pool "worst slowdown"
+//! column (which compares each row against the fully-replicated
+//! k = 128 reference) is derived afterwards from the ordered results,
+//! so the output is byte-identical to a serial run. `--json` writes
+//! per-point wall time and simulated cycles to `BENCH_engine.json`.
+//!
 //! ```text
-//! cargo run -p ultrascalar-bench --bin shared_alus
+//! cargo run -p ultrascalar-bench --bin shared_alus [--json]
 //! ```
 
 use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::sweep::{json_flag_set, parallel_map_timed, JsonReport};
 use ultrascalar_bench::Table;
 use ultrascalar_isa::workload;
 use ultrascalar_vlsi::Tech;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut report = JsonReport::new("shared_alus");
     let n = 128;
     let tech = Tech::cmos_035();
     println!("shared-ALU ablation — hybrid, window n = {n}, C = 32, bimodal predictor\n");
@@ -22,6 +32,26 @@ fn main() {
     let alu_area = |k: usize| (k as f64) * 32.0 * tech.alu_bit_area_um2 / 1e6; // mm²
 
     let kernels = workload::standard_suite(77);
+    let pools = [128usize, 64, 32, 16, 8, 4];
+    let points: Vec<(usize, usize)> = pools
+        .iter()
+        .flat_map(|&k| (0..kernels.len()).map(move |j| (k, j)))
+        .collect();
+    let runs = parallel_map_timed(&points, |&(k, j)| {
+        let cfg = ProcConfig::hybrid(n, 32)
+            .with_shared_alus(k)
+            .with_predictor(PredictorKind::Bimodal(256));
+        let r = Ultrascalar::new(cfg).run(&kernels[j].1);
+        assert!(r.halted);
+        (r.cycles, r.ipc(), r.stats.alu_stalls)
+    });
+    for (&(k, j), (run, wall)) in points.iter().zip(&runs) {
+        report.point(&format!("alus={k}/{}", kernels[j].0), *wall, Some(run.0));
+    }
+
+    // The first pool size (full replication) is the slowdown reference.
+    let per_pool = |i: usize| &runs[i * kernels.len()..(i + 1) * kernels.len()];
+    let reference: Vec<u64> = per_pool(0).iter().map(|(r, _)| r.0).collect();
     let mut t = Table::new(vec![
         "ALUs",
         "ALU area mm²",
@@ -29,27 +59,14 @@ fn main() {
         "worst kernel slowdown",
         "total ALU stalls",
     ]);
-    let mut reference: Vec<u64> = Vec::new();
-    for k in [128usize, 64, 32, 16, 8, 4] {
+    for (i, k) in pools.into_iter().enumerate() {
         let mut log_ipc_sum = 0.0;
         let mut worst = 1.0f64;
         let mut stalls = 0u64;
-        let mut cycles_now = Vec::new();
-        for (_, prog) in &kernels {
-            let cfg = ProcConfig::hybrid(n, 32)
-                .with_shared_alus(k)
-                .with_predictor(PredictorKind::Bimodal(256));
-            let r = Ultrascalar::new(cfg).run(prog);
-            assert!(r.halted);
-            log_ipc_sum += r.ipc().ln();
-            stalls += r.stats.alu_stalls;
-            cycles_now.push(r.cycles);
-        }
-        if reference.is_empty() {
-            reference = cycles_now.clone();
-        }
-        for (now, base) in cycles_now.iter().zip(&reference) {
-            worst = worst.max(*now as f64 / *base as f64);
+        for ((cycles, ipc, s), base) in per_pool(i).iter().map(|(r, _)| r).zip(&reference) {
+            log_ipc_sum += ipc.ln();
+            stalls += s;
+            worst = worst.max(*cycles as f64 / *base as f64);
         }
         t.row(vec![
             format!("{k}"),
@@ -66,4 +83,8 @@ fn main() {
          while shedding {:.0} mm² of replicated ALU area (0.35 µm).",
         alu_area(128) - alu_area(16)
     );
+
+    if json_flag_set(&args) {
+        report.write_default().expect("write BENCH_engine.json");
+    }
 }

@@ -6,33 +6,82 @@
 //! × IPC from the cycle-accurate simulator = sustained instructions
 //! per second, per architecture and window size.
 //!
+//! Each (architecture, window) row — a geomean over the whole kernel
+//! suite — is one sweep point on the work-stealing harness; rows are
+//! printed in input order so the output is byte-identical to a serial
+//! run. `--json` writes per-point wall time and simulated cycles to
+//! `BENCH_engine.json`.
+//!
 //! ```text
-//! cargo run -p ultrascalar-bench --bin throughput
+//! cargo run -p ultrascalar-bench --bin throughput [--json]
 //! ```
 
 use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::sweep::{json_flag_set, parallel_map_timed, JsonReport};
 use ultrascalar_bench::Table;
 use ultrascalar_isa::workload;
 use ultrascalar_memsys::Bandwidth;
 use ultrascalar_vlsi::metrics::ArchParams;
 use ultrascalar_vlsi::{hybrid, usi, usii, Tech};
 
-fn geomean_ipc(cfg: &ProcConfig) -> f64 {
+/// Geomean IPC over the kernel suite, plus total simulated cycles.
+fn geomean_ipc(cfg: &ProcConfig) -> (f64, u64) {
     let kernels = workload::standard_suite(2121);
     let mut s = 0.0;
+    let mut cycles = 0u64;
     for (_, prog) in &kernels {
         let r = Ultrascalar::new(cfg.clone()).run(prog);
         assert!(r.halted);
         s += r.ipc().ln();
+        cycles += r.cycles;
     }
-    (s / workload::standard_suite(2121).len() as f64).exp()
+    ((s / kernels.len() as f64).exp(), cycles)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut report = JsonReport::new("throughput");
     let tech = Tech::cmos_035();
     let l = 32;
     println!("end-to-end throughput — clock from the 0.35 µm layout model ×");
     println!("geomean IPC over the kernel suite (L = {l}, M(n) = Θ(1), bimodal)\n");
+
+    // Build all (architecture, window) rows up front; the simulations
+    // behind each are a parallel sweep.
+    let rows: Vec<(String, usize, ultrascalar_vlsi::Metrics, ProcConfig)> = [16usize, 64, 256]
+        .into_iter()
+        .flat_map(|n| {
+            let p = ArchParams {
+                n,
+                l,
+                bits: 32,
+                mem: Bandwidth::constant(1.0),
+            };
+            let pred = PredictorKind::Bimodal(256);
+            let c = hybrid::nearest_feasible_cluster(n, l);
+            vec![
+                (
+                    "Ultrascalar I".to_string(),
+                    n,
+                    usi::metrics(&p, &tech),
+                    ProcConfig::ultrascalar_i(n).with_predictor(pred),
+                ),
+                (
+                    "Ultrascalar II (linear)".to_string(),
+                    n,
+                    usii::metrics_linear(&p, &tech),
+                    ProcConfig::ultrascalar_ii(n).with_predictor(pred),
+                ),
+                (
+                    format!("Hybrid (C={c})"),
+                    n,
+                    hybrid::metrics(&p, &tech),
+                    ProcConfig::hybrid(n, c).with_predictor(pred),
+                ),
+            ]
+        })
+        .collect();
+    let measured = parallel_map_timed(&rows, |(_, _, _, cfg)| geomean_ipc(cfg));
 
     let mut t = Table::new(vec![
         "architecture",
@@ -43,49 +92,20 @@ fn main() {
         "area mm²",
         "MIPS/cm²",
     ]);
-    for n in [16usize, 64, 256] {
-        let p = ArchParams {
-            n,
-            l,
-            bits: 32,
-            mem: Bandwidth::constant(1.0),
-        };
-        let pred = PredictorKind::Bimodal(256);
-        let rows: Vec<(String, ultrascalar_vlsi::Metrics, ProcConfig)> = vec![
-            (
-                "Ultrascalar I".into(),
-                usi::metrics(&p, &tech),
-                ProcConfig::ultrascalar_i(n).with_predictor(pred),
-            ),
-            (
-                "Ultrascalar II (linear)".into(),
-                usii::metrics_linear(&p, &tech),
-                ProcConfig::ultrascalar_ii(n).with_predictor(pred),
-            ),
-            {
-                let c = hybrid::nearest_feasible_cluster(n, l);
-                (
-                    format!("Hybrid (C={c})"),
-                    hybrid::metrics(&p, &tech),
-                    ProcConfig::hybrid(n, c).with_predictor(pred),
-                )
-            },
-        ];
-        for (name, m, cfg) in rows {
-            let period_ps = m.total_delay_ps(&tech);
-            let mhz = 1e6 / period_ps;
-            let ipc = geomean_ipc(&cfg);
-            let mips = mhz * ipc;
-            t.row(vec![
-                name,
-                format!("{n}"),
-                format!("{:.0}", mhz),
-                format!("{:.2}", ipc),
-                format!("{:.0}", mips),
-                format!("{:.0}", m.area_mm2()),
-                format!("{:.1}", mips / (m.area_mm2() / 100.0)),
-            ]);
-        }
+    for ((name, n, m, _), ((ipc, cycles), wall)) in rows.iter().zip(&measured) {
+        report.point(&format!("{name}/n={n}"), *wall, Some(*cycles));
+        let period_ps = m.total_delay_ps(&tech);
+        let mhz = 1e6 / period_ps;
+        let mips = mhz * ipc;
+        t.row(vec![
+            name.clone(),
+            format!("{n}"),
+            format!("{:.0}", mhz),
+            format!("{:.2}", ipc),
+            format!("{:.0}", mips),
+            format!("{:.0}", m.area_mm2()),
+            format!("{:.1}", mips / (m.area_mm2() / 100.0)),
+        ]);
     }
     println!("{t}");
     println!(
@@ -93,4 +113,8 @@ fn main() {
          period erodes its (slightly lower) IPC as n grows; the hybrid\n\
          pairs near-US-I IPC with the best clock and area at scale."
     );
+
+    if json_flag_set(&args) {
+        report.write_default().expect("write BENCH_engine.json");
+    }
 }

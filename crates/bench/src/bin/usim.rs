@@ -42,8 +42,8 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => cli::parse_run(rest).and_then(|o| {
-            let bytes = std::fs::read(&o.path)
-                .map_err(|e| format!("cannot read {}: {e}", o.path))?;
+            let bytes =
+                std::fs::read(&o.path).map_err(|e| format!("cannot read {}: {e}", o.path))?;
             let program = cli::load_program(&o.path, &bytes, o.regs)?;
             cli::execute_program(&o, &program).map(|(_, report)| report)
         }),
@@ -54,12 +54,7 @@ fn main() -> ExitCode {
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--regs" => {
-                        regs = it
-                            .next()
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or(32)
-                    }
+                    "--regs" => regs = it.next().and_then(|v| v.parse().ok()).unwrap_or(32),
                     "--emit" => emit = it.next().cloned(),
                     p => path = Some(p.to_string()),
                 }

@@ -91,7 +91,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let mut o = RunOptions::default();
     let mut it = args.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, String> {
         it.next()
             .cloned()
@@ -262,10 +262,7 @@ pub fn execute_run(o: &RunOptions, source: &str) -> Result<(RunResult, String), 
 }
 
 /// Execute a parsed run against an already-loaded program.
-pub fn execute_program(
-    o: &RunOptions,
-    program: &Program,
-) -> Result<(RunResult, String), String> {
+pub fn execute_program(o: &RunOptions, program: &Program) -> Result<(RunResult, String), String> {
     let cfg = build_config(o)?;
     let mut proc = Ultrascalar::new(cfg);
     let name = proc.name();
@@ -273,7 +270,11 @@ pub fn execute_program(
     let mut out = String::new();
     out.push_str(&format!(
         "{name}: {} — {} instructions in {} cycles (IPC {:.2})\n",
-        if r.halted { "halted" } else { "CYCLE BUDGET EXPIRED" },
+        if r.halted {
+            "halted"
+        } else {
+            "CYCLE BUDGET EXPIRED"
+        },
         r.stats.committed,
         r.cycles,
         r.ipc()
@@ -287,7 +288,9 @@ pub fn execute_program(
     ));
     out.push_str(&format!(
         "memory: {} loads, {} stores, {} link rejections, {} bank conflicts",
-        r.stats.mem.loads, r.stats.mem.stores, r.stats.mem.link_rejections,
+        r.stats.mem.loads,
+        r.stats.mem.stores,
+        r.stats.mem.link_rejections,
         r.stats.mem.bank_conflicts
     ));
     if r.stats.mem.cache_hits + r.stats.mem.cache_misses > 0 {

@@ -131,11 +131,7 @@ pub struct MeasuredExponents {
 }
 
 /// Evaluate an architecture's metrics at one parameter point.
-pub fn metrics_of(
-    arch: Arch,
-    p: &ArchParams,
-    tech: &Tech,
-) -> ultrascalar_vlsi::Metrics {
+pub fn metrics_of(arch: Arch, p: &ArchParams, tech: &Tech) -> ultrascalar_vlsi::Metrics {
     match arch {
         Arch::UsI => usi::metrics(p, tech),
         Arch::UsIILinear => usii::metrics_linear(p, tech),
@@ -145,16 +141,16 @@ pub fn metrics_of(
 }
 
 /// Sweep `n = 4^4 … 4^10` at fixed `l` and fit the tail exponents.
-pub fn measured_exponents(
-    arch: Arch,
-    mem: Bandwidth,
-    l: usize,
-    tech: &Tech,
-) -> MeasuredExponents {
+pub fn measured_exponents(arch: Arch, mem: Bandwidth, l: usize, tech: &Tech) -> MeasuredExponents {
     let sweep: Vec<(f64, ultrascalar_vlsi::Metrics)> = (4..=10u32)
         .map(|k| {
             let n = 4usize.pow(k);
-            let p = ArchParams { n, l, bits: 32, mem };
+            let p = ArchParams {
+                n,
+                l,
+                bits: 32,
+                mem,
+            };
             (n as f64, metrics_of(arch, &p, tech))
         })
         .collect();

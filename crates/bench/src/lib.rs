@@ -10,7 +10,9 @@
 
 pub mod cli;
 pub mod fig11;
+pub mod sweep;
 pub mod table;
 
 pub use fig11::{expected, measured_exponents, Arch, ExpectedExponents, MeasuredExponents};
+pub use sweep::{parallel_map, parallel_map_timed, JsonReport};
 pub use table::Table;

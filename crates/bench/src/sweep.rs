@@ -1,0 +1,262 @@
+//! Work-stealing parallel sweep harness for the experiment binaries.
+//!
+//! Every experiment in this crate is a sweep: the same measurement
+//! evaluated at many independent parameter points (window sizes ×
+//! kernels, architectures × bandwidth regimes, ALU-pool sizes, …).
+//! [`parallel_map`] runs those points concurrently on `std::thread`
+//! scoped threads with a shared atomic work index — idle workers steal
+//! the next unclaimed point, so uneven point costs (a 256-wide window
+//! simulates far slower than a 16-wide one) still load-balance.
+//!
+//! Results are returned **in input order** regardless of completion
+//! order, so a binary that computes all its rows through the harness
+//! and then prints sequentially produces byte-identical output to a
+//! serial run.
+//!
+//! [`JsonReport`] is the machine-readable side: each binary accepts a
+//! `--json` flag and dumps per-point wall time and simulation
+//! throughput to `BENCH_engine.json` (hand-rolled serialisation — this
+//! workspace takes no serde dependency).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Evaluate `f` at every item, in parallel, returning results in input
+/// order.
+///
+/// Scheduling is work-stealing over a shared atomic index: each worker
+/// repeatedly claims the next unprocessed item until none remain.
+/// Workers buffer `(index, result)` pairs locally and the caller's
+/// thread merges them after the scope joins, so no locks are held
+/// during measurement and no `unsafe` is needed for the slot writes.
+///
+/// # Panics
+/// Propagates a panic from any worker (the sweep is deterministic, so
+/// a panicking point would panic serially too).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, f(&items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("work index covers every item"))
+        .collect()
+}
+
+/// Like [`parallel_map`], but also measures each point's wall time.
+pub fn parallel_map_timed<T, R, F>(items: &[T], f: F) -> Vec<(R, Duration)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map(items, |t| {
+        let start = Instant::now();
+        let r = f(t);
+        (r, start.elapsed())
+    })
+}
+
+/// One measured sweep point for the JSON report.
+#[derive(Debug, Clone)]
+pub struct JsonPoint {
+    /// Human-readable point label (e.g. `"usi/n=64/daxpy"`).
+    pub label: String,
+    /// Wall-clock seconds spent evaluating the point.
+    pub wall_s: f64,
+    /// Simulated cycles (steps), when the point ran the cycle engine.
+    pub steps: Option<u64>,
+}
+
+impl JsonPoint {
+    /// Simulation throughput in steps (cycles) per second, when known.
+    pub fn steps_per_sec(&self) -> Option<f64> {
+        let s = self.steps? as f64;
+        (self.wall_s > 0.0).then(|| s / self.wall_s)
+    }
+}
+
+/// Machine-readable sweep report, written as `BENCH_engine.json` when a
+/// binary is invoked with `--json`.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    experiment: String,
+    points: Vec<JsonPoint>,
+}
+
+impl JsonReport {
+    /// Start an empty report for the named experiment.
+    pub fn new(experiment: &str) -> Self {
+        JsonReport {
+            experiment: experiment.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append one measured point.
+    pub fn point(&mut self, label: &str, wall: Duration, steps: Option<u64>) -> &mut Self {
+        self.points.push(JsonPoint {
+            label: label.to_string(),
+            wall_s: wall.as_secs_f64(),
+            steps,
+        });
+        self
+    }
+
+    /// Number of points recorded so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no points are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Render the report as a JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            escape(&self.experiment)
+        ));
+        let total: f64 = self.points.iter().map(|p| p.wall_s).sum();
+        out.push_str(&format!("  \"total_point_wall_s\": {:.6},\n", total));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"wall_s\": {:.6}",
+                escape(&p.label),
+                p.wall_s
+            ));
+            if let Some(steps) = p.steps {
+                out.push_str(&format!(", \"steps\": {steps}"));
+                if let Some(sps) = p.steps_per_sec() {
+                    out.push_str(&format!(", \"steps_per_sec\": {sps:.1}"));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the report to `BENCH_engine.json` in the current
+    /// directory and note the path on stderr.
+    pub fn write_default(&self) -> std::io::Result<()> {
+        let path = "BENCH_engine.json";
+        std::fs::write(path, self.render())?;
+        eprintln!("wrote {path} ({} points)", self.points.len());
+        Ok(())
+    }
+}
+
+/// Did the command line ask for the JSON report?
+pub fn json_flag_set(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--json")
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        // Uneven per-point cost to force out-of-order completion.
+        let out = parallel_map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn timed_map_reports_durations() {
+        let out = parallel_map_timed(&[1u32, 2, 3], |x| x * x);
+        assert_eq!(
+            out.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![1, 4, 9]
+        );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut rep = JsonReport::new("unit \"test\"");
+        rep.point("a/n=1", Duration::from_millis(250), Some(1_000_000));
+        rep.point("b", Duration::from_millis(50), None);
+        assert_eq!(rep.len(), 2);
+        assert!(!rep.is_empty());
+        let s = rep.render();
+        assert!(s.contains("\"experiment\": \"unit \\\"test\\\"\""));
+        assert!(s.contains("\"label\": \"a/n=1\""));
+        assert!(s.contains("\"steps\": 1000000"));
+        assert!(s.contains("\"steps_per_sec\": 4000000.0"));
+        assert!(!s.lines().last().unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn json_flag_detection() {
+        let args: Vec<String> = vec!["--json".into()];
+        assert!(json_flag_set(&args));
+        assert!(!json_flag_set(&[]));
+    }
+}

@@ -29,10 +29,7 @@ pub fn const_bus(nl: &mut Netlist, value: u64, width: usize) -> Bus {
 /// Panics if the buses differ in width.
 pub fn mux_bus(nl: &mut Netlist, sel: NodeId, a: &[NodeId], b: &[NodeId]) -> Bus {
     assert_eq!(a.len(), b.len(), "mux_bus width mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| nl.mux(sel, x, y))
-        .collect()
+    a.iter().zip(b).map(|(&x, &y)| nl.mux(sel, x, y)).collect()
 }
 
 /// Balanced AND reduction tree; depth `ceil(log2 n)`.
@@ -110,10 +107,7 @@ pub fn fanout_tree(nl: &mut Netlist, x: NodeId, copies: usize) -> Vec<NodeId> {
 
 /// Fan a whole bus out to `copies` bus replicas.
 pub fn fanout_bus(nl: &mut Netlist, bus: &[NodeId], copies: usize) -> Vec<Bus> {
-    let per_bit: Vec<Vec<NodeId>> = bus
-        .iter()
-        .map(|&w| fanout_tree(nl, w, copies))
-        .collect();
+    let per_bit: Vec<Vec<NodeId>> = bus.iter().map(|&w| fanout_tree(nl, w, copies)).collect();
     (0..copies)
         .map(|c| per_bit.iter().map(|bits| bits[c]).collect())
         .collect()
@@ -221,7 +215,10 @@ mod tests {
                 let e = nl.evaluate(&[v], &[]).unwrap();
                 for &l in &leaves {
                     assert_eq!(e.value(l), v);
-                    assert!(e.level(l) as usize <= copies.next_power_of_two().trailing_zeros() as usize + 1);
+                    assert!(
+                        e.level(l) as usize
+                            <= copies.next_power_of_two().trailing_zeros() as usize + 1
+                    );
                 }
             }
         }

@@ -230,7 +230,9 @@ impl UsiiColumn {
             rows > 0 && regnum_width > 0 && width > 0,
             "UsiiColumn needs positive dimensions"
         );
-        let row_regnum: Vec<Bus> = (0..rows).map(|_| build::input_bus(nl, regnum_width)).collect();
+        let row_regnum: Vec<Bus> = (0..rows)
+            .map(|_| build::input_bus(nl, regnum_width))
+            .collect();
         let row_valid: Vec<NodeId> = (0..rows).map(|_| nl.input()).collect();
         let row_value: Vec<Bus> = (0..rows).map(|_| build::input_bus(nl, width)).collect();
         let request = build::input_bus(nl, regnum_width);
@@ -344,9 +346,7 @@ impl UsiiDatapath {
 
         // Constant regnum buses and always-valid bits for the initial rows.
         let tru = nl.constant(true);
-        let init_regnum: Vec<Bus> = (0..l)
-            .map(|r| build::const_bus(nl, r as u64, rw))
-            .collect();
+        let init_regnum: Vec<Bus> = (0..l).map(|r| build::const_bus(nl, r as u64, rw)).collect();
 
         // Helper: build one column over the first `vis` station rows.
         let column = |nl: &mut Netlist, request: &Bus, vis: usize| -> (Bus, NodeId) {
@@ -519,7 +519,11 @@ mod tests {
         let e = nl.evaluate(&d.inputs, &[]).unwrap();
         let model = cspp_ring::<u64, First>(&vals, &segs);
         for i in 0..n {
-            assert_eq!(bus_value(&e, &tree.out_value[i]), model[i].value, "station {i}");
+            assert_eq!(
+                bus_value(&e, &tree.out_value[i]),
+                model[i].value,
+                "station {i}"
+            );
             assert_eq!(e.value(tree.out_seg[i]), model[i].seg, "station {i} seg");
         }
     }
@@ -662,7 +666,7 @@ mod tests {
             d.set_bus(&dp.st_regnum[0], 2);
             d.set(dp.st_valid[0], true);
             d.set_bus(&dp.st_value[0], 0); // value unknown, not ready
-            // Station 1 writes R1 = 7, ready.
+                                           // Station 1 writes R1 = 7, ready.
             d.set_bus(&dp.st_regnum[1], 1);
             d.set(dp.st_valid[1], true);
             d.set_bus(&dp.st_value[1], 7 | ready);
@@ -962,14 +966,7 @@ impl WindowController {
             may_load.push(es);
             let lo_st = nl.and(el, es);
             may_store.push(nl.and(lo_st, eb));
-            for &o in [
-                dealloc[i],
-                becomes_oldest[i],
-                may_load[i],
-                may_store[i],
-            ]
-            .iter()
-            {
+            for &o in [dealloc[i], becomes_oldest[i], may_load[i], may_store[i]].iter() {
                 nl.mark_output(o);
             }
         }
@@ -1098,9 +1095,7 @@ mod controller_tests {
                 inputs[wc.oldest[i].0 as usize] = i == oldest;
             }
             let e = nl.evaluate(&inputs, &[]).unwrap();
-            let count = (0..n)
-                .filter(|&i| e.value(wc.becomes_oldest[i]))
-                .count();
+            let count = (0..n).filter(|&i| e.value(wc.becomes_oldest[i])).count();
             assert!(count <= 1, "{count} stations claim oldest");
         }
     }

@@ -270,9 +270,7 @@ impl Netlist {
     pub fn logic_gate_count(&self) -> usize {
         self.gates
             .iter()
-            .filter(|g| {
-                !matches!(g, Gate::Input | Gate::Const(_) | Gate::Latch { .. })
-            })
+            .filter(|g| !matches!(g, Gate::Input | Gate::Const(_) | Gate::Latch { .. }))
             .count()
     }
 

@@ -10,7 +10,6 @@
 //! against [`crate::engine::Ultrascalar`] with `C = 1`, which is the
 //! paper's functional-equivalence claim.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use crate::config::ProcConfig;
@@ -41,6 +40,16 @@ struct RobEntry {
     st: StationEntry,
     ring_index: usize,
     src: [Operand; 2],
+}
+
+/// Locate the ROB entry with sequence number `id` by binary search —
+/// the allocation-free replacement for the per-cycle `HashMap` locator
+/// and producer-snapshot map. Sequence numbers are monotone and never
+/// reused, dispatch appends and flush truncates a suffix, so the ROB is
+/// always sorted ascending by `seq` (with gaps after a flush).
+fn rob_locate(rob: &VecDeque<RobEntry>, id: u64) -> Option<usize> {
+    let i = rob.partition_point(|e| e.st.seq < id);
+    (rob.get(i)?.st.seq == id).then_some(i)
 }
 
 /// The baseline processor. `window`, `latency`, `predictor`, `mem`,
@@ -147,12 +156,45 @@ impl Processor for BaselineOoO {
             0,
         );
 
+        // Per-cycle request buffer, reused across the whole run (the
+        // scan itself is allocation-free: producer lookups go through
+        // [`rob_locate`] instead of per-cycle snapshot maps).
+        let mut requests: Vec<MemRequest> = Vec::new();
+
+        // Producer lookup, live against the ROB. Equivalent to the
+        // start-of-cycle snapshot it replaces: an entry that issues
+        // during this same scan gets `completed_at >= t`, so its
+        // `done_before(t)` stays false and its (unused) value is never
+        // observed, and ROB positions are stable mid-scan.
+        let operand = |rob: &VecDeque<RobEntry>, o: Operand, t: u64| -> (bool, u32) {
+            match o {
+                Operand::None => (true, 0),
+                Operand::Value(v) => (true, v),
+                Operand::Tag(tag) => {
+                    let j =
+                        rob_locate(rob, tag).expect("tag producer still in ROB until substituted");
+                    (rob[j].st.done_before(t), rob[j].st.result.unwrap_or(0))
+                }
+            }
+        };
+
         let mut t: u64 = 0;
         while t < self.cfg.max_cycles {
             if rob.is_empty() && fetch.exhausted() {
                 break;
             }
-            stats.occupancy_sum += rob.len() as u64;
+            let occupancy = rob.len() as u64;
+            stats.occupancy_sum += occupancy;
+
+            // Event-driven cycle skipping: collect the earliest future
+            // completion plus the evidence needed to decide afterwards
+            // whether this cycle was silent (see the same machinery in
+            // the Ultrascalar engine). The baseline has no forwarding-
+            // latency model, so producer completions are the only
+            // operand wake-up events.
+            let mut next_completion = u64::MAX;
+            let mut completes_now = false;
+            let alu_stalls_before = stats.alu_stalls;
 
             // ---- Wakeup & select: an operand is ready when its
             // producer's result has been on the bypass network since
@@ -161,37 +203,17 @@ impl Processor for BaselineOoO {
             let mut all_stores_done = true;
             let mut all_loads_done = true;
             let mut all_branches_done = true;
-            let mut requests: Vec<MemRequest> = Vec::new();
-            let mut locator: HashMap<u64, usize> = HashMap::new();
+            requests.clear();
             let mut free_alus = alu_free_at.iter().filter(|&&f| f <= t).count();
-            // Producer lookup: seq → (done_before_t, value).
-            let ready_val: HashMap<u64, (bool, u32)> = rob
-                .iter()
-                .map(|e| {
-                    (
-                        e.st.seq,
-                        (e.st.done_before(t), e.st.result.unwrap_or(0)),
-                    )
-                })
-                .collect();
 
             for i in 0..rob.len() {
-                locator.insert(rob[i].st.seq, i);
                 let e = &rob[i];
                 let leaf = e.ring_index % n;
-                let operand = |o: Operand| -> (bool, u32) {
-                    match o {
-                        Operand::None => (true, 0),
-                        Operand::Value(v) => (true, v),
-                        Operand::Tag(tag) => *ready_val
-                            .get(&tag)
-                            .expect("tag producer still in ROB until substituted"),
-                    }
-                };
                 let eligible = e.st.issued_at.is_none() && t >= e.st.fetched_at;
                 if eligible {
-                    let (r0, v0) = operand(e.src[0]);
-                    let (r1, v1) = operand(e.src[1]);
+                    let (r0, v0) = operand(&rob, e.src[0], t);
+                    let (r1, v1) = operand(&rob, e.src[1], t);
+                    let e = &rob[i];
                     if r0 && r1 {
                         let instr = e.st.instr;
                         let seq = e.st.seq;
@@ -203,10 +225,10 @@ impl Processor for BaselineOoO {
                             stats.alu_stalls += 1;
                         }
                         let grab_alu = |rob: &VecDeque<RobEntry>,
-                                            free: &mut usize,
-                                            alu_free_at: &mut Vec<u64>,
-                                            i: usize,
-                                            t: u64| {
+                                        free: &mut usize,
+                                        alu_free_at: &mut Vec<u64>,
+                                        i: usize,
+                                        t: u64| {
                             if self.cfg.alus.is_some() {
                                 *free -= 1;
                                 let done = rob[i].st.completed_at.expect("just set");
@@ -294,6 +316,11 @@ impl Processor for BaselineOoO {
                 }
                 let e = &rob[i].st;
                 let done = e.done_before(t);
+                match e.completed_at {
+                    Some(ct) if ct > t => next_completion = next_completion.min(ct),
+                    Some(ct) if ct == t => completes_now = true,
+                    _ => {}
+                }
                 if e.instr.is_load() {
                     all_loads_done &= done;
                 }
@@ -306,15 +333,17 @@ impl Processor for BaselineOoO {
             }
 
             // ---- Memory.
+            let offered_requests = !requests.is_empty();
             let (accepted, responses) = mem.tick(t, &requests);
+            let had_responses = !responses.is_empty();
             for id in accepted {
-                if let Some(&i) = locator.get(&id) {
+                if let Some(i) = rob_locate(&rob, id) {
                     rob[i].st.issued_at = Some(t);
                     rob[i].st.mem = MemPhase::InFlight;
                 }
             }
             for resp in responses {
-                if let Some(&i) = locator.get(&resp.id) {
+                if let Some(i) = rob_locate(&rob, resp.id) {
                     let e = &mut rob[i].st;
                     if e.mem == MemPhase::InFlight {
                         e.completed_at = Some(t);
@@ -324,6 +353,7 @@ impl Processor for BaselineOoO {
                     }
                 }
             }
+            let issued_now = rob.iter().filter(|e| e.st.issued_at == Some(t)).count();
 
             // ---- Branch resolution + flush with rename-map rollback.
             for i in 0..rob.len() {
@@ -355,11 +385,13 @@ impl Processor for BaselineOoO {
 
             // ---- In-order retirement (per entry), with broadcast
             // substitution of the retiring tag.
+            let mut retired_any = false;
             while let Some(front) = rob.front() {
                 if !front.st.done_before(t) {
                     break;
                 }
                 let e = rob.pop_front().expect("front exists");
+                retired_any = true;
                 let seq = e.st.seq;
                 let result = e.st.result;
                 let synthetic = e.st.is_synthetic(program.len());
@@ -381,8 +413,7 @@ impl Processor for BaselineOoO {
                         }
                     }
                     if let Some(rd) = e.st.instr.writes() {
-                        committed_regs[rd.index()] =
-                            result.expect("writer retired with result");
+                        committed_regs[rd.index()] = result.expect("writer retired with result");
                         if rename[rd.index()] == Some(seq) {
                             rename[rd.index()] = None;
                         }
@@ -410,6 +441,7 @@ impl Processor for BaselineOoO {
 
             // ---- Dispatch new instructions, visible next cycle
             // (unless a trace-cache miss is stalling fetch).
+            let seq_before_dispatch = next_seq;
             if t + 1 >= fetch_stalled_until {
                 dispatch(
                     &mut rob,
@@ -421,6 +453,37 @@ impl Processor for BaselineOoO {
                     &mut stats,
                     t + 1,
                 );
+            }
+            let dispatched = next_seq != seq_before_dispatch;
+
+            // ---- Cycle skip: a provably silent cycle (nothing issued
+            // or ALU-stalled, no memory traffic, no completion,
+            // retirement or dispatch) repeats identically until the
+            // next scheduled event; jump there, accounting occupancy in
+            // closed form. (The baseline keeps no per-cycle issue
+            // histogram, so occupancy is the only closed-form stat.)
+            let silent = issued_now == 0
+                && !offered_requests
+                && !had_responses
+                && !completes_now
+                && !retired_any
+                && !dispatched
+                && stats.alu_stalls == alu_stalls_before;
+            if self.cfg.cycle_skip && silent {
+                let mut event = next_completion;
+                if let Some(m) = mem.next_completion_at() {
+                    event = event.min(m);
+                }
+                let room = rob.len() < n;
+                if t + 1 < fetch_stalled_until && room && !fetch.exhausted() {
+                    event = event.min(fetch_stalled_until - 1);
+                }
+                let target = event.min(self.cfg.max_cycles).max(t + 1);
+                let skipped = target - (t + 1);
+                if skipped > 0 {
+                    stats.occupancy_sum += skipped * occupancy;
+                    t = target - 1;
+                }
             }
 
             t += 1;

@@ -85,6 +85,15 @@ pub struct ProcConfig {
     /// `Some(f)` caps refill at `f` per cycle for fetch-bandwidth
     /// ablations.
     pub fetch_width: Option<usize>,
+    /// Event-driven cycle skipping (on by default): when a cycle is
+    /// provably silent — nothing issued, no memory traffic, no
+    /// completion, commit or refill — the engine jumps straight to the
+    /// next scheduled event (completion, forwarding-readiness, memory
+    /// response or fetch-stall expiry), accumulating per-cycle
+    /// statistics in closed form over the skipped span. Results are
+    /// cycle-exact either way; `false` retains the naive
+    /// tick-every-cycle loop as a differential-testing reference.
+    pub cycle_skip: bool,
 }
 
 impl ProcConfig {
@@ -104,6 +113,7 @@ impl ProcConfig {
             forward: ForwardModel::SingleCycle,
             trace_cache: None,
             fetch_width: None,
+            cycle_skip: true,
         }
     }
 
@@ -170,6 +180,15 @@ impl ProcConfig {
     /// `miss_penalty` stall cycles on a redirect miss).
     pub fn with_trace_cache(mut self, entries: usize, miss_penalty: u64) -> Self {
         self.trace_cache = Some((entries, miss_penalty));
+        self
+    }
+
+    /// Builder: disable event-driven cycle skipping, forcing the naive
+    /// tick-every-cycle loop. Cycle-exact results are identical with
+    /// skipping on; this exists as the differential-testing reference
+    /// and for apples-to-apples simulator-performance measurements.
+    pub fn without_cycle_skipping(mut self) -> Self {
+        self.cycle_skip = false;
         self
     }
 

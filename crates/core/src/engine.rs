@@ -27,7 +27,6 @@
 // mutated mid-scan, which iterator borrows cannot express.
 #![allow(clippy::needless_range_loop)]
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use crate::config::ProcConfig;
@@ -54,6 +53,55 @@ struct Cluster {
     entries: Vec<StationEntry>,
 }
 
+/// Reusable per-cycle scratch for the program-order scan. Hoisting
+/// these buffers out of the cycle loop makes the steady-state scan
+/// allocation-free: each cycle clears them in place instead of
+/// re-allocating (`last_writer` used to be a fresh `vec![None; regs]`
+/// and the locator a fresh `HashMap` every cycle).
+#[derive(Debug, Default)]
+struct ScanScratch {
+    /// Most recent preceding writer per architectural register.
+    last_writer: Vec<Option<Writer>>,
+    /// Resolved state of each older store, in program order (memory
+    /// renaming only).
+    store_infos: Vec<StoreInfo>,
+    /// Memory requests offered to the arbiter this cycle.
+    requests: Vec<MemRequest>,
+}
+
+impl ScanScratch {
+    fn new(num_regs: usize) -> Self {
+        ScanScratch {
+            last_writer: vec![None; num_regs],
+            ..ScanScratch::default()
+        }
+    }
+
+    /// Reset for a new cycle without releasing capacity.
+    fn reset(&mut self) {
+        self.last_writer.fill(None);
+        self.store_infos.clear();
+        self.requests.clear();
+    }
+}
+
+/// Locate the window entry with sequence number `id`, replacing the
+/// per-cycle `HashMap` locator with an allocation-free binary search.
+///
+/// Sequence numbers are allocated monotonically and never reused, and
+/// both refill (push youngest) and flush (truncate a suffix) preserve
+/// program order, so the window is always globally sorted ascending by
+/// `seq` — clusters first by their last entry, then entries within the
+/// cluster. Note the ranges are *not* contiguous (a misprediction flush
+/// followed by refill leaves seq gaps even inside one cluster), so
+/// `seq - base` arithmetic would be unsound; search is required.
+fn locate(window: &VecDeque<Cluster>, id: u64) -> Option<(usize, usize)> {
+    let ci = window.partition_point(|cl| cl.entries.last().is_none_or(|e| e.seq < id));
+    let cl = window.get(ci)?;
+    let ei = cl.entries.binary_search_by_key(&id, |e| e.seq).ok()?;
+    Some((ci, ei))
+}
+
 /// Snapshot of the most recent preceding writer of a register during
 /// the program-order scan.
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +117,17 @@ struct Writer {
 /// The resolved value of one source operand.
 enum Source {
     /// From an in-window producer (`dist` = seq distance).
-    Forwarded { value: u32, ready: bool, dist: u64 },
+    Forwarded {
+        value: u32,
+        ready: bool,
+        /// First cycle at which the forwarded value is usable
+        /// (producer completion plus forwarding latency), if the
+        /// producer has a scheduled completion. Feeds the event-driven
+        /// cycle skip: an unready source with a known `ready_at` is a
+        /// future event the engine may jump to.
+        ready_at: Option<u64>,
+        dist: u64,
+    },
     /// From the committed register file (always ready).
     Committed { value: u32 },
 }
@@ -212,7 +270,16 @@ impl Processor for Ultrascalar {
         };
 
         // Initial fill: the window starts filling at cycle 0.
-        refill(&mut window, &mut fetch, &mut next_seq, &mut alloc_counter, 0);
+        refill(
+            &mut window,
+            &mut fetch,
+            &mut next_seq,
+            &mut alloc_counter,
+            0,
+        );
+
+        // Per-cycle scan buffers, reused across the whole run.
+        let mut scratch = ScanScratch::new(program.num_regs);
 
         let mut t: u64 = 0;
         while t < self.cfg.max_cycles {
@@ -220,7 +287,19 @@ impl Processor for Ultrascalar {
                 // Nothing in flight and nothing left to fetch.
                 break;
             }
-            stats.occupancy_sum += window.iter().map(|cl| cl.entries.len() as u64).sum::<u64>();
+            let occupancy: u64 = window.iter().map(|cl| cl.entries.len() as u64).sum();
+            stats.occupancy_sum += occupancy;
+
+            // Event-driven cycle skipping: while the cycle executes we
+            // collect the earliest future event (a completion, a
+            // forwarded operand becoming usable) and enough evidence to
+            // decide afterwards whether the cycle was silent — i.e.
+            // whether fast-forwarding to that event is observationally
+            // exact.
+            let mut next_completion = u64::MAX;
+            let mut next_source_ready = u64::MAX;
+            let mut completes_now = false;
+            let alu_stalls_before = stats.alu_stalls;
 
             // ---- Phase A: program-order scan; issue & collect memory
             // requests. Prefix flags mirror the CSPP circuits, computed
@@ -229,30 +308,34 @@ impl Processor for Ultrascalar {
             let mut all_loads_done = true;
             let mut all_branches_done = true;
             let mut all_stores_resolved = true;
-            let mut store_infos: Vec<StoreInfo> = Vec::new();
-            let mut last_writer: Vec<Option<Writer>> = vec![None; program.num_regs];
-            let mut requests: Vec<MemRequest> = Vec::new();
-            let mut locator: HashMap<u64, (usize, usize)> = HashMap::new();
+            scratch.reset();
+            let ScanScratch {
+                last_writer,
+                store_infos,
+                requests,
+            } = &mut scratch;
             let mut free_alus = alu_free_at.iter().filter(|&&f| f <= t).count();
 
             for ci in 0..window.len() {
                 for ei in 0..window[ci].entries.len() {
                     let pos = (window[ci].ring_index % k) * c + ei;
                     let entry = &window[ci].entries[ei];
-                    locator.insert(entry.seq, (ci, ei));
 
                     // Resolve this entry's sources from the scan state,
                     // applying the forwarding-latency model.
                     let seq = entry.seq;
                     let resolve = |r: ultrascalar_isa::Reg| -> Source {
                         match last_writer[r.index()] {
-                            Some(w) => Source::Forwarded {
-                                value: w.value,
-                                ready: w
-                                    .completed_at
-                                    .is_some_and(|done| done + fwd.extra(w.pos, pos) < t),
-                                dist: seq - w.seq,
-                            },
+                            Some(w) => {
+                                let ready_at =
+                                    w.completed_at.map(|done| done + fwd.extra(w.pos, pos) + 1);
+                                Source::Forwarded {
+                                    value: w.value,
+                                    ready: ready_at.is_some_and(|ra| ra <= t),
+                                    ready_at,
+                                    dist: seq - w.seq,
+                                }
+                            }
                             None => Source::Committed {
                                 value: committed_regs[r.index()],
                             },
@@ -272,14 +355,11 @@ impl Processor for Ultrascalar {
                         let ready = s0.as_ref().is_none_or(Source::ready)
                             && s1.as_ref().is_none_or(Source::ready);
                         if ready {
-                            let record_fw =
-                                |stats: &mut ProcStats, s: &Option<Source>| match s {
-                                    Some(Source::Forwarded { dist, .. }) => {
-                                        stats.record_forward(*dist)
-                                    }
-                                    Some(Source::Committed { .. }) => stats.regfile_reads += 1,
-                                    None => {}
-                                };
+                            let record_fw = |stats: &mut ProcStats, s: &Option<Source>| match s {
+                                Some(Source::Forwarded { dist, .. }) => stats.record_forward(*dist),
+                                Some(Source::Committed { .. }) => stats.regfile_reads += 1,
+                                None => {}
+                            };
                             let instr = entry.instr;
                             match instr {
                                 Instr::Alu { op, .. } => {
@@ -357,8 +437,8 @@ impl Processor for Ultrascalar {
                                 }
                                 Instr::Load { offset, .. } => {
                                     let base = s0.as_ref().expect("load base").value();
-                                    let addr = (base.wrapping_add(offset as u32) as usize)
-                                        % mem.words();
+                                    let addr =
+                                        (base.wrapping_add(offset as u32) as usize) % mem.words();
                                     if renaming {
                                         // Memory renaming: once every
                                         // older store's address is
@@ -366,10 +446,8 @@ impl Processor for Ultrascalar {
                                         // the nearest match or go to
                                         // memory immediately.
                                         if all_stores_resolved {
-                                            let hit = store_infos
-                                                .iter()
-                                                .rev()
-                                                .find(|s| s.addr == addr);
+                                            let hit =
+                                                store_infos.iter().rev().find(|s| s.addr == addr);
                                             if let Some(s) = hit {
                                                 let v = s.value;
                                                 let e = &mut window[ci].entries[ei];
@@ -428,6 +506,29 @@ impl Processor for Ultrascalar {
                                     }
                                 }
                             }
+                        } else {
+                            // Blocked on operands. Each pending
+                            // forwarded source whose producer already
+                            // has a scheduled completion becomes usable
+                            // at a known future cycle — a wake-up event
+                            // for the cycle skip. (Sources whose
+                            // producers have not even issued are
+                            // covered transitively: the oldest blocked
+                            // entry in the window always reduces to an
+                            // issued producer, an in-flight memory op,
+                            // or a fetch stall.)
+                            for s in [&s0, &s1] {
+                                if let Some(Source::Forwarded {
+                                    ready: false,
+                                    ready_at: Some(ra),
+                                    ..
+                                }) = s
+                                {
+                                    if *ra > t {
+                                        next_source_ready = next_source_ready.min(*ra);
+                                    }
+                                }
+                            }
                         }
                     }
 
@@ -436,6 +537,11 @@ impl Processor for Ultrascalar {
                     // this cycle, since done_before is strict).
                     let entry = &window[ci].entries[ei];
                     let done = entry.done_before(t);
+                    match entry.completed_at {
+                        Some(ct) if ct > t => next_completion = next_completion.min(ct),
+                        Some(ct) if ct == t => completes_now = true,
+                        _ => {}
+                    }
                     if entry.instr.is_load() {
                         all_loads_done &= done;
                     }
@@ -450,6 +556,24 @@ impl Processor for Ultrascalar {
                             let s1 = srcs[1].map(&resolve);
                             let resolved = s0.as_ref().is_none_or(Source::ready)
                                 && s1.as_ref().is_none_or(Source::ready);
+                            if !resolved {
+                                // An unresolved store gates every
+                                // younger load under renaming; its
+                                // operands' readiness times are wake-up
+                                // events too.
+                                for s in [&s0, &s1] {
+                                    if let Some(Source::Forwarded {
+                                        ready: false,
+                                        ready_at: Some(ra),
+                                        ..
+                                    }) = s
+                                    {
+                                        if *ra > t {
+                                            next_source_ready = next_source_ready.min(*ra);
+                                        }
+                                    }
+                                }
+                            }
                             let info = if resolved {
                                 let base = s0.as_ref().expect("store base").value();
                                 let offset = match entry.instr {
@@ -458,8 +582,7 @@ impl Processor for Ultrascalar {
                                 };
                                 StoreInfo {
                                     resolved: true,
-                                    addr: (base.wrapping_add(offset as u32) as usize)
-                                        % mem.words(),
+                                    addr: (base.wrapping_add(offset as u32) as usize) % mem.words(),
                                     value: s1.as_ref().expect("store src").value(),
                                 }
                             } else {
@@ -500,16 +623,18 @@ impl Processor for Ultrascalar {
             }
 
             // ---- Phase B: memory arbitration and responses.
-            let (accepted, responses) = mem.tick(t, &requests);
+            let offered_requests = !requests.is_empty();
+            let (accepted, responses) = mem.tick(t, requests);
+            let had_responses = !responses.is_empty();
             for id in accepted {
-                if let Some(&(ci, ei)) = locator.get(&id) {
+                if let Some((ci, ei)) = locate(&window, id) {
                     let e = &mut window[ci].entries[ei];
                     e.issued_at = Some(t);
                     e.mem = MemPhase::InFlight;
                 }
             }
             for resp in responses {
-                if let Some(&(ci, ei)) = locator.get(&resp.id) {
+                if let Some((ci, ei)) = locate(&window, resp.id) {
                     let e = &mut window[ci].entries[ei];
                     if e.mem == MemPhase::InFlight {
                         e.completed_at = Some(t);
@@ -566,6 +691,7 @@ impl Processor for Ultrascalar {
             // ---- Phase D: in-order commit at cluster granularity
             // (the oldest-station CSPP, evaluated on start-of-cycle
             // state).
+            let mut committed_any = false;
             while let Some(front) = window.front() {
                 let complete_cluster = front.entries.len() == c || fetch.exhausted();
                 let all_done = front.entries.iter().all(|e| e.done_before(t));
@@ -573,6 +699,7 @@ impl Processor for Ultrascalar {
                     break;
                 }
                 let cluster = window.pop_front().expect("front exists");
+                committed_any = true;
                 for (ei, e) in cluster.entries.into_iter().enumerate() {
                     let synthetic = e.is_synthetic(program.len());
                     if !synthetic {
@@ -612,6 +739,7 @@ impl Processor for Ultrascalar {
 
             // ---- Phase E: refill freed stations, live next cycle
             // (unless a trace-cache miss is stalling fetch).
+            let seq_before_refill = next_seq;
             if t + 1 >= fetch_stalled_until {
                 refill(
                     &mut window,
@@ -620,6 +748,48 @@ impl Processor for Ultrascalar {
                     &mut alloc_counter,
                     t + 1,
                 );
+            }
+            let refilled = next_seq != seq_before_refill;
+
+            // ---- Cycle skip: if this cycle was provably silent —
+            // nothing issued or stalled on an ALU, no memory traffic in
+            // either direction, no completion, no commit and no refill
+            // — then every cycle up to the next scheduled event is an
+            // identical no-op: the scan re-derives the same blocked
+            // state (operand readiness and prefix flags depend only on
+            // completion times, all in the future), commit and refill
+            // stay ineligible, and skipping the memory system's empty
+            // ticks is free (capacity resets are idempotent and banks
+            // compare absolute times). Jump straight to the event,
+            // accounting the skipped span in closed form.
+            let silent = issued_now == 0
+                && !offered_requests
+                && !had_responses
+                && !completes_now
+                && !committed_any
+                && !refilled
+                && stats.alu_stalls == alu_stalls_before;
+            if self.cfg.cycle_skip && silent {
+                let mut event = next_completion.min(next_source_ready);
+                if let Some(m) = mem.next_completion_at() {
+                    event = event.min(m);
+                }
+                // A stalled fetch re-enables refill in the Phase E of
+                // cycle `fetch_stalled_until - 1`; that is an event
+                // only if the window has room for the refill to fill.
+                let room = window.len() < k || window.back().is_some_and(|cl| cl.entries.len() < c);
+                if t + 1 < fetch_stalled_until && room && !fetch.exhausted() {
+                    event = event.min(fetch_stalled_until - 1);
+                }
+                // No event at all (a genuinely wedged machine) spins to
+                // the deadlock guard exactly like the naive loop.
+                let target = event.min(self.cfg.max_cycles).max(t + 1);
+                let skipped = target - (t + 1);
+                if skipped > 0 {
+                    stats.occupancy_sum += skipped * occupancy;
+                    stats.record_idle_cycles(skipped);
+                    t = target - 1;
+                }
             }
 
             t += 1;

@@ -51,13 +51,7 @@ pub struct StationEntry {
 
 impl StationEntry {
     /// A freshly fetched entry.
-    pub fn new(
-        seq: u64,
-        pc: usize,
-        instr: Instr,
-        predicted_next: usize,
-        fetched_at: u64,
-    ) -> Self {
+    pub fn new(seq: u64, pc: usize, instr: Instr, predicted_next: usize, fetched_at: u64) -> Self {
         StationEntry {
             seq,
             pc,

@@ -3,7 +3,7 @@
 use ultrascalar_memsys::MemStats;
 
 /// Aggregate statistics of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// Cycles simulated (until the halt committed).
     pub cycles: u64,
@@ -65,6 +65,17 @@ impl ProcStats {
             self.issue_hist.resize(k + 1, 0);
         }
         self.issue_hist[k] += 1;
+    }
+
+    /// Record `n` consecutive idle cycles (zero instructions issued) in
+    /// closed form. The event-driven engines use this to account for a
+    /// skipped quiet span exactly as the naive per-cycle loop would
+    /// have: `n` increments of `issue_hist[0]`.
+    pub fn record_idle_cycles(&mut self, n: u64) {
+        if self.issue_hist.is_empty() {
+            self.issue_hist.resize(1, 0);
+        }
+        self.issue_hist[0] += n;
     }
 
     /// Mean instructions issued per cycle (from the histogram).

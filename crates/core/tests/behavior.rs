@@ -168,10 +168,9 @@ fn one_cycle_misprediction_recovery_penalty_bound() {
     let prog = workload::fibonacci(40);
     let n = 8;
     let perfect = Ultrascalar::new(ProcConfig::ultrascalar_i(n)).run(&prog);
-    let nottaken = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::NotTaken),
-    )
-    .run(&prog);
+    let nottaken =
+        Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::NotTaken))
+            .run(&prog);
     assert!(perfect.halted && nottaken.halted);
     assert_eq!(perfect.regs, nottaken.regs);
     let mispredicts = nottaken.stats.mispredictions;
@@ -191,14 +190,11 @@ fn one_cycle_misprediction_recovery_penalty_bound() {
 fn bimodal_beats_nottaken_on_loops() {
     let prog = workload::sum_reduction(64);
     let n = 8;
-    let nt = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::NotTaken),
-    )
-    .run(&prog);
-    let bi = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::Bimodal(64)),
-    )
-    .run(&prog);
+    let nt = Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::NotTaken))
+        .run(&prog);
+    let bi =
+        Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::Bimodal(64)))
+            .run(&prog);
     assert!(bi.stats.mispredictions < nt.stats.mispredictions);
     assert!(bi.cycles <= nt.cycles);
 }
@@ -282,10 +278,8 @@ fn wrong_path_stores_never_commit() {
     ";
     let prog = assemble(src, 4).unwrap();
     // Force a misprediction with the NotTaken predictor.
-    let r = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::NotTaken),
-    )
-    .run(&prog);
+    let r = Ultrascalar::new(ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::NotTaken))
+        .run(&prog);
     assert!(r.halted);
     assert_eq!(r.mem[1], 0, "speculative store leaked to memory");
     assert!(r.stats.mispredictions >= 1);
@@ -311,10 +305,8 @@ fn forwarding_distance_histogram_on_serial_chain() {
 #[test]
 fn unit_latencies_give_dependence_depth() {
     let prog = workload::figure1_sequence();
-    let r = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(8).with_latency(LatencyModel::unit()),
-    )
-    .run(&prog);
+    let r = Ultrascalar::new(ProcConfig::ultrascalar_i(8).with_latency(LatencyModel::unit()))
+        .run(&prog);
     let issues: Vec<u64> = r.timings.iter().take(8).map(|t| t.issue).collect();
     // Dependence depths: div=0; add(R0)=1; add(R1)=0; add(R1')=2;
     // mul=0; add(R2)=1; sub=0; add(R4)=1.

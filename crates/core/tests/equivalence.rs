@@ -13,10 +13,7 @@ use ultrascalar_memsys::{Bandwidth, MemConfig, NetworkKind};
 const FUEL: usize = 5_000_000;
 
 fn all_processor_configs(n: usize) -> Vec<ProcConfig> {
-    let mut v = vec![
-        ProcConfig::ultrascalar_i(n),
-        ProcConfig::ultrascalar_ii(n),
-    ];
+    let mut v = vec![ProcConfig::ultrascalar_i(n), ProcConfig::ultrascalar_ii(n)];
     if n >= 4 {
         v.push(ProcConfig::hybrid(n, n / 2));
         if n.is_multiple_of(4) {

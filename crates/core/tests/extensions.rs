@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use ultrascalar::processor::check_against_golden;
-use ultrascalar::{
-    BaselineOoO, ForwardModel, PredictorKind, ProcConfig, Processor, Ultrascalar,
-};
+use ultrascalar::{BaselineOoO, ForwardModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
 use ultrascalar_isa::workload::{self, RandomCfg};
 use ultrascalar_isa::{assemble, Program};
 
@@ -15,8 +13,7 @@ const FUEL: usize = 5_000_000;
 fn golden(cfg: ProcConfig, prog: &Program, label: &str) {
     let mut p = Ultrascalar::new(cfg);
     let r = p.run(prog);
-    check_against_golden(&r, prog, FUEL)
-        .unwrap_or_else(|e| panic!("{label} on {}: {e}", p.name()));
+    check_against_golden(&r, prog, FUEL).unwrap_or_else(|e| panic!("{label} on {}: {e}", p.name()));
 }
 
 // ---------- shared ALUs ----------
@@ -128,8 +125,7 @@ fn paper_projection_window_128_with_16_shared_alus() {
     // sharing costs little on real kernels.
     for (name, prog) in workload::standard_suite(41) {
         let full = Ultrascalar::new(ProcConfig::hybrid(128, 32)).run(&prog);
-        let shared =
-            Ultrascalar::new(ProcConfig::hybrid(128, 32).with_shared_alus(16)).run(&prog);
+        let shared = Ultrascalar::new(ProcConfig::hybrid(128, 32).with_shared_alus(16)).run(&prog);
         assert!(shared.halted, "{name}");
         assert_eq!(shared.regs, full.regs, "{name}");
         assert!(
@@ -180,11 +176,14 @@ fn store_to_load_forwarding_hits_and_saves_memory_traffic() {
     ";
     let prog = assemble(src, 8).unwrap();
     let plain = Ultrascalar::new(ProcConfig::ultrascalar_i(16)).run(&prog);
-    let renamed =
-        Ultrascalar::new(ProcConfig::ultrascalar_i(16).with_memory_renaming()).run(&prog);
+    let renamed = Ultrascalar::new(ProcConfig::ultrascalar_i(16).with_memory_renaming()).run(&prog);
     assert_eq!(plain.regs, renamed.regs);
     assert_eq!(renamed.regs[5], 102);
-    assert!(renamed.stats.store_forwards >= 3, "{}", renamed.stats.store_forwards);
+    assert!(
+        renamed.stats.store_forwards >= 3,
+        "{}",
+        renamed.stats.store_forwards
+    );
     // Forwarded loads never touch the banks.
     assert!(renamed.stats.mem.loads < plain.stats.mem.loads);
     assert!(renamed.cycles <= plain.cycles);
@@ -366,10 +365,11 @@ fn local_dependencies_degrade_less_under_pipelining() {
 
     let slowdown = |src: &str| {
         let prog = assemble(src, 8).unwrap();
-        let flat = Ultrascalar::new(ProcConfig::ultrascalar_i(16)).run(&prog).cycles;
+        let flat = Ultrascalar::new(ProcConfig::ultrascalar_i(16))
+            .run(&prog)
+            .cycles;
         let piped = Ultrascalar::new(
-            ProcConfig::ultrascalar_i(16)
-                .with_forwarding(ForwardModel::Pipelined { per_hop: 2 }),
+            ProcConfig::ultrascalar_i(16).with_forwarding(ForwardModel::Pipelined { per_hop: 2 }),
         )
         .run(&prog)
         .cycles;
@@ -444,11 +444,15 @@ fn cluster_caches_help_reuse_heavy_kernels() {
     let prog = workload::bubble_sort(24, 3);
     let pred = PredictorKind::Bimodal(64);
     let plain = Ultrascalar::new(
-        ProcConfig::hybrid(16, 4).with_mem(base).with_predictor(pred),
+        ProcConfig::hybrid(16, 4)
+            .with_mem(base)
+            .with_predictor(pred),
     )
     .run(&prog);
     let with_cache = Ultrascalar::new(
-        ProcConfig::hybrid(16, 4).with_mem(cached).with_predictor(pred),
+        ProcConfig::hybrid(16, 4)
+            .with_mem(cached)
+            .with_predictor(pred),
     )
     .run(&prog);
     assert_eq!(plain.mem, with_cache.mem);
@@ -578,10 +582,9 @@ fn trace_cache_misses_cost_cycles() {
     // redirect misses, later ones hit; with a huge penalty the run
     // must slow down vs the ideal trace cache.
     let prog = workload::sum_reduction(32);
-    let ideal = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::NotTaken),
-    )
-    .run(&prog);
+    let ideal =
+        Ultrascalar::new(ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::NotTaken))
+            .run(&prog);
     let cold = Ultrascalar::new(
         ProcConfig::ultrascalar_i(8)
             .with_predictor(PredictorKind::NotTaken)

@@ -434,8 +434,20 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let p = assemble("li r0, 0xff\nli r1, -0x10\nhalt", 2).unwrap();
-        assert_eq!(p.instrs[0], Instr::LoadImm { rd: Reg(0), imm: 255 });
-        assert_eq!(p.instrs[1], Instr::LoadImm { rd: Reg(1), imm: -16 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::LoadImm {
+                rd: Reg(0),
+                imm: 255
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::LoadImm {
+                rd: Reg(1),
+                imm: -16
+            }
+        );
     }
 
     #[test]
@@ -489,11 +501,7 @@ mod tests {
             halt
         ";
         let p = assemble(src, 8).unwrap();
-        let redisasm: String = p
-            .instrs
-            .iter()
-            .map(|i| disassemble(i) + "\n")
-            .collect();
+        let redisasm: String = p.instrs.iter().map(|i| disassemble(i) + "\n").collect();
         let p2 = assemble(&redisasm, 8).unwrap();
         assert_eq!(p.instrs, p2.instrs);
     }

@@ -60,9 +60,8 @@ impl std::error::Error for BinaryError {}
 
 /// Serialise a program to the `.ubin` byte format.
 pub fn write_binary(p: &Program) -> Vec<u8> {
-    let mut out = Vec::with_capacity(
-        24 + 8 * p.instrs.len() + 4 * p.init_regs.len() + 4 * p.init_mem.len(),
-    );
+    let mut out =
+        Vec::with_capacity(24 + 8 * p.instrs.len() + 4 * p.init_regs.len() + 4 * p.init_mem.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&(p.num_regs as u32).to_le_bytes());
     out.extend_from_slice(&(p.instrs.len() as u32).to_le_bytes());

@@ -65,11 +65,7 @@ fn cond_from(code: u8) -> Option<BranchCond> {
 }
 
 fn pack(opcode: u8, rd: u8, rs1: u8, rs2: u8, imm: u32) -> u64 {
-    (opcode as u64) << 56
-        | (rd as u64) << 48
-        | (rs1 as u64) << 40
-        | (rs2 as u64) << 32
-        | imm as u64
+    (opcode as u64) << 56 | (rd as u64) << 48 | (rs1 as u64) << 40 | (rs2 as u64) << 32 | imm as u64
 }
 
 /// Encode an instruction into its 64-bit word.
@@ -81,9 +77,7 @@ pub fn encode(i: &Instr) -> u64 {
         Instr::LoadImm { rd, imm } => pack(OP_LOADIMM, rd.0, 0, 0, imm as u32),
         Instr::Load { rd, base, offset } => pack(OP_LOAD, rd.0, base.0, 0, offset as u32),
         Instr::Store { src, base, offset } => pack(OP_STORE, 0, base.0, src.0, offset as u32),
-        Instr::Alu { op, rd, rs1, rs2 } => {
-            pack(OP_ALU_BASE + alu_code(op), rd.0, rs1.0, rs2.0, 0)
-        }
+        Instr::Alu { op, rd, rs1, rs2 } => pack(OP_ALU_BASE + alu_code(op), rd.0, rs1.0, rs2.0, 0),
         Instr::AluImm { op, rd, rs1, imm } => {
             pack(OP_ALUIMM_BASE + alu_code(op), rd.0, rs1.0, 0, imm as u32)
         }
@@ -307,10 +301,16 @@ mod proptests {
             Just(Instr::Halt),
             any::<u32>().prop_map(|target| Instr::Jump { target }),
             (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rd, base, offset)| Instr::Load { rd, base, offset }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(src, base, offset)| Instr::Store { src, base, offset }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, offset)| Instr::Load {
+                rd,
+                base,
+                offset
+            }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(src, base, offset)| Instr::Store {
+                src,
+                base,
+                offset
+            }),
             (0usize..13, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
                 Instr::Alu {
                     op: AluOp::ALL[op],
@@ -327,14 +327,14 @@ mod proptests {
                     imm,
                 }
             }),
-            (0usize..6, arb_reg(), arb_reg(), any::<u32>()).prop_map(
-                |(c, rs1, rs2, target)| Instr::Branch {
+            (0usize..6, arb_reg(), arb_reg(), any::<u32>()).prop_map(|(c, rs1, rs2, target)| {
+                Instr::Branch {
                     cond: BranchCond::ALL[c],
                     rs1,
                     rs2,
                     target,
                 }
-            ),
+            }),
         ]
     }
 

@@ -173,13 +173,7 @@ mod tests {
 
     #[test]
     fn register_out_of_range_detected() {
-        let p = Program::new(
-            vec![Instr::LoadImm {
-                rd: Reg(7),
-                imm: 0,
-            }],
-            4,
-        );
+        let p = Program::new(vec![Instr::LoadImm { rd: Reg(7), imm: 0 }], 4);
         assert!(matches!(
             p.validate(),
             Err(ProgramError::RegOutOfRange { at: 0, reg: 7, .. })

@@ -109,7 +109,10 @@ impl Default for RandomCfg {
 /// Panics if `num_regs < 4` (the generator reserves low registers for
 /// address bases).
 pub fn random_program(cfg: &RandomCfg) -> Program {
-    assert!(cfg.num_regs >= 4, "random_program needs at least 4 registers");
+    assert!(
+        cfg.num_regs >= 4,
+        "random_program needs at least 4 registers"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let nr = cfg.num_regs as u8;
     let mut instrs: Vec<Instr> = Vec::with_capacity(cfg.len + 1);
@@ -154,11 +157,7 @@ pub fn random_program(cfg: &RandomCfg) -> Program {
                 });
             } else {
                 let rd = Reg(rng.gen_range(0..nr));
-                instrs.push(Instr::Load {
-                    rd,
-                    base,
-                    offset,
-                });
+                instrs.push(Instr::Load { rd, base, offset });
                 recent.push(rd.0);
             }
         } else {
@@ -206,7 +205,13 @@ pub fn random_program(cfg: &RandomCfg) -> Program {
     instrs.push(Instr::Halt);
 
     let init_regs = (0..cfg.num_regs)
-        .map(|i| if i < 4 { i as u32 } else { rng.gen_range(0..1000) })
+        .map(|i| {
+            if i < 4 {
+                i as u32
+            } else {
+                rng.gen_range(0..1000)
+            }
+        })
         .collect();
     let init_mem = (0..(cfg.mem_span as usize + 8))
         .map(|_| rng.gen_range(0..10_000u32))
@@ -427,9 +432,7 @@ pub fn matvec_expected(rows: u32, cols: u32) -> Vec<u32> {
     let a = |r: u32, c: u32| (r * cols + c) % 7 + 1;
     let x = |c: u32| c % 5 + 1;
     (0..rows)
-        .map(|r| {
-            (0..cols).fold(0u32, |acc, c| acc.wrapping_add(a(r, c).wrapping_mul(x(c))))
-        })
+        .map(|r| (0..cols).fold(0u32, |acc, c| acc.wrapping_add(a(r, c).wrapping_mul(x(c)))))
         .collect()
 }
 
@@ -787,7 +790,10 @@ mod tests {
         let (r, c) = (5, 4);
         let m = run(&matvec(r, c));
         let y_base = (r * c + c) as usize;
-        assert_eq!(&m.mem[y_base..y_base + r as usize], &matvec_expected(r, c)[..]);
+        assert_eq!(
+            &m.mem[y_base..y_base + r as usize],
+            &matvec_expected(r, c)[..]
+        );
     }
 
     #[test]
@@ -827,10 +833,7 @@ mod tests {
         for &v in &data {
             expect[v as usize] += 1;
         }
-        assert_eq!(
-            &m.mem[n as usize..(n + buckets) as usize],
-            &expect[..],
-        );
+        assert_eq!(&m.mem[n as usize..(n + buckets) as usize], &expect[..],);
         assert_eq!(expect.iter().sum::<u32>(), n);
     }
 

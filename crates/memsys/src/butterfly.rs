@@ -145,8 +145,8 @@ mod tests {
         b.begin_cycle();
         assert!(b.try_route(0, 0));
         assert!(!b.try_route(1, 0)); // same dest: paths collide en route
-        // A different destination from leaf 1 still works if its path
-        // is clear.
+                                     // A different destination from leaf 1 still works if its path
+                                     // is clear.
         assert!(b.try_route(1, 1));
     }
 
@@ -155,8 +155,7 @@ mod tests {
         let b = Butterfly::new(16, Bandwidth::sqrt());
         assert_eq!(b.ports(), 4);
         // Destinations spread across the far side.
-        let dests: std::collections::HashSet<usize> =
-            (0..16).map(|a| b.dest_of(a)).collect();
+        let dests: std::collections::HashSet<usize> = (0..16).map(|a| b.dest_of(a)).collect();
         assert_eq!(dests.len(), 4);
     }
 

@@ -127,7 +127,15 @@ mod tests {
 
     #[test]
     fn levels_are_log4() {
-        for (n, l) in [(1usize, 0usize), (2, 1), (4, 1), (5, 2), (16, 2), (17, 3), (64, 3)] {
+        for (n, l) in [
+            (1usize, 0usize),
+            (2, 1),
+            (4, 1),
+            (5, 2),
+            (16, 2),
+            (17, 3),
+            (64, 3),
+        ] {
             assert_eq!(FatTree::new(n, Bandwidth::full()).levels(), l, "n={n}");
         }
     }

@@ -22,8 +22,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod banked;
 pub mod bandwidth;
+pub mod banked;
 pub mod butterfly;
 pub mod cache;
 pub mod fattree;
@@ -31,6 +31,4 @@ pub mod system;
 
 pub use bandwidth::Bandwidth;
 pub use cache::{CacheConfig, ClusterCaches};
-pub use system::{
-    MemConfig, MemRequest, MemResponse, MemStats, MemSystem, NetworkKind, ReqKind,
-};
+pub use system::{MemConfig, MemRequest, MemResponse, MemStats, MemSystem, NetworkKind, ReqKind};

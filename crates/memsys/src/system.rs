@@ -8,10 +8,10 @@
 //! Rejected requests simply retry next cycle — the processor keeps the
 //! station waiting, exactly as the hardware would.
 
-use crate::banked::BankedMemory;
-use crate::cache::{CacheConfig, ClusterCaches};
 use crate::bandwidth::Bandwidth;
+use crate::banked::BankedMemory;
 use crate::butterfly::Butterfly;
+use crate::cache::{CacheConfig, ClusterCaches};
 use crate::fattree::FatTree;
 
 /// Which interconnect carries requests to the banks (the paper's §2:
@@ -336,6 +336,17 @@ impl MemSystem {
         self.in_flight.is_empty()
     }
 
+    /// The earliest cycle at which an in-flight access will deliver its
+    /// response, if any. Event-driven processor models use this to jump
+    /// straight to the next memory event instead of ticking through
+    /// quiet cycles: skipping a [`MemSystem::tick`] whose `requests` are
+    /// empty and whose `now` is before this cycle is observationally
+    /// free (per-cycle network capacity resets are idempotent and banks
+    /// compare absolute busy times).
+    pub fn next_completion_at(&self) -> Option<u64> {
+        self.in_flight.iter().map(|&(t, _)| t).min()
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> MemStats {
         self.stats
@@ -373,7 +384,13 @@ mod tests {
         assert_eq!(acc, vec![1]);
         assert!(done.is_empty());
         let (_, done) = m.tick(1, &[]);
-        assert_eq!(done, vec![MemResponse { id: 1, value: Some(9) }]);
+        assert_eq!(
+            done,
+            vec![MemResponse {
+                id: 1,
+                value: Some(9)
+            }]
+        );
         assert!(m.quiescent());
     }
 
@@ -435,7 +452,10 @@ mod tests {
         };
         let mut m = MemSystem::new(cfg, &[]);
         // Two requests; only one slot. The first offered (oldest) wins.
-        let (acc, _) = m.tick(0, &[req(10, 0, 0, ReqKind::Load), req(11, 1, 1, ReqKind::Load)]);
+        let (acc, _) = m.tick(
+            0,
+            &[req(10, 0, 0, ReqKind::Load), req(11, 1, 1, ReqKind::Load)],
+        );
         assert_eq!(acc, vec![10]);
     }
 
@@ -454,7 +474,10 @@ mod tests {
         };
         let mut m = MemSystem::new(cfg, &[]);
         // Addresses 0 and 2 share bank 0.
-        let (acc, _) = m.tick(0, &[req(1, 0, 0, ReqKind::Load), req(2, 1, 2, ReqKind::Load)]);
+        let (acc, _) = m.tick(
+            0,
+            &[req(1, 0, 0, ReqKind::Load), req(2, 1, 2, ReqKind::Load)],
+        );
         assert_eq!(acc, vec![1]);
         assert_eq!(m.stats().bank_conflicts, 1);
         // After occupancy expires the second succeeds.
@@ -500,7 +523,13 @@ mod tests {
             assert!(done.is_empty(), "t={t}");
         }
         let (_, done) = m.tick(10 + lat, &[]);
-        assert_eq!(done, vec![MemResponse { id: 9, value: Some(2) }]);
+        assert_eq!(
+            done,
+            vec![MemResponse {
+                id: 9,
+                value: Some(2)
+            }]
+        );
     }
 
     #[test]
@@ -532,7 +561,13 @@ mod butterfly_tests {
         let (acc, _) = m.tick(0, &[req(1, 3, 2)]);
         assert_eq!(acc, vec![1]);
         let (_, done) = m.tick(m.latency(), &[]);
-        assert_eq!(done, vec![MemResponse { id: 1, value: Some(12) }]);
+        assert_eq!(
+            done,
+            vec![MemResponse {
+                id: 1,
+                value: Some(12)
+            }]
+        );
     }
 
     #[test]
@@ -640,7 +675,13 @@ mod cache_tests {
         assert_eq!(acc, vec![2]);
         assert_eq!(m.stats().admitted, before, "hit must not enter the network");
         let (_, done) = m.tick(lat + 2, &[]);
-        assert_eq!(done, vec![MemResponse { id: 2, value: Some(7) }]);
+        assert_eq!(
+            done,
+            vec![MemResponse {
+                id: 2,
+                value: Some(7)
+            }]
+        );
         assert_eq!(m.stats().cache_hits, 1);
         assert_eq!(m.stats().cache_misses, 1);
     }
@@ -651,12 +692,15 @@ mod cache_tests {
         // Load addr 5 into leaf 0's group cache.
         m.tick(0, &[load(1, 0, 5)]);
         // Store a new value.
-        let (acc, _) = m.tick(1, &[MemRequest {
-            id: 2,
-            leaf: 7,
-            addr: 5,
-            kind: ReqKind::Store(77),
-        }]);
+        let (acc, _) = m.tick(
+            1,
+            &[MemRequest {
+                id: 2,
+                leaf: 7,
+                addr: 5,
+                kind: ReqKind::Store(77),
+            }],
+        );
         assert_eq!(acc, vec![2]);
         // A subsequent hit must see the stored value, not the stale one.
         let (acc, _) = m.tick(2, &[load(3, 0, 5)]);

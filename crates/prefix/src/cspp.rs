@@ -230,8 +230,7 @@ mod tests {
         for n in 1..=6usize {
             for pattern in 0..(1u32 << (2 * n)) {
                 let vals: Vec<bool> = (0..n).map(|i| pattern >> (2 * i) & 1 == 1).collect();
-                let seg: Vec<bool> =
-                    (0..n).map(|i| pattern >> (2 * i + 1) & 1 == 1).collect();
+                let seg: Vec<bool> = (0..n).map(|i| pattern >> (2 * i + 1) & 1 == 1).collect();
                 let a = cspp_ring::<bool, BoolAnd>(&vals, &seg);
                 let b = cspp_tree::<bool, BoolAnd>(&vals, &seg);
                 assert_eq!(a, b, "n={n} pattern={pattern:b}");

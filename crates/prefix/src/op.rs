@@ -253,10 +253,8 @@ mod tests {
         for a in &cases {
             for b in &cases {
                 for c in &cases {
-                    let ab_c =
-                        SegOp::<BoolAnd>::combine(&SegOp::<BoolAnd>::combine(a, b), c);
-                    let a_bc =
-                        SegOp::<BoolAnd>::combine(a, &SegOp::<BoolAnd>::combine(b, c));
+                    let ab_c = SegOp::<BoolAnd>::combine(&SegOp::<BoolAnd>::combine(a, b), c);
+                    let a_bc = SegOp::<BoolAnd>::combine(a, &SegOp::<BoolAnd>::combine(b, c));
                     assert_eq!(ab_c, a_bc);
                 }
             }

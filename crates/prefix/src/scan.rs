@@ -66,7 +66,10 @@ pub fn scan_segmented_inclusive<T: Clone, O: PrefixOp<T>>(xs: &[T], seg: &[bool]
 /// Full reduction `x[0] ⊗ … ⊗ x[n-1]`, or `None` for empty input.
 pub fn reduce<T: Clone, O: PrefixOp<T>>(xs: &[T]) -> Option<T> {
     let (first, rest) = xs.split_first()?;
-    Some(rest.iter().fold(first.clone(), |acc, x| O::combine(&acc, x)))
+    Some(
+        rest.iter()
+            .fold(first.clone(), |acc, x| O::combine(&acc, x)),
+    )
 }
 
 #[cfg(test)]

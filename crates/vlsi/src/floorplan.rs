@@ -46,7 +46,9 @@ impl Rect {
     /// not count)?
     pub fn overlaps(&self, o: &Rect) -> bool {
         const EPS: f64 = 1e-6;
-        self.x + EPS < o.x2() && o.x + EPS < self.x2() && self.y + EPS < o.y2()
+        self.x + EPS < o.x2()
+            && o.x + EPS < self.x2()
+            && self.y + EPS < o.y2()
             && o.y + EPS < self.y2()
     }
 }
@@ -101,8 +103,8 @@ impl Placement {
             for j in i + 1..self.rects.len() {
                 let (ci, ri) = &self.rects[i];
                 let (cj, rj) = &self.rects[j];
-                let both_channels = matches!(ci, Component::Channel(_))
-                    && matches!(cj, Component::Channel(_));
+                let both_channels =
+                    matches!(ci, Component::Channel(_)) && matches!(cj, Component::Channel(_));
                 if !both_channels && ri.overlaps(rj) {
                     bad.push((i, j));
                 }
@@ -181,7 +183,10 @@ fn place_htree(
     chan: &dyn Fn(usize) -> f64,
     mk_leaf: &dyn Fn(usize) -> Component,
 ) -> Placement {
-    assert!(n > 0 && n.is_power_of_two(), "H-tree needs a power-of-two n");
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "H-tree needs a power-of-two n"
+    );
     // Work bottom-up: at each doubling, duplicate the current placement
     // and separate the copies by the channel strip.
     let mut rects: Vec<(Component, Rect)> = vec![(
@@ -271,7 +276,10 @@ pub fn usi_floorplan(p: &ArchParams, tech: &Tech) -> Placement {
 /// # Panics
 /// Panics unless `c` divides `n` and `n/c` is a power of two.
 pub fn hybrid_floorplan(p: &ArchParams, c: usize, tech: &Tech) -> Placement {
-    assert!(c >= 1 && p.n.is_multiple_of(c), "cluster size must divide n");
+    assert!(
+        c >= 1 && p.n.is_multiple_of(c),
+        "cluster size must divide n"
+    );
     let k = p.n / c;
     assert!(k.is_power_of_two(), "cluster count must be a power of two");
     let cluster = ArchParams { n: c, ..*p };
@@ -459,6 +467,9 @@ mod svg_tests {
         let svg = f.svg(100);
         assert_eq!(svg.matches("<svg").count(), 1);
         assert_eq!(svg.matches("</svg>").count(), 1);
-        assert_eq!(svg.matches("<rect").count(), svg.matches("/rect>").count() + 1);
+        assert_eq!(
+            svg.matches("<rect").count(),
+            svg.matches("/rect>").count() + 1
+        );
     }
 }

@@ -39,8 +39,7 @@ fn layout(p: &ArchParams, c: usize, tech: &Tech) -> (f64, f64, f64) {
     );
     let cluster = ArchParams { n: c, ..*p };
     let leaf = usii::side_linear_um(&cluster, tech);
-    let chan =
-        |clusters: usize| usi::channel_um(p.l, p.bits, p.mem.capacity(clusters * c), tech);
+    let chan = |clusters: usize| usi::channel_um(p.l, p.bits, p.mem.capacity(clusters * c), tech);
     usi::htree(k, leaf, &chan)
 }
 

@@ -56,9 +56,8 @@ pub fn usi_3d(p: &ArchParams, tech: &Tech) -> Metrics3d {
     // Large bandwidth adds Θ(M^(3/2)) volume; the wire bound is the
     // larger of the datapath and the memory-surface requirements.
     let mem_extra = cell_volume(tech) * (p.bits as f64) * m.powf(1.5);
-    let wire = tech.cell_side_um
-        * (p.bits as f64).sqrt()
-        * (n.powf(1.0 / 3.0) * l.sqrt()).max(m.sqrt());
+    let wire =
+        tech.cell_side_um * (p.bits as f64).sqrt() * (n.powf(1.0 / 3.0) * l.sqrt()).max(m.sqrt());
     Metrics3d::from_volume(base + mem_extra, wire)
 }
 

@@ -56,12 +56,11 @@ pub(crate) fn channel_um(l: usize, bits: usize, ports: usize, tech: &Tech) -> f6
 /// At each doubling the two child rectangles sit either side of a
 /// channel of width `chan(n_subtree)`; cuts alternate axes so the
 /// aspect ratio stays within 2.
-pub(crate) fn htree(
-    n: usize,
-    leaf_side: f64,
-    chan: &dyn Fn(usize) -> f64,
-) -> (f64, f64, f64) {
-    assert!(n > 0 && n.is_power_of_two(), "H-tree needs a power-of-two n");
+pub(crate) fn htree(n: usize, leaf_side: f64, chan: &dyn Fn(usize) -> f64) -> (f64, f64, f64) {
+    assert!(
+        n > 0 && n.is_power_of_two(),
+        "H-tree needs a power-of-two n"
+    );
     let mut w = leaf_side;
     let mut h = leaf_side;
     let mut wire = 0.0;
@@ -129,9 +128,7 @@ pub fn side_closed_form_shape(p: &ArchParams) -> f64 {
     match p.mem.regime() {
         ultrascalar_memsys::bandwidth::Regime::BelowSqrt => n.sqrt() * l,
         ultrascalar_memsys::bandwidth::Regime::Sqrt => n.sqrt() * (l + n.log2()),
-        ultrascalar_memsys::bandwidth::Regime::AboveSqrt => {
-            n.sqrt() * l + p.mem.eval(p.n)
-        }
+        ultrascalar_memsys::bandwidth::Regime::AboveSqrt => n.sqrt() * l + p.mem.eval(p.n),
     }
 }
 
@@ -191,10 +188,7 @@ mod tests {
             let n = 4usize.pow(k);
             let m = metrics(&params(n, 32, Bandwidth::constant(1.0)), &tech);
             let ratio = m.wire_um / m.side_um;
-            assert!(
-                ratio > 0.4 && ratio < 4.0,
-                "n={n}: wire/side ratio {ratio}"
-            );
+            assert!(ratio > 0.4 && ratio < 4.0, "n={n}: wire/side ratio {ratio}");
         }
     }
 

@@ -32,8 +32,7 @@ pub(crate) fn row_pitch_um(l: usize, bits: usize, tech: &Tech) -> f64 {
 pub fn side_linear_um(p: &ArchParams, tech: &Tech) -> f64 {
     let pitch = row_pitch_um(p.l, p.bits, tech);
     let grid = (2 * p.n + p.l).max(p.n + p.l) as f64 * pitch;
-    let station_block =
-        ((p.n as f64) * tech.station_side_um(p.l, p.bits).powi(2)).sqrt();
+    let station_block = ((p.n as f64) * tech.station_side_um(p.l, p.bits).powi(2)).sqrt();
     grid + station_block
 }
 

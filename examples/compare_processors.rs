@@ -9,18 +9,13 @@
 //! ```
 
 use std::env;
-use ultrascalar_suite::core::{
-    BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar,
-};
+use ultrascalar_suite::core::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
 use ultrascalar_suite::isa::workload;
 
 fn main() {
     let args: Vec<String> = env::args().collect();
     let kernel = args.get(1).map(String::as_str).unwrap_or("dot_product");
-    let n: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
 
     let Some((_, program)) = workload::standard_suite(1)
         .into_iter()
@@ -72,6 +67,10 @@ fn main() {
     println!("\nall processors produced identical architectural state ✓");
     println!(
         "US-I matches the baseline cycle count exactly: {}",
-        if runs[0].1.cycles == runs[1].1.cycles { "yes ✓" } else { "no ✗" }
+        if runs[0].1.cycles == runs[1].1.cycles {
+            "yes ✓"
+        } else {
+            "no ✗"
+        }
     );
 }

@@ -35,9 +35,7 @@ fn main() {
     let pending = n / 3;
     let done = 2 * n / 3;
     let mut inputs = vec![false; nl.num_inputs()];
-    let set = |bus: &[ultrascalar_suite::circuit::NodeId],
-                   v: u64,
-                   inputs: &mut Vec<bool>| {
+    let set = |bus: &[ultrascalar_suite::circuit::NodeId], v: u64, inputs: &mut Vec<bool>| {
         for (i, &w) in bus.iter().enumerate() {
             inputs[w.0 as usize] = v >> i & 1 == 1;
         }
@@ -63,8 +61,7 @@ fn main() {
         } else {
             "   ? (pending)".to_string()
         };
-        let lvl = tree
-            .out_value[i]
+        let lvl = tree.out_value[i]
             .iter()
             .map(|&b| eval.level(b))
             .max()

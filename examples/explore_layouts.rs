@@ -38,7 +38,10 @@ fn main() {
     );
     let (c_star, hy_opt) = hybrid::optimal_cluster(&params, &tech);
     let rows = [
-        ("Ultrascalar I (H-tree)".to_string(), usi::metrics(&params, &tech)),
+        (
+            "Ultrascalar I (H-tree)".to_string(),
+            usi::metrics(&params, &tech),
+        ),
         (
             "Ultrascalar II (linear grid)".to_string(),
             usii::metrics_linear(&params, &tech),

@@ -33,7 +33,10 @@ fn main() {
 
     // 3. Inspect architectural state and microarchitectural behaviour.
     assert!(result.halted);
-    println!("sum 10+9+…+1 = {} (stored to mem[0] = {})", result.regs[2], result.mem[0]);
+    println!(
+        "sum 10+9+…+1 = {} (stored to mem[0] = {})",
+        result.regs[2], result.mem[0]
+    );
     println!(
         "executed {} instructions in {} cycles — IPC {:.2}",
         result.stats.committed,
@@ -41,5 +44,8 @@ fn main() {
         result.ipc()
     );
     println!("\nper-instruction timing (first loop iterations):\n");
-    println!("{}", render_timing_diagram(&result.timings[..14.min(result.timings.len())]));
+    println!(
+        "{}",
+        render_timing_diagram(&result.timings[..14.min(result.timings.len())])
+    );
 }

@@ -97,10 +97,7 @@ fn asm_subcommand_round_trips_samples() {
         let listing = cli::execute_asm(&src, 32).unwrap();
         // Every listed line re-assembles.
         // Listing format: "{idx:>4}: {encoding:016x}  {text}".
-        let stripped: String = listing
-            .lines()
-            .map(|l| format!("{}\n", &l[24..]))
-            .collect();
+        let stripped: String = listing.lines().map(|l| format!("{}\n", &l[24..])).collect();
         assert!(assemble(&stripped, 32).is_ok(), "{name} relisting");
     }
 }

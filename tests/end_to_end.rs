@@ -3,9 +3,7 @@
 //! gate-level substrate, crossing every crate boundary.
 
 use ultrascalar_suite::core::processor::check_against_golden;
-use ultrascalar_suite::core::{
-    BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar,
-};
+use ultrascalar_suite::core::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
 use ultrascalar_suite::isa::{assemble, workload, Interp};
 use ultrascalar_suite::memsys::{Bandwidth, MemConfig, NetworkKind};
 
@@ -28,9 +26,7 @@ fn assembly_to_silicon_pipeline() {
             sw   r3, 100(r7)
             halt
     ";
-    let program = assemble(src, 8)
-        .unwrap()
-        .with_init_mem((1..=24).collect());
+    let program = assemble(src, 8).unwrap().with_init_mem((1..=24).collect());
 
     let expect: u32 = (1u32..=24).map(|x| x * x).sum();
     let mem = MemConfig {

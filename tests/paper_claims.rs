@@ -33,17 +33,52 @@ fn figure11_headline_exponents() {
         fit::fit_exponent_tail(&pts, 4).exponent
     };
     let usi_wire = sweep(&|n| {
-        usi::metrics(&ArchParams { n, l: 32, bits: 32, mem }, &tech).wire_um
+        usi::metrics(
+            &ArchParams {
+                n,
+                l: 32,
+                bits: 32,
+                mem,
+            },
+            &tech,
+        )
+        .wire_um
     });
-    assert!((usi_wire - 0.5).abs() < 0.1, "US-I wire exponent {usi_wire}");
+    assert!(
+        (usi_wire - 0.5).abs() < 0.1,
+        "US-I wire exponent {usi_wire}"
+    );
     let hy_area = sweep(&|n| {
-        hybrid::metrics(&ArchParams { n, l: 32, bits: 32, mem }, &tech).area_um2
+        hybrid::metrics(
+            &ArchParams {
+                n,
+                l: 32,
+                bits: 32,
+                mem,
+            },
+            &tech,
+        )
+        .area_um2
     });
-    assert!((hy_area - 1.0).abs() < 0.15, "hybrid area exponent {hy_area}");
+    assert!(
+        (hy_area - 1.0).abs() < 0.15,
+        "hybrid area exponent {hy_area}"
+    );
     let usii_side = sweep(&|n| {
-        usii::side_linear_um(&ArchParams { n, l: 32, bits: 32, mem }, &tech)
+        usii::side_linear_um(
+            &ArchParams {
+                n,
+                l: 32,
+                bits: 32,
+                mem,
+            },
+            &tech,
+        )
     });
-    assert!((usii_side - 1.0).abs() < 0.1, "US-II side exponent {usii_side}");
+    assert!(
+        (usii_side - 1.0).abs() < 0.1,
+        "US-II side exponent {usii_side}"
+    );
 }
 
 /// §7: the US-I/US-II crossover scales as Θ(L²) — the crossover point
@@ -57,7 +92,12 @@ fn crossover_scales_as_l_squared() {
         let mut crossover = None;
         for k in 1..=12u32 {
             let n = 4usize.pow(k);
-            let p = ArchParams { n, l, bits: 32, mem };
+            let p = ArchParams {
+                n,
+                l,
+                bits: 32,
+                mem,
+            };
             if usi::metrics(&p, &tech).side_um < usii::side_linear_um(&p, &tech) {
                 crossover = Some(n as f64);
                 break;
@@ -112,12 +152,21 @@ fn three_d_bounds() {
         bits: 32,
         mem: Bandwidth::constant(1.0),
     };
-    let p_big = ArchParams { n: 1 << 14, ..p_small };
+    let p_big = ArchParams {
+        n: 1 << 14,
+        ..p_small
+    };
     let v1 = threed::usi_3d(&p_big, &tech).volume_um3 / threed::usi_3d(&p_small, &tech).volume_um3;
-    assert!((v1 - 16.0).abs() < 1.0, "US-I 3-D volume ratio {v1} (linear ⇒ 16)");
+    assert!(
+        (v1 - 16.0).abs() < 1.0,
+        "US-I 3-D volume ratio {v1} (linear ⇒ 16)"
+    );
     let v2 =
         threed::usii_3d(&p_big, &tech).volume_um3 / threed::usii_3d(&p_small, &tech).volume_um3;
-    assert!((v2 - 256.0).abs() < 20.0, "US-II 3-D volume ratio {v2} (quadratic ⇒ 256)");
+    assert!(
+        (v2 - 256.0).abs() < 20.0,
+        "US-II 3-D volume ratio {v2} (quadratic ⇒ 256)"
+    );
     assert_eq!(threed::optimal_cluster_3d(256), 64);
 }
 
@@ -132,9 +181,13 @@ fn ipc_ordering_usii_vs_usi() {
         ("sum_reduction", workload::sum_reduction(48)),
     ] {
         let n = 16;
-        let usi_c = Ultrascalar::new(ProcConfig::ultrascalar_i(n)).run(&prog).cycles;
+        let usi_c = Ultrascalar::new(ProcConfig::ultrascalar_i(n))
+            .run(&prog)
+            .cycles;
         let hy_c = Ultrascalar::new(ProcConfig::hybrid(n, 4)).run(&prog).cycles;
-        let usii_c = Ultrascalar::new(ProcConfig::ultrascalar_ii(n)).run(&prog).cycles;
+        let usii_c = Ultrascalar::new(ProcConfig::ultrascalar_ii(n))
+            .run(&prog)
+            .cycles;
         assert!(
             usi_c <= hy_c && hy_c <= usii_c && usi_c < usii_c,
             "{name}: {usi_c} / {hy_c} / {usii_c}"
@@ -150,10 +203,9 @@ fn one_cycle_recovery_penalty() {
     let prog = workload::sum_reduction(64);
     let n = 8;
     let perfect = Ultrascalar::new(ProcConfig::ultrascalar_i(n)).run(&prog);
-    let wrong = Ultrascalar::new(
-        ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::NotTaken),
-    )
-    .run(&prog);
+    let wrong =
+        Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::NotTaken))
+            .run(&prog);
     assert_eq!(perfect.regs, wrong.regs);
     let penalty = wrong.cycles - perfect.cycles;
     assert!(penalty <= 4 * wrong.stats.mispredictions, "{penalty}");
