@@ -1,0 +1,181 @@
+//! Paired A/B comparison of the packed flag-network engine path
+//! against the scalar per-flag reference path.
+//!
+//! Criterion times each configuration in its own contiguous block, so
+//! on a busy machine the run-to-run drift between blocks swamps the
+//! few-percent delta between the two engine paths. Here the two paths
+//! are timed in interleaved batches within every round — A/B, then
+//! B/A on the next round to cancel first-order drift — and the
+//! per-round ratio is taken before aggregating, so a slow round slows
+//! both sides and drops out of the quotient. The median over rounds is
+//! robust to the occasional preempted batch.
+//!
+//! Usage: `step_ab [--json] [--quick]`. `--json` appends the packed
+//! rows to `BENCH_step_ab.json`; `--quick` trims sizes for smoke runs.
+
+use std::time::Instant;
+use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::sweep::json_flag_set;
+use ultrascalar_bench::{JsonReport, Table};
+use ultrascalar_isa::{workload, Program};
+use ultrascalar_memsys::MemConfig;
+
+/// Dependent `div` chains in a loop — the blocked-station-heavy regime
+/// where the packed unready-word gate replaces per-source operand
+/// resolution for every stalled station on every scanned cycle.
+fn div_chain(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r2, 3
+            li   r3, {iters}
+            li   r7, 0
+            li   r1, 1000000007
+        loop:
+            div  r4, r1, r2
+            div  r4, r4, r2
+            div  r4, r4, r2
+            div  r1, r4, r2     ; loop-carried: serial at any window size
+            subi r3, r3, 1
+            bne  r3, r7, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 8).expect("div_chain kernel assembles")
+}
+
+/// Wall time of `batch` complete runs, in seconds.
+fn time_batch(cfg: &ProcConfig, prog: &Program, batch: usize) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..batch {
+        sink = sink.wrapping_add(
+            Ultrascalar::new(cfg.clone())
+                .run(std::hint::black_box(prog))
+                .cycles,
+        );
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_secs_f64()
+}
+
+/// Median of a small unsorted sample (averages the middle pair when
+/// the length is even).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let m = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[m]
+    } else {
+        (xs[m - 1] + xs[m]) / 2.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let rounds = if quick { 3 } else { 9 };
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 256] };
+
+    println!("== packed vs scalar flag networks: paired step throughput ==\n");
+    println!(
+        "{} interleaved rounds per cell; per-round ratio, median over rounds.\n",
+        rounds
+    );
+
+    let workloads: Vec<(&str, Program, bool)> = vec![
+        ("div_chain", div_chain(48), false),
+        ("pointer_chase", workload::pointer_chase(96, 11), true),
+        ("dense_dot", workload::dot_product(96), false),
+    ];
+
+    let mut t = Table::new(vec![
+        "arch",
+        "kernel",
+        "n",
+        "packed ms",
+        "scalar ms",
+        "speedup",
+    ]);
+    let mut report = JsonReport::new("step_ab");
+    let mut ratios_all: Vec<f64> = Vec::new();
+
+    for &n in sizes {
+        let archs: Vec<(String, ProcConfig)> = vec![
+            ("usi".to_string(), ProcConfig::ultrascalar_i(n)),
+            ("usii".to_string(), ProcConfig::ultrascalar_ii(n)),
+            (format!("hybrid_c{}", n / 4), ProcConfig::hybrid(n, n / 4)),
+        ]
+        .into_iter()
+        .map(|(a, cfg)| (a, cfg.with_predictor(PredictorKind::Bimodal(64))))
+        .collect();
+        for (arch, base) in &archs {
+            for (kernel, prog, realistic_mem) in &workloads {
+                let packed = if *realistic_mem {
+                    base.clone().with_mem(MemConfig::realistic(n, 1 << 12))
+                } else {
+                    base.clone()
+                };
+                let scalar = packed.clone().without_packed_flags();
+                let cycles = Ultrascalar::new(packed.clone()).run(prog).cycles;
+
+                // Calibrate the batch to ~25 ms so scheduler noise
+                // averages out within a batch.
+                let probe = time_batch(&packed, prog, 1).max(1e-6);
+                let batch = ((0.025 / probe).ceil() as usize).clamp(2, 64);
+                time_batch(&scalar, prog, batch); // warm both paths
+                time_batch(&packed, prog, batch);
+
+                let mut tp: Vec<f64> = Vec::with_capacity(rounds);
+                let mut ts: Vec<f64> = Vec::with_capacity(rounds);
+                let mut ratio: Vec<f64> = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let (a, b) = if round % 2 == 0 {
+                        let a = time_batch(&packed, prog, batch);
+                        let b = time_batch(&scalar, prog, batch);
+                        (a, b)
+                    } else {
+                        let b = time_batch(&scalar, prog, batch);
+                        let a = time_batch(&packed, prog, batch);
+                        (a, b)
+                    };
+                    tp.push(a / batch as f64);
+                    ts.push(b / batch as f64);
+                    ratio.push(b / a);
+                }
+                let (mp, ms, mr) = (median(&mut tp), median(&mut ts), median(&mut ratio));
+                ratios_all.push(mr);
+                t.row(vec![
+                    arch.clone(),
+                    kernel.to_string(),
+                    n.to_string(),
+                    format!("{:.3}", mp * 1e3),
+                    format!("{:.3}", ms * 1e3),
+                    format!("{:.3}x", mr),
+                ]);
+                report.point(
+                    &format!("packed/{arch}/{kernel}/n={n}"),
+                    std::time::Duration::from_secs_f64(mp),
+                    Some(cycles),
+                );
+                report.point(
+                    &format!("scalar/{arch}/{kernel}/n={n}"),
+                    std::time::Duration::from_secs_f64(ms),
+                    Some(cycles),
+                );
+            }
+        }
+    }
+
+    println!("{t}");
+    let geo = ratios_all.iter().map(|r| r.ln()).sum::<f64>() / ratios_all.len() as f64;
+    println!(
+        "geometric-mean speedup (packed over scalar): {:.3}x",
+        geo.exp()
+    );
+
+    if json_flag_set(&args) {
+        report
+            .write_to("BENCH_step_ab.json")
+            .expect("write BENCH_step_ab.json");
+    }
+}

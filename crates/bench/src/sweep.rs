@@ -179,13 +179,18 @@ impl JsonReport {
         out
     }
 
-    /// Write the report to `BENCH_engine.json` in the current
-    /// directory and note the path on stderr.
-    pub fn write_default(&self) -> std::io::Result<()> {
-        let path = "BENCH_engine.json";
+    /// Write the report to `path` in the current directory and note
+    /// the path on stderr.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.render())?;
         eprintln!("wrote {path} ({} points)", self.points.len());
         Ok(())
+    }
+
+    /// Write the report to `BENCH_engine.json` in the current
+    /// directory and note the path on stderr.
+    pub fn write_default(&self) -> std::io::Result<()> {
+        self.write_to("BENCH_engine.json")
     }
 }
 

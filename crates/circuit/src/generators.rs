@@ -136,42 +136,23 @@ impl CsppTree {
         let values: Vec<Bus> = (0..n).map(|_| build::input_bus(nl, width)).collect();
         let seg: Vec<NodeId> = (0..n).map(|_| nl.input()).collect();
 
-        // Up-sweep over a heap-shaped tree (leaves left-packed).
-        let size = n.next_power_of_two();
-        let mut summary: Vec<Option<(Bus, NodeId)>> = vec![None; 2 * size];
-        for i in 0..n {
-            summary[size + i] = Some((values[i].clone(), seg[i]));
-        }
-        for k in (1..size).rev() {
-            summary[k] = match (summary[2 * k].clone(), summary[2 * k + 1].clone()) {
-                (Some((va, sa)), Some((vb, sb))) => Some(op.combine(nl, &va, sa, &vb, sb)),
-                (Some(a), None) => Some(a),
-                (None, Some(b)) => Some(b),
-                (None, None) => None,
-            };
-        }
-        // Tie the top: the root's prefix is its own summary (the
-        // wrap-around of the cyclic circuit).
-        let root = summary[1].clone().expect("non-empty tree");
-
-        // Down-sweep.
-        let mut prefix: Vec<Option<(Bus, NodeId)>> = vec![None; 2 * size];
-        prefix[1] = Some(root);
-        for k in 1..size {
-            let Some((pv, ps)) = prefix[k].clone() else {
-                continue;
-            };
-            prefix[2 * k] = Some((pv.clone(), ps));
-            prefix[2 * k + 1] = match summary[2 * k].clone() {
-                Some((lv, ls)) => Some(op.combine(nl, &pv, ps, &lv, ls)),
-                None => Some((pv, ps)),
-            };
-        }
+        // Up-sweep + root-tied down-sweep over the left-packed heap
+        // layout, shared with the algorithmic substrate: "combining"
+        // two interval summaries emits the combine block's gates into
+        // the netlist. The arena walk skips unoccupied nodes, so
+        // non-power-of-two widths generate no dead combine blocks.
+        let leaves: Vec<(Bus, NodeId)> = values
+            .iter()
+            .zip(&seg)
+            .map(|(v, &s)| (v.clone(), s))
+            .collect();
+        let prefixes = ultrascalar_prefix::cspp_heap_with(&leaves, |(va, sa), (vb, sb)| {
+            op.combine(nl, va, *sa, vb, *sb)
+        });
 
         let mut out_value = Vec::with_capacity(n);
         let mut out_seg = Vec::with_capacity(n);
-        for i in 0..n {
-            let (v, s) = prefix[size + i].clone().expect("every leaf gets a prefix");
+        for (v, s) in prefixes {
             for &b in &v {
                 nl.mark_output(b);
             }
@@ -900,45 +881,21 @@ impl WindowController {
         // Shared helper: a 1-bit AND-CSPP whose per-station payload is
         // `cond[i]` and whose segment bits are the oldest marker.
         let cspp = |nl: &mut Netlist, cond: &[NodeId]| -> Vec<NodeId> {
-            // Reuse CsppTree by wiring our nodes into fresh buffers is
-            // not possible (CsppTree declares its own inputs), so build
-            // the tree inline over (value, seg) pairs.
-            let size = n.next_power_of_two();
-            let mut summary: Vec<Option<(NodeId, NodeId)>> = vec![None; 2 * size];
-            for i in 0..n {
-                summary[size + i] = Some((cond[i], oldest[i]));
-            }
-            for k in (1..size).rev() {
-                summary[k] = match (summary[2 * k], summary[2 * k + 1]) {
-                    (Some((va, sa)), Some((vb, sb))) => {
-                        let anded = nl.and(va, vb);
-                        let v = nl.mux(sb, anded, vb);
-                        let s = nl.or(sa, sb);
-                        Some((v, s))
-                    }
-                    (a, None) => a,
-                    (None, b) => b,
-                };
-            }
-            let root = summary[1].expect("non-empty");
-            let mut prefix: Vec<Option<(NodeId, NodeId)>> = vec![None; 2 * size];
-            prefix[1] = Some(root);
-            for k in 1..size {
-                let Some((pv, ps)) = prefix[k] else { continue };
-                prefix[2 * k] = Some((pv, ps));
-                prefix[2 * k + 1] = match summary[2 * k] {
-                    Some((lv, ls)) => {
-                        let anded = nl.and(pv, lv);
-                        let v = nl.mux(ls, anded, lv);
-                        let s = nl.or(ps, ls);
-                        Some((v, s))
-                    }
-                    None => Some((pv, ps)),
-                };
-            }
-            (0..n)
-                .map(|i| prefix[size + i].expect("leaf prefix").0)
-                .collect()
+            // Reusing CsppTree by wiring our nodes into fresh buffers
+            // is not possible (CsppTree declares its own inputs), so
+            // run the shared heap walk over (value, seg) pairs with a
+            // gate-emitting combine.
+            let leaves: Vec<(NodeId, NodeId)> =
+                cond.iter().zip(&oldest).map(|(&c, &o)| (c, o)).collect();
+            ultrascalar_prefix::cspp_heap_with(&leaves, |&(va, sa), &(vb, sb)| {
+                let anded = nl.and(va, vb);
+                let v = nl.mux(sb, anded, vb);
+                let s = nl.or(sa, sb);
+                (v, s)
+            })
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect()
         };
 
         // "All earlier finished", "all earlier stores done", "all

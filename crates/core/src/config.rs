@@ -94,6 +94,16 @@ pub struct ProcConfig {
     /// cycle-exact either way; `false` retains the naive
     /// tick-every-cycle loop as a differential-testing reference.
     pub cycle_skip: bool,
+    /// Packed word-parallel flag networks (on by default): the
+    /// program-order scan keeps its four all-earlier AND flags in one
+    /// bit-packed lane word and, under [`ForwardModel::SingleCycle`],
+    /// maintains a register-unready lane word plus a per-register
+    /// readiness-time table, so a blocked station is detected by
+    /// AND-ing its decode-time source mask against one `u64` instead of
+    /// re-deriving readiness per source operand. Results are cycle-exact
+    /// either way; `false` retains the scalar flag path as a
+    /// differential-testing reference.
+    pub packed_flags: bool,
 }
 
 impl ProcConfig {
@@ -114,6 +124,7 @@ impl ProcConfig {
             trace_cache: None,
             fetch_width: None,
             cycle_skip: true,
+            packed_flags: true,
         }
     }
 
@@ -192,6 +203,16 @@ impl ProcConfig {
         self
     }
 
+    /// Builder: disable the packed word-parallel flag networks, forcing
+    /// the scalar per-flag/per-operand path. Cycle-exact results are
+    /// identical with packing on; this exists as the
+    /// differential-testing reference and for apples-to-apples
+    /// simulator-performance measurements.
+    pub fn without_packed_flags(mut self) -> Self {
+        self.packed_flags = false;
+        self
+    }
+
     /// Number of clusters `K = n / C`.
     ///
     /// # Panics
@@ -261,7 +282,9 @@ mod tests {
             .with_latency(LatencyModel::unit())
             .with_shared_alus(2)
             .with_memory_renaming()
+            .without_packed_flags()
             .with_forwarding(ForwardModel::Pipelined { per_hop: 1 });
+        assert!(!c.packed_flags);
         assert_eq!(c.predictor, PredictorKind::Bimodal(64));
         assert_eq!(c.latency, LatencyModel::unit());
         assert_eq!(c.alus, Some(2));

@@ -29,7 +29,7 @@
 
 use std::collections::VecDeque;
 
-use crate::config::ProcConfig;
+use crate::config::{ForwardModel, ProcConfig};
 use crate::fetch::{FetchUnit, TraceCache};
 use crate::processor::{Processor, RunResult};
 use crate::station::{MemPhase, StationEntry};
@@ -37,10 +37,20 @@ use crate::stats::ProcStats;
 use crate::timing::InstrTiming;
 use ultrascalar_isa::{Instr, Program};
 use ultrascalar_memsys::{MemRequest, MemSystem, ReqKind};
-
 /// Fuel given to the golden interpreter when pre-computing the perfect
 /// fetch path. Far beyond any workload in this repository.
 const ORACLE_FUEL: usize = 50_000_000;
+
+// Lane assignments of the packed all-earlier flag word: the paper's
+// side-by-side 1-bit AND networks (Figure 5, plus the renaming
+// variant) kept as bits of one `u64` and narrowed word-parallel, the
+// software mirror of `ultrascalar_prefix::packed::AndWords` lanes.
+const F_STORES_DONE: u64 = 1 << 0;
+const F_LOADS_DONE: u64 = 1 << 1;
+const F_BRANCHES_DONE: u64 = 1 << 2;
+const F_STORES_RESOLVED: u64 = 1 << 3;
+/// Lanes gating a store issue: every older store, load and branch done.
+const F_STORE_ISSUE: u64 = F_STORES_DONE | F_LOADS_DONE | F_BRANCHES_DONE;
 
 /// A cluster of up to `C` stations. In hardware every cluster always
 /// has `C` stations; here `entries` holds only the occupied ones (all
@@ -62,6 +72,14 @@ struct Cluster {
 struct ScanScratch {
     /// Most recent preceding writer per architectural register.
     last_writer: Vec<Option<Writer>>,
+    /// First cycle at which register `r`'s most recent preceding
+    /// writer's value is usable (packed-flags fast path, single-cycle
+    /// forwarding only): `0` when the register reads from the committed
+    /// file, `completion + 1` for an in-window writer, `u64::MAX` for a
+    /// writer with no scheduled completion. Paired with the scan's
+    /// register-unready lane word, it lets a blocked station's wake-up
+    /// event be read off directly instead of re-resolving its operands.
+    writer_ready_at: Vec<u64>,
     /// Resolved state of each older store, in program order (memory
     /// renaming only).
     store_infos: Vec<StoreInfo>,
@@ -73,6 +91,7 @@ impl ScanScratch {
     fn new(num_regs: usize) -> Self {
         ScanScratch {
             last_writer: vec![None; num_regs],
+            writer_ready_at: vec![0; num_regs],
             ..ScanScratch::default()
         }
     }
@@ -80,6 +99,7 @@ impl ScanScratch {
     /// Reset for a new cycle without releasing capacity.
     fn reset(&mut self) {
         self.last_writer.fill(None);
+        self.writer_ready_at.fill(0);
         self.store_infos.clear();
         self.requests.clear();
     }
@@ -156,6 +176,25 @@ struct StoreInfo {
     value: u32,
 }
 
+/// Wake-up collection for the packed-gate fast path: `blocked` is the
+/// non-empty intersection of a station's source mask with the scan's
+/// register-unready word. Under single-cycle forwarding a blocked
+/// source becomes usable exactly one cycle after its writer completes,
+/// so the readiness time is read straight off the per-register table
+/// without building a [`Source`] (`u64::MAX` entries — writers with no
+/// scheduled completion — are absorbed by the `min`).
+#[inline]
+fn packed_wakeups(mut blocked: u64, ready_at: &[u64], t: u64, next_source_ready: &mut u64) {
+    while blocked != 0 {
+        let r = blocked.trailing_zeros() as usize;
+        blocked &= blocked - 1;
+        let ra = ready_at[r];
+        if ra > t && ra != u64::MAX {
+            *next_source_ready = (*next_source_ready).min(ra);
+        }
+    }
+}
+
 /// The unified Ultrascalar processor model.
 #[derive(Debug, Clone)]
 pub struct Ultrascalar {
@@ -199,6 +238,15 @@ impl Processor for Ultrascalar {
         let lat = self.cfg.latency;
         let fwd = self.cfg.forward;
         let renaming = self.cfg.memory_renaming;
+        // The packed readiness fast path assumes a reader-independent
+        // forwarding latency (ready one cycle after the writer
+        // completes); pipelined forwarding makes readiness depend on
+        // the producer/consumer ring distance, so it keeps the scalar
+        // resolve path. The register-unready lanes live in one word,
+        // hence the 64-register bound.
+        let packed = self.cfg.packed_flags
+            && matches!(fwd, ForwardModel::SingleCycle)
+            && program.num_regs <= 64;
 
         let mut fetch = FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL);
         let mut mem = MemSystem::new(self.cfg.mem.clone(), &program.init_mem);
@@ -303,14 +351,21 @@ impl Processor for Ultrascalar {
 
             // ---- Phase A: program-order scan; issue & collect memory
             // requests. Prefix flags mirror the CSPP circuits, computed
-            // on start-of-cycle state.
-            let mut all_stores_done = true;
-            let mut all_loads_done = true;
-            let mut all_branches_done = true;
-            let mut all_stores_resolved = true;
+            // on start-of-cycle state; the four all-earlier AND
+            // networks live side by side as lanes of one packed word,
+            // narrowed in place as the scan passes each station.
+            let mut flags: u64 = F_STORES_DONE | F_LOADS_DONE | F_BRANCHES_DONE | F_STORES_RESOLVED;
+            // Register-unready lane word: bit `r` is raised while the
+            // most recent preceding writer of register `r` has not
+            // produced a usable value this cycle — the software form of
+            // the per-register ready-bit CSPP lanes (paper Figure 4),
+            // all 64 registers in one word, so a blocked reader is
+            // detected by a single mask test.
+            let mut unready_word: u64 = 0;
             scratch.reset();
             let ScanScratch {
                 last_writer,
+                writer_ready_at,
                 store_infos,
                 requests,
             } = &mut scratch;
@@ -349,183 +404,202 @@ impl Processor for Ultrascalar {
                     let first_attempt = entry.mem == MemPhase::None;
                     let mut issued_alu_class = false;
                     if eligible {
-                        let srcs = entry.instr.reads();
-                        let s0 = srcs[0].map(&resolve);
-                        let s1 = srcs[1].map(&resolve);
-                        let ready = s0.as_ref().is_none_or(Source::ready)
-                            && s1.as_ref().is_none_or(Source::ready);
-                        if ready {
-                            let record_fw = |stats: &mut ProcStats, s: &Option<Source>| match s {
-                                Some(Source::Forwarded { dist, .. }) => stats.record_forward(*dist),
-                                Some(Source::Committed { .. }) => stats.regfile_reads += 1,
-                                None => {}
-                            };
-                            let instr = entry.instr;
-                            match instr {
-                                Instr::Alu { op, .. } => {
-                                    if self.cfg.alus.is_none() || free_alus > 0 {
-                                        if self.cfg.alus.is_some() {
-                                            free_alus -= 1;
-                                            issued_alu_class = true;
-                                        }
-                                        let v = op.apply(
-                                            s0.as_ref().expect("alu rs1").value(),
-                                            s1.as_ref().expect("alu rs2").value(),
-                                        );
-                                        let e = &mut window[ci].entries[ei];
-                                        e.issued_at = Some(t);
-                                        e.completed_at = Some(t + lat.of(&instr) - 1);
-                                        e.result = Some(v);
-                                        e.actual_next = Some(e.pc + 1);
-                                        record_fw(&mut stats, &s0);
-                                        record_fw(&mut stats, &s1);
-                                    } else {
-                                        stats.alu_stalls += 1;
+                        // Packed fast gate: a station is blocked iff its
+                        // decode-time source mask intersects the unready
+                        // lane word — one load-and-AND replaces the full
+                        // operand resolution, which then runs only for
+                        // stations that can actually issue.
+                        let blocked = if packed {
+                            unready_word & entry.src_mask
+                        } else {
+                            0
+                        };
+                        if packed && blocked != 0 {
+                            packed_wakeups(blocked, writer_ready_at, t, &mut next_source_ready);
+                        } else {
+                            let srcs = entry.instr.reads();
+                            let s0 = srcs[0].map(&resolve);
+                            let s1 = srcs[1].map(&resolve);
+                            let ready = s0.as_ref().is_none_or(Source::ready)
+                                && s1.as_ref().is_none_or(Source::ready);
+                            if ready {
+                                let record_fw = |stats: &mut ProcStats, s: &Option<Source>| match s
+                                {
+                                    Some(Source::Forwarded { dist, .. }) => {
+                                        stats.record_forward(*dist)
                                     }
-                                }
-                                Instr::AluImm { op, imm, .. } => {
-                                    if self.cfg.alus.is_none() || free_alus > 0 {
-                                        if self.cfg.alus.is_some() {
-                                            free_alus -= 1;
-                                            issued_alu_class = true;
-                                        }
-                                        let v = op.apply(
-                                            s0.as_ref().expect("alui rs1").value(),
-                                            imm as u32,
-                                        );
-                                        let e = &mut window[ci].entries[ei];
-                                        e.issued_at = Some(t);
-                                        e.completed_at = Some(t + lat.of(&instr) - 1);
-                                        e.result = Some(v);
-                                        e.actual_next = Some(e.pc + 1);
-                                        record_fw(&mut stats, &s0);
-                                    } else {
-                                        stats.alu_stalls += 1;
-                                    }
-                                }
-                                Instr::LoadImm { imm, .. } => {
-                                    let e = &mut window[ci].entries[ei];
-                                    e.issued_at = Some(t);
-                                    e.completed_at = Some(t + lat.of(&instr) - 1);
-                                    e.result = Some(imm as u32);
-                                    e.actual_next = Some(e.pc + 1);
-                                }
-                                Instr::Branch { cond, target, .. } => {
-                                    let a = s0.as_ref().expect("branch rs1").value();
-                                    let b = s1.as_ref().expect("branch rs2").value();
-                                    let taken = cond.eval(a, b);
-                                    let e = &mut window[ci].entries[ei];
-                                    e.issued_at = Some(t);
-                                    e.completed_at = Some(t + lat.of(&instr) - 1);
-                                    e.taken = Some(taken);
-                                    e.actual_next =
-                                        Some(if taken { target as usize } else { e.pc + 1 });
-                                    record_fw(&mut stats, &s0);
-                                    record_fw(&mut stats, &s1);
-                                }
-                                Instr::Jump { target } => {
-                                    let e = &mut window[ci].entries[ei];
-                                    e.issued_at = Some(t);
-                                    e.completed_at = Some(t);
-                                    e.actual_next = Some(target as usize);
-                                }
-                                Instr::Halt | Instr::Nop => {
-                                    let e = &mut window[ci].entries[ei];
-                                    e.issued_at = Some(t);
-                                    e.completed_at = Some(t);
-                                    e.actual_next = Some(e.pc + 1);
-                                }
-                                Instr::Load { offset, .. } => {
-                                    let base = s0.as_ref().expect("load base").value();
-                                    let addr =
-                                        (base.wrapping_add(offset as u32) as usize) % mem.words();
-                                    if renaming {
-                                        // Memory renaming: once every
-                                        // older store's address is
-                                        // known, either forward from
-                                        // the nearest match or go to
-                                        // memory immediately.
-                                        if all_stores_resolved {
-                                            let hit =
-                                                store_infos.iter().rev().find(|s| s.addr == addr);
-                                            if let Some(s) = hit {
-                                                let v = s.value;
-                                                let e = &mut window[ci].entries[ei];
-                                                e.issued_at = Some(t);
-                                                e.completed_at = Some(t);
-                                                e.result = Some(v);
-                                                e.actual_next = Some(e.pc + 1);
-                                                stats.store_forwards += 1;
-                                                record_fw(&mut stats, &s0);
-                                            } else {
-                                                requests.push(MemRequest {
-                                                    id: seq,
-                                                    leaf: pos,
-                                                    addr,
-                                                    kind: ReqKind::Load,
-                                                });
-                                                let e = &mut window[ci].entries[ei];
-                                                e.mem = MemPhase::Requesting;
-                                                if first_attempt {
-                                                    record_fw(&mut stats, &s0);
-                                                }
+                                    Some(Source::Committed { .. }) => stats.regfile_reads += 1,
+                                    None => {}
+                                };
+                                let instr = entry.instr;
+                                match instr {
+                                    Instr::Alu { op, .. } => {
+                                        if self.cfg.alus.is_none() || free_alus > 0 {
+                                            if self.cfg.alus.is_some() {
+                                                free_alus -= 1;
+                                                issued_alu_class = true;
                                             }
-                                        }
-                                    } else if all_stores_done {
-                                        requests.push(MemRequest {
-                                            id: seq,
-                                            leaf: pos,
-                                            addr,
-                                            kind: ReqKind::Load,
-                                        });
-                                        let e = &mut window[ci].entries[ei];
-                                        e.mem = MemPhase::Requesting;
-                                        if first_attempt {
-                                            record_fw(&mut stats, &s0);
-                                        }
-                                    }
-                                }
-                                Instr::Store { offset, .. } => {
-                                    if all_stores_done && all_loads_done && all_branches_done {
-                                        let base = s0.as_ref().expect("store base").value();
-                                        let val = s1.as_ref().expect("store src").value();
-                                        let addr = (base.wrapping_add(offset as u32) as usize)
-                                            % mem.words();
-                                        requests.push(MemRequest {
-                                            id: seq,
-                                            leaf: pos,
-                                            addr,
-                                            kind: ReqKind::Store(val),
-                                        });
-                                        let e = &mut window[ci].entries[ei];
-                                        e.mem = MemPhase::Requesting;
-                                        if first_attempt {
+                                            let v = op.apply(
+                                                s0.as_ref().expect("alu rs1").value(),
+                                                s1.as_ref().expect("alu rs2").value(),
+                                            );
+                                            let e = &mut window[ci].entries[ei];
+                                            e.issued_at = Some(t);
+                                            e.completed_at = Some(t + lat.of(&instr) - 1);
+                                            e.result = Some(v);
+                                            e.actual_next = Some(e.pc + 1);
                                             record_fw(&mut stats, &s0);
                                             record_fw(&mut stats, &s1);
+                                        } else {
+                                            stats.alu_stalls += 1;
+                                        }
+                                    }
+                                    Instr::AluImm { op, imm, .. } => {
+                                        if self.cfg.alus.is_none() || free_alus > 0 {
+                                            if self.cfg.alus.is_some() {
+                                                free_alus -= 1;
+                                                issued_alu_class = true;
+                                            }
+                                            let v = op.apply(
+                                                s0.as_ref().expect("alui rs1").value(),
+                                                imm as u32,
+                                            );
+                                            let e = &mut window[ci].entries[ei];
+                                            e.issued_at = Some(t);
+                                            e.completed_at = Some(t + lat.of(&instr) - 1);
+                                            e.result = Some(v);
+                                            e.actual_next = Some(e.pc + 1);
+                                            record_fw(&mut stats, &s0);
+                                        } else {
+                                            stats.alu_stalls += 1;
+                                        }
+                                    }
+                                    Instr::LoadImm { imm, .. } => {
+                                        let e = &mut window[ci].entries[ei];
+                                        e.issued_at = Some(t);
+                                        e.completed_at = Some(t + lat.of(&instr) - 1);
+                                        e.result = Some(imm as u32);
+                                        e.actual_next = Some(e.pc + 1);
+                                    }
+                                    Instr::Branch { cond, target, .. } => {
+                                        let a = s0.as_ref().expect("branch rs1").value();
+                                        let b = s1.as_ref().expect("branch rs2").value();
+                                        let taken = cond.eval(a, b);
+                                        let e = &mut window[ci].entries[ei];
+                                        e.issued_at = Some(t);
+                                        e.completed_at = Some(t + lat.of(&instr) - 1);
+                                        e.taken = Some(taken);
+                                        e.actual_next =
+                                            Some(if taken { target as usize } else { e.pc + 1 });
+                                        record_fw(&mut stats, &s0);
+                                        record_fw(&mut stats, &s1);
+                                    }
+                                    Instr::Jump { target } => {
+                                        let e = &mut window[ci].entries[ei];
+                                        e.issued_at = Some(t);
+                                        e.completed_at = Some(t);
+                                        e.actual_next = Some(target as usize);
+                                    }
+                                    Instr::Halt | Instr::Nop => {
+                                        let e = &mut window[ci].entries[ei];
+                                        e.issued_at = Some(t);
+                                        e.completed_at = Some(t);
+                                        e.actual_next = Some(e.pc + 1);
+                                    }
+                                    Instr::Load { offset, .. } => {
+                                        let base = s0.as_ref().expect("load base").value();
+                                        let addr = (base.wrapping_add(offset as u32) as usize)
+                                            % mem.words();
+                                        if renaming {
+                                            // Memory renaming: once every
+                                            // older store's address is
+                                            // known, either forward from
+                                            // the nearest match or go to
+                                            // memory immediately.
+                                            if flags & F_STORES_RESOLVED != 0 {
+                                                let hit = store_infos
+                                                    .iter()
+                                                    .rev()
+                                                    .find(|s| s.addr == addr);
+                                                if let Some(s) = hit {
+                                                    let v = s.value;
+                                                    let e = &mut window[ci].entries[ei];
+                                                    e.issued_at = Some(t);
+                                                    e.completed_at = Some(t);
+                                                    e.result = Some(v);
+                                                    e.actual_next = Some(e.pc + 1);
+                                                    stats.store_forwards += 1;
+                                                    record_fw(&mut stats, &s0);
+                                                } else {
+                                                    requests.push(MemRequest {
+                                                        id: seq,
+                                                        leaf: pos,
+                                                        addr,
+                                                        kind: ReqKind::Load,
+                                                    });
+                                                    let e = &mut window[ci].entries[ei];
+                                                    e.mem = MemPhase::Requesting;
+                                                    if first_attempt {
+                                                        record_fw(&mut stats, &s0);
+                                                    }
+                                                }
+                                            }
+                                        } else if flags & F_STORES_DONE != 0 {
+                                            requests.push(MemRequest {
+                                                id: seq,
+                                                leaf: pos,
+                                                addr,
+                                                kind: ReqKind::Load,
+                                            });
+                                            let e = &mut window[ci].entries[ei];
+                                            e.mem = MemPhase::Requesting;
+                                            if first_attempt {
+                                                record_fw(&mut stats, &s0);
+                                            }
+                                        }
+                                    }
+                                    Instr::Store { offset, .. } => {
+                                        if flags & F_STORE_ISSUE == F_STORE_ISSUE {
+                                            let base = s0.as_ref().expect("store base").value();
+                                            let val = s1.as_ref().expect("store src").value();
+                                            let addr = (base.wrapping_add(offset as u32) as usize)
+                                                % mem.words();
+                                            requests.push(MemRequest {
+                                                id: seq,
+                                                leaf: pos,
+                                                addr,
+                                                kind: ReqKind::Store(val),
+                                            });
+                                            let e = &mut window[ci].entries[ei];
+                                            e.mem = MemPhase::Requesting;
+                                            if first_attempt {
+                                                record_fw(&mut stats, &s0);
+                                                record_fw(&mut stats, &s1);
+                                            }
                                         }
                                     }
                                 }
-                            }
-                        } else {
-                            // Blocked on operands. Each pending
-                            // forwarded source whose producer already
-                            // has a scheduled completion becomes usable
-                            // at a known future cycle — a wake-up event
-                            // for the cycle skip. (Sources whose
-                            // producers have not even issued are
-                            // covered transitively: the oldest blocked
-                            // entry in the window always reduces to an
-                            // issued producer, an in-flight memory op,
-                            // or a fetch stall.)
-                            for s in [&s0, &s1] {
-                                if let Some(Source::Forwarded {
-                                    ready: false,
-                                    ready_at: Some(ra),
-                                    ..
-                                }) = s
-                                {
-                                    if *ra > t {
-                                        next_source_ready = next_source_ready.min(*ra);
+                            } else {
+                                // Blocked on operands. Each pending
+                                // forwarded source whose producer already
+                                // has a scheduled completion becomes usable
+                                // at a known future cycle — a wake-up event
+                                // for the cycle skip. (Sources whose
+                                // producers have not even issued are
+                                // covered transitively: the oldest blocked
+                                // entry in the window always reduces to an
+                                // issued producer, an in-flight memory op,
+                                // or a fetch stall.)
+                                for s in [&s0, &s1] {
+                                    if let Some(Source::Forwarded {
+                                        ready: false,
+                                        ready_at: Some(ra),
+                                        ..
+                                    }) = s
+                                    {
+                                        if *ra > t {
+                                            next_source_ready = next_source_ready.min(*ra);
+                                        }
                                     }
                                 }
                             }
@@ -542,62 +616,87 @@ impl Processor for Ultrascalar {
                         Some(ct) if ct == t => completes_now = true,
                         _ => {}
                     }
-                    if entry.instr.is_load() {
-                        all_loads_done &= done;
+                    if entry.instr.is_load() && !done {
+                        flags &= !F_LOADS_DONE;
                     }
                     if entry.instr.is_store() {
-                        all_stores_done &= done;
+                        if !done {
+                            flags &= !F_STORES_DONE;
+                        }
                         if renaming {
-                            // Recompute the store's operands against
-                            // the *current* scan state (values are
-                            // stable once their producers are ready).
-                            let srcs = entry.instr.reads();
-                            let s0 = srcs[0].map(&resolve);
-                            let s1 = srcs[1].map(&resolve);
-                            let resolved = s0.as_ref().is_none_or(Source::ready)
-                                && s1.as_ref().is_none_or(Source::ready);
-                            if !resolved {
-                                // An unresolved store gates every
-                                // younger load under renaming; its
-                                // operands' readiness times are wake-up
-                                // events too.
-                                for s in [&s0, &s1] {
-                                    if let Some(Source::Forwarded {
-                                        ready: false,
-                                        ready_at: Some(ra),
-                                        ..
-                                    }) = s
-                                    {
-                                        if *ra > t {
-                                            next_source_ready = next_source_ready.min(*ra);
-                                        }
-                                    }
-                                }
-                            }
-                            let info = if resolved {
-                                let base = s0.as_ref().expect("store base").value();
-                                let offset = match entry.instr {
-                                    Instr::Store { offset, .. } => offset,
-                                    _ => unreachable!("store arm"),
-                                };
-                                StoreInfo {
-                                    resolved: true,
-                                    addr: (base.wrapping_add(offset as u32) as usize) % mem.words(),
-                                    value: s1.as_ref().expect("store src").value(),
-                                }
+                            let blocked = if packed {
+                                unready_word & entry.src_mask
                             } else {
-                                StoreInfo {
+                                0
+                            };
+                            if packed && blocked != 0 {
+                                // Packed gate, same shape as the issue
+                                // path: an unresolved store gates every
+                                // younger load under renaming, and its
+                                // operands' readiness times are wake-up
+                                // events.
+                                packed_wakeups(blocked, writer_ready_at, t, &mut next_source_ready);
+                                flags &= !F_STORES_RESOLVED;
+                                store_infos.push(StoreInfo {
                                     resolved: false,
                                     addr: 0,
                                     value: 0,
+                                });
+                            } else {
+                                // Recompute the store's operands against
+                                // the *current* scan state (values are
+                                // stable once their producers are ready).
+                                let srcs = entry.instr.reads();
+                                let s0 = srcs[0].map(&resolve);
+                                let s1 = srcs[1].map(&resolve);
+                                let resolved = s0.as_ref().is_none_or(Source::ready)
+                                    && s1.as_ref().is_none_or(Source::ready);
+                                if !resolved {
+                                    // An unresolved store gates every
+                                    // younger load under renaming; its
+                                    // operands' readiness times are wake-up
+                                    // events too.
+                                    for s in [&s0, &s1] {
+                                        if let Some(Source::Forwarded {
+                                            ready: false,
+                                            ready_at: Some(ra),
+                                            ..
+                                        }) = s
+                                        {
+                                            if *ra > t {
+                                                next_source_ready = next_source_ready.min(*ra);
+                                            }
+                                        }
+                                    }
                                 }
-                            };
-                            all_stores_resolved &= info.resolved;
-                            store_infos.push(info);
+                                let info = if resolved {
+                                    let base = s0.as_ref().expect("store base").value();
+                                    let offset = match entry.instr {
+                                        Instr::Store { offset, .. } => offset,
+                                        _ => unreachable!("store arm"),
+                                    };
+                                    StoreInfo {
+                                        resolved: true,
+                                        addr: (base.wrapping_add(offset as u32) as usize)
+                                            % mem.words(),
+                                        value: s1.as_ref().expect("store src").value(),
+                                    }
+                                } else {
+                                    StoreInfo {
+                                        resolved: false,
+                                        addr: 0,
+                                        value: 0,
+                                    }
+                                };
+                                if !info.resolved {
+                                    flags &= !F_STORES_RESOLVED;
+                                }
+                                store_infos.push(info);
+                            }
                         }
                     }
-                    if entry.instr.is_branch() {
-                        all_branches_done &= done;
+                    if entry.instr.is_branch() && !done {
+                        flags &= !F_BRANCHES_DONE;
                     }
                     if let Some(rd) = entry.instr.writes() {
                         last_writer[rd.index()] = Some(Writer {
@@ -606,6 +705,21 @@ impl Processor for Ultrascalar {
                             value: entry.result.unwrap_or(0),
                             pos,
                         });
+                        if packed {
+                            // Per-register ready lane: usable one cycle
+                            // after completion under single-cycle
+                            // forwarding. An entry issuing *this* cycle
+                            // has `done + 1 > t`, so same-cycle readers
+                            // correctly see it unready.
+                            let ra = entry.completed_at.map_or(u64::MAX, |done| done + 1);
+                            writer_ready_at[rd.index()] = ra;
+                            let bit = 1u64 << rd.index();
+                            if ra > t {
+                                unready_word |= bit;
+                            } else {
+                                unready_word &= !bit;
+                            }
+                        }
                     }
                     if issued_alu_class {
                         // Occupy a shared ALU through the completion

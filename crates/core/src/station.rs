@@ -47,11 +47,23 @@ pub struct StationEntry {
     pub taken: Option<bool>,
     /// Resolved architectural next pc (branches/jumps; `pc+1` others).
     pub actual_next: Option<usize>,
+    /// Bit `r` set iff the instruction reads register `r` (registers
+    /// ≥ 64 are omitted — the packed engine path that consumes this
+    /// mask is only enabled when every register fits one lane word).
+    /// Fixed at decode, so per-cycle readiness gating is a single
+    /// load-and-AND against the scan's unready lane word.
+    pub src_mask: u64,
 }
 
 impl StationEntry {
     /// A freshly fetched entry.
     pub fn new(seq: u64, pc: usize, instr: Instr, predicted_next: usize, fetched_at: u64) -> Self {
+        let src_mask = instr
+            .reads()
+            .iter()
+            .flatten()
+            .filter(|r| r.index() < 64)
+            .fold(0u64, |m, r| m | 1 << r.index());
         StationEntry {
             seq,
             pc,
@@ -64,6 +76,7 @@ impl StationEntry {
             mem: MemPhase::None,
             taken: None,
             actual_next: None,
+            src_mask,
         }
     }
 

@@ -1,0 +1,161 @@
+//! Differential test for the packed word-parallel flag networks: every
+//! configuration must produce bit-identical results (cycles, registers,
+//! memory, statistics) with `packed_flags` on and off, across random
+//! straight-line and loop programs. The packed path is a pure
+//! representation change — lane-packed all-earlier AND flags and a
+//! per-register writer-readiness bitset gating blocked stations — so
+//! any observable divergence is a bug.
+
+use ultrascalar::{ForwardModel, LatencyModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_isa::{AluOp, BranchCond, Instr, Program, Reg};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_program(rng: &mut Rng) -> Program {
+    let len = 12 + rng.below(20) as usize;
+    let nregs = 6;
+    let mut instrs = Vec::new();
+    for i in 0..len {
+        let r = |rng: &mut Rng| Reg(rng.below(nregs as u64) as u8);
+        match rng.below(10) {
+            0..=2 => instrs.push(Instr::AluImm {
+                op: [AluOp::Add, AluOp::Sub, AluOp::Xor][rng.below(3) as usize],
+                rd: r(rng),
+                rs1: r(rng),
+                imm: rng.below(32) as i32,
+            }),
+            3..=4 => instrs.push(Instr::Alu {
+                op: [AluOp::Add, AluOp::Mul, AluOp::And, AluOp::Div][rng.below(4) as usize],
+                rd: r(rng),
+                rs1: r(rng),
+                rs2: r(rng),
+            }),
+            5 => instrs.push(Instr::Load {
+                rd: r(rng),
+                base: r(rng),
+                offset: rng.below(16) as i32,
+            }),
+            6 => instrs.push(Instr::Store {
+                src: r(rng),
+                base: r(rng),
+                offset: rng.below(16) as i32,
+            }),
+            7 => instrs.push(Instr::LoadImm {
+                rd: r(rng),
+                imm: rng.below(64) as i32,
+            }),
+            8 => {
+                // Forward branch only (termination guaranteed).
+                let tgt = (i as u64 + 1 + rng.below(4)).min(len as u64) as u32;
+                instrs.push(Instr::Branch {
+                    cond: [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt][rng.below(3) as usize],
+                    rs1: r(rng),
+                    rs2: r(rng),
+                    target: tgt,
+                });
+            }
+            _ => instrs.push(Instr::Nop),
+        }
+    }
+    instrs.push(Instr::Halt);
+    Program {
+        instrs,
+        num_regs: nregs,
+        init_regs: (0..nregs as u32).map(|x| x * 3 + 1).collect(),
+        init_mem: (0..32).map(|x| x as u32 * 7 + 2).collect(),
+    }
+}
+
+/// The configurations under test: all the feature interactions the
+/// packed gate touches (renaming store re-resolution, shared ALUs,
+/// finite memory, trace cache, fetch caps) plus a pipelined-forwarding
+/// configuration, where `packed_flags` must silently fall back to the
+/// scalar path because readiness is reader-dependent.
+fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
+    vec![
+        (
+            "us1-plain",
+            ProcConfig::ultrascalar_i(8)
+                .with_predictor(PredictorKind::Bimodal(16))
+                .with_latency(lat),
+        ),
+        (
+            "us1-renaming-realmem",
+            ProcConfig::ultrascalar_i(8)
+                .with_predictor(PredictorKind::Bimodal(16))
+                .with_memory_renaming()
+                .with_mem(ultrascalar_memsys::MemConfig::realistic(8, 1 << 16))
+                .with_latency(lat),
+        ),
+        (
+            "hybrid-all",
+            ProcConfig::hybrid(16, 4)
+                .with_predictor(PredictorKind::Bimodal(16))
+                .with_memory_renaming()
+                .with_shared_alus(2)
+                .with_trace_cache(1, 3)
+                .with_fetch_width(3)
+                .with_latency(lat),
+        ),
+        (
+            "us2-pipelined",
+            ProcConfig::ultrascalar_ii(8)
+                .with_predictor(PredictorKind::NotTaken)
+                .with_forwarding(ForwardModel::Pipelined { per_hop: 2 })
+                .with_memory_renaming()
+                .with_latency(lat),
+        ),
+        (
+            "us1-noskip",
+            ProcConfig::ultrascalar_i(8)
+                .with_predictor(PredictorKind::Taken)
+                .with_shared_alus(1)
+                .without_cycle_skipping()
+                .with_latency(lat),
+        ),
+    ]
+}
+
+#[test]
+fn packed_flags_match_legacy_path() {
+    let mut rng = Rng(0xBADC0DE5);
+    let lat = LatencyModel {
+        branch: 2,
+        ..LatencyModel::default()
+    };
+    for iter in 0..250u32 {
+        let prog = random_program(&mut rng);
+        if prog.validate().is_err() {
+            continue;
+        }
+        for (name, cfg) in configs(lat) {
+            assert!(cfg.packed_flags, "packed flags must default on");
+            let packed = Ultrascalar::new(cfg.clone()).run(&prog);
+            let legacy = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+            assert_eq!(
+                packed.cycles, legacy.cycles,
+                "iter {iter} {name}: cycle mismatch"
+            );
+            assert_eq!(packed.halted, legacy.halted, "iter {iter} {name}: halted");
+            assert_eq!(packed.regs, legacy.regs, "iter {iter} {name}: regs");
+            assert_eq!(packed.mem, legacy.mem, "iter {iter} {name}: memory");
+            assert_eq!(packed.stats, legacy.stats, "iter {iter} {name}: stats");
+            assert_eq!(
+                packed.timings, legacy.timings,
+                "iter {iter} {name}: timings"
+            );
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! count is the bandwidth profile's root capacity `⌈M(n)⌉`.
 
 use crate::bandwidth::Bandwidth;
+use ultrascalar_prefix::packed::BitWords;
 
 /// Per-cycle butterfly admission control.
 #[derive(Debug, Clone)]
@@ -24,9 +25,10 @@ pub struct Butterfly {
     n: usize,
     stages: usize,
     ports: usize,
-    /// `used[s][q]`: the wire entering position `q` after stage `s` is
-    /// taken this cycle.
-    used: Vec<Vec<bool>>,
+    /// `used[s]` bit `q`: the wire entering position `q` after stage
+    /// `s` is taken this cycle. Packed so `begin_cycle` clears 64
+    /// wires per word instead of one `bool` at a time.
+    used: Vec<BitWords>,
     /// Requests admitted in total.
     pub admitted: u64,
     /// Requests refused because a stage wire was taken.
@@ -48,7 +50,7 @@ impl Butterfly {
             n,
             stages,
             ports,
-            used: vec![vec![false; n]; stages.max(1)],
+            used: vec![BitWords::new(n); stages.max(1)],
             admitted: 0,
             conflicts: 0,
         }
@@ -70,10 +72,10 @@ impl Butterfly {
         port * (self.n / self.ports.min(self.n))
     }
 
-    /// Reset per-cycle wire usage.
+    /// Reset per-cycle wire usage (one word write per 64 wires).
     pub fn begin_cycle(&mut self) {
         for stage in &mut self.used {
-            stage.iter_mut().for_each(|u| *u = false);
+            stage.clear();
         }
     }
 
@@ -97,13 +99,13 @@ impl Butterfly {
         }
         debug_assert!(self.stages == 0 || pos == dest);
         for (s, &q) in path.iter().enumerate() {
-            if self.used[s][q] {
+            if self.used[s].get(q) {
                 self.conflicts += 1;
                 return false;
             }
         }
         for (s, &q) in path.iter().enumerate() {
-            self.used[s][q] = true;
+            self.used[s].set(q);
         }
         self.admitted += 1;
         true

@@ -26,7 +26,12 @@ pub struct FatTree {
     /// leaves themselves, level `levels` = root).
     caps: Vec<usize>,
     /// Usage counters per level, indexed by subtree id at that level.
-    used: Vec<Vec<usize>>,
+    /// Each entry is `(generation, count)`; a stale generation reads as
+    /// zero, so `begin_cycle` is an O(1) generation bump rather than an
+    /// O(n log n) sweep over every counter.
+    used: Vec<Vec<(u64, usize)>>,
+    /// Current cycle's generation stamp.
+    generation: u64,
     /// Total requests admitted.
     pub admitted: u64,
     /// Requests refused for lack of link capacity.
@@ -56,13 +61,14 @@ impl FatTree {
             let size = (ARITY.pow(l as u32)).min(n_leaves);
             caps.push(bw.capacity(size));
             let groups = n_leaves.div_ceil(ARITY.pow(l as u32));
-            used.push(vec![0usize; groups]);
+            used.push(vec![(0u64, 0usize); groups]);
         }
         FatTree {
             n_leaves,
             levels,
             caps,
             used,
+            generation: 0,
             admitted: 0,
             link_rejections: 0,
         }
@@ -83,11 +89,11 @@ impl FatTree {
         self.caps[level]
     }
 
-    /// Reset per-cycle usage. Call once per simulated cycle.
+    /// Reset per-cycle usage. Call once per simulated cycle. O(1): the
+    /// generation stamp advances and every counter lazily reads as zero
+    /// until touched again.
     pub fn begin_cycle(&mut self) {
-        for lvl in &mut self.used {
-            lvl.iter_mut().for_each(|u| *u = 0);
-        }
+        self.generation += 1;
     }
 
     /// Try to admit a request from `leaf` this cycle. On success the
@@ -102,14 +108,18 @@ impl FatTree {
         // level 0 is the leaf's own port, capacity M(1) = 1).
         for l in 0..=self.levels {
             let group = leaf / ARITY.pow(l as u32);
-            if self.used[l][group] >= self.caps[l] {
+            let (stamp, count) = self.used[l][group];
+            let count = if stamp == self.generation { count } else { 0 };
+            if count >= self.caps[l] {
                 self.link_rejections += 1;
                 return false;
             }
         }
         for l in 0..=self.levels {
             let group = leaf / ARITY.pow(l as u32);
-            self.used[l][group] += 1;
+            let slot = &mut self.used[l][group];
+            let count = if slot.0 == self.generation { slot.1 } else { 0 };
+            *slot = (self.generation, count + 1);
         }
         self.admitted += 1;
         true

@@ -1,0 +1,390 @@
+//! Arena-backed prefix trees: build and scan into retained scratch
+//! with no `Option` wrappers and no per-call allocation.
+//!
+//! [`crate::tree::TreeScan`] models the hardware faithfully but pays a
+//! software tax on every evaluation: a fresh `Vec<Option<T>>` per
+//! build, another per scan, and an `Option` discriminant test per node.
+//! [`ArenaScan`] removes all three. Occupancy of the left-balanced heap
+//! layout is *arithmetic*, not data: node `k` (1-based heap index over
+//! `2 * size` slots, `size = ceil_pow2(n)`) covers `span(k) =
+//! (2*size) >> bitlen(k)` leaves starting at leaf `k*span(k) - size`,
+//! so it is occupied iff `k * span(k) < size + n`. Because leaves are
+//! left-packed, a node's right child being occupied implies its left
+//! child is too, which collapses the per-node `match` into two
+//! branch-predictable comparisons.
+//!
+//! The buffers live in the struct and are reused across cycles, so the
+//! steady state performs **zero allocations** (asserted by the counting
+//! allocator in `tests/alloc_probe.rs`), and [`ArenaScan::update_leaf`]
+//! recomputes only the `O(log n)` root path when successive cycles
+//! change few stations — the common case in the simulator, where one
+//! instruction finishing flips one condition bit.
+
+use crate::op::PrefixOp;
+
+/// Number of leaves covered by heap node `k` in a tree of `size`
+/// leaf slots (`size` a power of two, `k` in `1..2*size`).
+#[inline]
+fn node_span(size: usize, k: usize) -> usize {
+    debug_assert!(k >= 1 && k < 2 * size);
+    (2 * size) >> (usize::BITS - k.leading_zeros())
+}
+
+/// Does heap node `k` cover at least one of the `n` real leaves?
+#[inline]
+fn occupied(size: usize, n: usize, k: usize) -> bool {
+    // Leftmost leaf index covered by k is k*span - size.
+    k * node_span(size, k) < size + n
+}
+
+/// An up-sweep/down-sweep scan over a retained arena.
+///
+/// Drop-in semantic equivalent of [`crate::tree::TreeScan`] (same
+/// left-balanced layout, same depth accounting, property-tested to
+/// produce identical scans) that owns its buffers and can be re-built
+/// and re-scanned indefinitely without touching the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct ArenaScan<T> {
+    n: usize,
+    size: usize,
+    /// Up-sweep interval summaries, heap layout over `2 * size` slots.
+    /// Unoccupied slots hold arbitrary filler (never read).
+    summaries: Vec<T>,
+    /// Down-sweep prefixes, same layout, retained across scans.
+    prefix: Vec<T>,
+    /// `ceil(log2 n)` levels.
+    levels: usize,
+    /// Operator applications performed by the most recent build.
+    work: usize,
+}
+
+impl<T: Clone> ArenaScan<T> {
+    /// An empty arena with no retained capacity; call
+    /// [`ArenaScan::build`] before scanning.
+    pub fn new() -> Self {
+        ArenaScan {
+            n: 0,
+            size: 0,
+            summaries: Vec::new(),
+            prefix: Vec::new(),
+            levels: 0,
+            work: 0,
+        }
+    }
+
+    /// Up-sweep: compute interval summaries for every occupied node.
+    /// Reuses the retained buffer; allocates only when `xs` is wider
+    /// than anything seen before.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn build<O: PrefixOp<T>>(&mut self, xs: &[T]) {
+        assert!(!xs.is_empty(), "ArenaScan requires at least one element");
+        self.n = xs.len();
+        self.size = self.n.next_power_of_two();
+        self.levels = self.size.trailing_zeros() as usize;
+        self.work = 0;
+        // Filler value for unoccupied slots: any T works, it is never
+        // read back; reusing xs[0] avoids a Default bound.
+        self.summaries.clear();
+        self.summaries.resize(2 * self.size, xs[0].clone());
+        for (i, x) in xs.iter().enumerate() {
+            self.summaries[self.size + i] = x.clone();
+        }
+        for k in (1..self.size).rev() {
+            if occupied(self.size, self.n, 2 * k + 1) {
+                let c = O::combine(&self.summaries[2 * k], &self.summaries[2 * k + 1]);
+                self.summaries[k] = c;
+                self.work += 1;
+            } else if occupied(self.size, self.n, 2 * k) {
+                // Left-packed: an occupied node with an empty right
+                // child just forwards its left child's summary.
+                self.summaries[k] = self.summaries[2 * k].clone();
+            }
+        }
+    }
+
+    /// Number of leaves of the most recent build.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total reduction of all leaves (the root summary).
+    ///
+    /// # Panics
+    /// Panics if nothing has been built.
+    pub fn root(&self) -> &T {
+        assert!(self.n > 0, "ArenaScan::root before build");
+        &self.summaries[1]
+    }
+
+    /// Operator applications on the critical path of a full
+    /// up-sweep + down-sweep evaluation: `2 * ceil(log2 n)`.
+    pub fn depth(&self) -> usize {
+        2 * self.levels
+    }
+
+    /// Operator applications performed by the most recent
+    /// [`ArenaScan::build`] (leaf updates and scans not included).
+    pub fn work(&self) -> usize {
+        self.work
+    }
+
+    /// Down-sweep producing the *exclusive* scan into `out`.
+    /// `before_all` flows into the leftmost leaf (committed state, or
+    /// the root summary in a root-tied cyclic evaluation). `out` is
+    /// cleared and refilled; no other allocation once buffers are warm.
+    ///
+    /// # Panics
+    /// Panics if nothing has been built.
+    pub fn scan_exclusive_into<O: PrefixOp<T>>(&mut self, before_all: T, out: &mut Vec<T>) {
+        assert!(self.n > 0, "ArenaScan::scan_exclusive_into before build");
+        self.prefix.clear();
+        self.prefix.resize(2 * self.size, before_all.clone());
+        self.prefix[1] = before_all;
+        for k in 1..self.size {
+            if !occupied(self.size, self.n, k) {
+                continue;
+            }
+            let p = self.prefix[k].clone();
+            // Left child (occupied whenever k is) sees the same prefix;
+            // right child sees prefix ⊗ left-summary.
+            if occupied(self.size, self.n, 2 * k + 1) {
+                self.prefix[2 * k + 1] = O::combine(&p, &self.summaries[2 * k]);
+            }
+            self.prefix[2 * k] = p;
+        }
+        out.clear();
+        out.extend_from_slice(&self.prefix[self.size..self.size + self.n]);
+    }
+
+    /// Replace leaf `i` and recompute only its root path: `O(log n)`
+    /// operator applications instead of a full rebuild.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn update_leaf<O: PrefixOp<T>>(&mut self, i: usize, x: T) {
+        assert!(i < self.n, "leaf index out of range");
+        self.summaries[self.size + i] = x;
+        let mut k = (self.size + i) / 2;
+        while k >= 1 {
+            if occupied(self.size, self.n, 2 * k + 1) {
+                let c = O::combine(&self.summaries[2 * k], &self.summaries[2 * k + 1]);
+                self.summaries[k] = c;
+            } else {
+                self.summaries[k] = self.summaries[2 * k].clone();
+            }
+            k /= 2;
+        }
+    }
+}
+
+/// Cyclic segmented-or-plain parallel prefix over a heap-layout tree,
+/// driven by a *closure* instead of a [`PrefixOp`] — the building block
+/// the circuit generators use, where "combining" two summaries means
+/// **emitting gates into a netlist** (the closure captures `&mut
+/// Netlist`). The tree top is tied: the root's own summary seeds the
+/// down-sweep, realising the paper's cyclic wrap (Figure 4).
+///
+/// Returns `out[i]` = the combination flowing into leaf `i` from its
+/// cyclic predecessors. The combination *order* (which pairs are
+/// combined, bottom-up then top-down over the left-balanced tree) is
+/// fixed, so generated circuits have the canonical `Θ(log n)` depth.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn cspp_heap_with<T: Clone>(leaves: &[T], mut combine: impl FnMut(&T, &T) -> T) -> Vec<T> {
+    assert!(!leaves.is_empty(), "CSPP ring must be non-empty");
+    let n = leaves.len();
+    let size = n.next_power_of_two();
+    let mut summaries: Vec<T> = vec![leaves[0].clone(); 2 * size];
+    summaries[size..size + n].clone_from_slice(leaves);
+    for k in (1..size).rev() {
+        if occupied(size, n, 2 * k + 1) {
+            let c = combine(&summaries[2 * k], &summaries[2 * k + 1]);
+            summaries[k] = c;
+        } else if occupied(size, n, 2 * k) {
+            summaries[k] = summaries[2 * k].clone();
+        }
+    }
+    let root = summaries[1].clone();
+    let mut prefix: Vec<T> = vec![root; 2 * size];
+    for k in 1..size {
+        if !occupied(size, n, k) {
+            continue;
+        }
+        let p = prefix[k].clone();
+        if occupied(size, n, 2 * k + 1) {
+            prefix[2 * k + 1] = combine(&p, &summaries[2 * k]);
+        }
+        prefix[2 * k] = p;
+    }
+    prefix[size..size + n].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cspp::cspp_ring;
+    use crate::op::{BoolAnd, First, SegOp, SegPair, Sum};
+    use crate::scan;
+    use crate::tree::TreeScan;
+
+    #[test]
+    fn occupancy_arithmetic_matches_option_heap() {
+        for n in 1..=40usize {
+            let size = n.next_power_of_two();
+            // Reference: the Option-based occupancy of TreeScan.
+            let mut occ = vec![false; 2 * size];
+            for i in 0..n {
+                occ[size + i] = true;
+            }
+            for k in (1..size).rev() {
+                occ[k] = occ[2 * k] || occ[2 * k + 1];
+            }
+            for k in 1..2 * size {
+                assert_eq!(occupied(size, n, k), occ[k], "n={n} k={k}");
+                // Left-packed invariant: right occupied => left occupied.
+                if k < size && occ[2 * k + 1] {
+                    assert!(occ[2 * k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_tree_scan_all_small_sizes() {
+        let mut arena = ArenaScan::new();
+        let mut out = Vec::new();
+        for n in 1..70usize {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+            arena.build::<Sum>(&xs);
+            arena.scan_exclusive_into::<Sum>(1000, &mut out);
+            let tree = TreeScan::build::<Sum>(&xs);
+            assert_eq!(out, tree.scan_exclusive::<Sum>(1000), "width {n}");
+            assert_eq!(arena.root(), tree.root(), "width {n}");
+            assert_eq!(arena.depth(), tree.depth(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_exclusive() {
+        let mut arena = ArenaScan::new();
+        let mut out = Vec::new();
+        for n in 1..50usize {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            arena.build::<Sum>(&xs);
+            arena.scan_exclusive_into::<Sum>(0, &mut out);
+            assert_eq!(out, scan::scan_exclusive::<_, Sum>(&xs, 0), "width {n}");
+        }
+    }
+
+    #[test]
+    fn reuse_across_widths() {
+        // Shrinking and growing the problem must not leave stale state.
+        let mut arena = ArenaScan::new();
+        let mut out = Vec::new();
+        for &n in &[33usize, 7, 64, 1, 12] {
+            let xs: Vec<u32> = (0..n as u32).map(|i| i + 1).collect();
+            arena.build::<Sum>(&xs);
+            arena.scan_exclusive_into::<Sum>(0, &mut out);
+            assert_eq!(out.len(), n);
+            assert_eq!(*arena.root(), (n * (n + 1) / 2) as u32, "n={n}");
+        }
+    }
+
+    #[test]
+    fn update_leaf_matches_rebuild() {
+        let mut arena = ArenaScan::new();
+        let mut fresh = ArenaScan::new();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for n in [1usize, 2, 5, 13, 32] {
+            let mut xs: Vec<u64> = (0..n as u64).map(|i| i * 5 + 2).collect();
+            arena.build::<Sum>(&xs);
+            for i in 0..n {
+                xs[i] = xs[i].wrapping_mul(3) + i as u64;
+                arena.update_leaf::<Sum>(i, xs[i]);
+                fresh.build::<Sum>(&xs);
+                arena.scan_exclusive_into::<Sum>(7, &mut out_a);
+                fresh.scan_exclusive_into::<Sum>(7, &mut out_b);
+                assert_eq!(out_a, out_b, "n={n} i={i}");
+                assert_eq!(arena.root(), fresh.root(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_cyclic_via_root_seed_matches_cspp_ring() {
+        // The root-tied pattern used by cspp evaluation: seed the
+        // exclusive scan with the root summary.
+        let mut arena = ArenaScan::new();
+        let mut out = Vec::new();
+        for n in 1..=33usize {
+            let vals: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
+            let seg: Vec<bool> = (0..n).map(|i| i % 5 == 2).collect();
+            let leaves: Vec<SegPair<bool>> = vals
+                .iter()
+                .zip(&seg)
+                .map(|(&v, &s)| SegPair::leaf(v, s))
+                .collect();
+            arena.build::<SegOp<BoolAnd>>(&leaves);
+            let root = *arena.root();
+            arena.scan_exclusive_into::<SegOp<BoolAnd>>(root, &mut out);
+            assert_eq!(out, cspp_ring::<bool, BoolAnd>(&vals, &seg), "n={n}");
+        }
+    }
+
+    #[test]
+    fn heap_with_closure_matches_cspp_ring() {
+        for n in 1..=33usize {
+            let vals: Vec<u32> = (0..n as u32).map(|i| i * 7 + 1).collect();
+            let seg: Vec<bool> = (0..n).map(|i| i % 4 == 1).collect();
+            let leaves: Vec<SegPair<u32>> = vals
+                .iter()
+                .zip(&seg)
+                .map(|(&v, &s)| SegPair::leaf(v, s))
+                .collect();
+            let mut combines = 0usize;
+            let out = cspp_heap_with(&leaves, |a, b| {
+                combines += 1;
+                SegOp::<First>::combine(a, b)
+            });
+            assert_eq!(out, cspp_ring::<u32, First>(&vals, &seg), "n={n}");
+            // Work stays linear in n even for non-powers of two: at
+            // most one combine per occupied internal node in each
+            // sweep.
+            assert!(combines <= 4 * n, "n={n} combines={combines}");
+        }
+    }
+
+    #[test]
+    fn work_is_linear() {
+        for k in 1..10u32 {
+            let n = 1usize << k;
+            let mut arena = ArenaScan::new();
+            arena.build::<Sum>(&vec![1u32; n]);
+            assert_eq!(arena.work(), n - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_build_panics() {
+        let mut arena = ArenaScan::<u32>::new();
+        arena.build::<Sum>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn update_out_of_range_panics() {
+        let mut arena = ArenaScan::new();
+        arena.build::<Sum>(&[1u32, 2, 3]);
+        arena.update_leaf::<Sum>(3, 9);
+    }
+}

@@ -71,7 +71,7 @@ pub fn segmented_prefix_tree<T: Clone, O: PrefixOp<T>>(
         .zip(seg)
         .map(|(x, &s)| SegPair::leaf(x.clone(), s))
         .collect();
-    let mut tree = TreeScan::build::<SegOp<O>>(&leaves);
+    let tree = TreeScan::build::<SegOp<O>>(&leaves);
     tree.scan_exclusive::<SegOp<O>>(init)
 }
 
@@ -94,11 +94,22 @@ pub fn segmented_prefix_tree<T: Clone, O: PrefixOp<T>>(
 /// segmented combination rule; whenever any segment bit is raised this
 /// equals the fold of exactly the `n` cyclically-preceding elements.
 ///
+/// This is the slow reference form, kept as the oracle for property
+/// tests; production paths (benches, the allocator in
+/// [`crate::sched`]) use [`cspp_tree`] or the packed/arena forms. A
+/// debug assertion rejects rings beyond 4096 stations to catch the
+/// reference form sneaking into a sized sweep.
+///
 /// # Panics
 /// Panics if `xs.len() != seg.len()` or the ring is empty.
 pub fn cspp_ring<T: Clone, O: PrefixOp<T>>(xs: &[T], seg: &[bool]) -> Vec<SegPair<T>> {
     assert_eq!(xs.len(), seg.len(), "value/segment length mismatch");
     assert!(!xs.is_empty(), "CSPP ring must be non-empty");
+    debug_assert!(
+        xs.len() <= 4096,
+        "cspp_ring is the slow reference form; use cspp_tree (or the \
+         packed/arena forms) for rings beyond 4096 stations"
+    );
     let n = xs.len();
     let leaf = |j: usize| SegPair::leaf(xs[j].clone(), seg[j]);
     // Summary of the whole ring: what the tied-together tree top feeds
@@ -132,7 +143,7 @@ pub fn cspp_tree<T: Clone, O: PrefixOp<T>>(xs: &[T], seg: &[bool]) -> Vec<SegPai
         .zip(seg)
         .map(|(x, &s)| SegPair::leaf(x.clone(), s))
         .collect();
-    let mut tree = TreeScan::build::<SegOp<O>>(&leaves);
+    let tree = TreeScan::build::<SegOp<O>>(&leaves);
     let root = tree.root().clone();
     // Tying the top of the tree: what flows into leaf 0 "from before" is
     // the summary of the whole ring, i.e. the accumulation since the

@@ -20,6 +20,14 @@
 //! * [`cspp`] — segmented and cyclic-segmented prefix, both a naive
 //!   reference "ring" evaluation and the logarithmic-depth tree
 //!   evaluation used by the hardware,
+//! * [`arena`] — the same scans into retained, `Option`-free scratch
+//!   with zero steady-state allocations and `O(log n)` incremental leaf
+//!   updates ([`arena::ArenaScan`]), plus the closure-driven heap CSPP
+//!   the circuit generators build netlists through,
+//! * [`packed`] — bit-packed boolean CSPP: 64 one-bit networks per
+//!   `u64` word evaluated word-parallel (SWAR), the production form of
+//!   the paper's flag and ready-bit circuits, and the [`packed::BitWords`]
+//!   bitset backing packed per-cycle state elsewhere in the workspace,
 //! * [`op`] — the associative-operator abstraction shared by all of the
 //!   above, including the two operators used in the paper
 //!   ([`op::First`], the register-forwarding operator `a ⊗ b = a`, and
@@ -32,13 +40,20 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod cspp;
 pub mod op;
+pub mod packed;
 pub mod scan;
 pub mod sched;
 pub mod tree;
 
+pub use arena::{cspp_heap_with, ArenaScan};
 pub use cspp::{cspp_ring, cspp_tree, segmented_prefix_ring, segmented_prefix_tree};
 pub use op::{BoolAnd, BoolOr, First, Last, Max, Min, PrefixOp, SegPair, Sum};
+pub use packed::{
+    pack_lane, packed_cspp_ring, unpack_lane, AndWords, BitWords, OrWords, PackedCsppScratch,
+    PackedPair, WordOp,
+};
 pub use sched::allocate_oldest_first;
 pub use tree::{tree_scan_exclusive, tree_scan_inclusive, TreeScan};

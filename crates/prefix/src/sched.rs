@@ -13,7 +13,7 @@
 //! (a log-width counting prefix), the same bound as the rest of the
 //! datapath.
 
-use crate::cspp::cspp_ring;
+use crate::cspp::cspp_tree;
 use crate::op::PrefixOp;
 
 /// Saturating counter addition — the prefix operator for request
@@ -51,8 +51,9 @@ pub fn allocate_oldest_first(requests: &[bool], k: usize, oldest: usize) -> Vec<
     let mut seg = vec![false; requests.len()];
     seg[oldest] = true;
     // prefix[i] = number of requests among stations strictly older
-    // than i (cyclic, from the oldest station).
-    let prefix = cspp_ring::<u32, SatCount<CAP>>(&xs, &seg);
+    // than i (cyclic, from the oldest station). Tree form: the slow
+    // ring reference is reserved for test oracles.
+    let prefix = cspp_tree::<u32, SatCount<CAP>>(&xs, &seg);
     requests
         .iter()
         .enumerate()

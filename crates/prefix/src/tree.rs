@@ -100,8 +100,7 @@ impl<T: Clone> TreeScan<T> {
         2 * self.depth
     }
 
-    /// Total operator applications performed so far (up-sweep only
-    /// until a scan method is called).
+    /// Operator applications performed by the up-sweep (`build`).
     pub fn work(&self) -> usize {
         self.work
     }
@@ -109,8 +108,10 @@ impl<T: Clone> TreeScan<T> {
     /// Down-sweep producing the *exclusive* scan. `before_all` is the
     /// value flowing into the leftmost leaf — the committed state in the
     /// processor datapath, or the wrapped-around root summary in a
-    /// cyclic circuit.
-    pub fn scan_exclusive<O: PrefixOp<T>>(&mut self, before_all: T) -> Vec<T> {
+    /// cyclic circuit. Read-only: the summaries are not modified, so a
+    /// built tree can be scanned repeatedly (and concurrently) with
+    /// different seeds.
+    pub fn scan_exclusive<O: PrefixOp<T>>(&self, before_all: T) -> Vec<T> {
         // prefix[k] = combination of everything strictly before node k's
         // interval, seeded with `before_all`.
         let mut prefix: Vec<Option<T>> = vec![None; 2 * self.size];
@@ -125,10 +126,7 @@ impl<T: Clone> TreeScan<T> {
             // Right child sees prefix ⊗ left-summary.
             if 2 * k + 1 < 2 * self.size {
                 prefix[2 * k + 1] = match &self.summaries[2 * k] {
-                    Some(ls) => {
-                        self.work += 1;
-                        Some(O::combine(&p, ls))
-                    }
+                    Some(ls) => Some(O::combine(&p, ls)),
                     None => Some(p),
                 };
             }
@@ -157,7 +155,7 @@ pub fn tree_scan_inclusive<T: Clone, O: PrefixOp<T>>(xs: &[T]) -> Vec<T> {
     if tail.is_empty() {
         return out;
     }
-    let mut tail_tree = TreeScan::build::<O>(tail);
+    let tail_tree = TreeScan::build::<O>(tail);
     let ex = tail_tree.scan_exclusive::<O>(first.clone());
     for (e, x) in ex.iter().zip(tail) {
         out.push(O::combine(e, x));
@@ -170,7 +168,7 @@ pub fn tree_scan_exclusive<T: Clone, O: PrefixOp<T>>(xs: &[T], identity: T) -> V
     if xs.is_empty() {
         return Vec::new();
     }
-    let mut tree = TreeScan::build::<O>(xs);
+    let tree = TreeScan::build::<O>(xs);
     tree.scan_exclusive::<O>(identity)
 }
 
