@@ -16,7 +16,7 @@ use ultrascalar_bench::{JsonReport, Table};
 use ultrascalar_circuit::generators::{CombineOp, CsppTree};
 use ultrascalar_circuit::Netlist;
 use ultrascalar_prefix::cspp::cspp_all_earlier;
-use ultrascalar_prefix::{cspp_tree, AndWords, BoolAnd, PackedCsppScratch};
+use ultrascalar_prefix::{cspp_tree, AndWords, BoolAnd, PackedCsppScratch, PackedCsppScratchW};
 
 /// Mean seconds per call, doubling the iteration count until one
 /// timed batch runs ≥ 20 ms (adaptive, so fast forms stay accurate).
@@ -38,6 +38,19 @@ fn time_per_call<F: FnMut() -> u64>(mut f: F) -> f64 {
         }
         iters *= 2;
     }
+}
+
+/// Mean seconds per multi-word packed pass (`64 · W` lanes, every lane
+/// carrying the same boolean problem).
+fn packed_time_w<const W: usize>(vals: &[bool], seg: &[bool]) -> f64 {
+    let vw: Vec<[u64; W]> = vals.iter().map(|&v| [if v { !0 } else { 0 }; W]).collect();
+    let sw: Vec<[u64; W]> = seg.iter().map(|&s| [if s { !0 } else { 0 }; W]).collect();
+    let mut scratch = PackedCsppScratchW::<W>::new();
+    let mut out = Vec::new();
+    time_per_call(|| {
+        scratch.cspp_into::<AndWords>(&vw, &sw, &mut out);
+        out.len() as u64
+    })
 }
 
 fn main() {
@@ -112,9 +125,11 @@ fn main() {
     let mut t = Table::new(vec![
         "n",
         "generic tree (ns)",
-        "packed pass, 64 lanes (ns)",
-        "speedup (pass)",
-        "speedup (per lane)",
+        "W=1, 64 lanes (ns)",
+        "W=2, 128 lanes (ns)",
+        "W=4, 256 lanes (ns)",
+        "per-lane speedup (W=1)",
+        "per-lane speedup (W=4)",
     ]);
     for &n in &[64usize, 256, 1024] {
         let vals: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
@@ -132,34 +147,55 @@ fn main() {
             scratch.cspp_into::<AndWords>(&vw, &sw, &mut out);
             out.len() as u64
         });
+        let packed_w2_s = packed_time_w::<2>(&vals, &seg);
+        let packed_w4_s = packed_time_w::<4>(&vals, &seg);
 
-        let pass = generic_s / packed_s;
-        let per_lane = generic_s / (packed_s / 64.0);
+        let per_lane_w1 = generic_s / (packed_s / 64.0);
+        let per_lane_w4 = generic_s / (packed_w4_s / 256.0);
         t.row(vec![
             format!("{n}"),
             format!("{:.0}", generic_s * 1e9),
             format!("{:.0}", packed_s * 1e9),
-            format!("{pass:.1}x"),
-            format!("{per_lane:.0}x"),
+            format!("{:.0}", packed_w2_s * 1e9),
+            format!("{:.0}", packed_w4_s * 1e9),
+            format!("{per_lane_w1:.0}x"),
+            format!("{per_lane_w4:.0}x"),
         ]);
         // Per-call times are nanoseconds; report a 1e6-call batch with
         // `steps` = prefix elements processed so `wall_s` keeps its six
         // decimals meaningful and `steps_per_sec` compares elements/s
-        // across rows (one packed pass carries 64 lanes of n).
+        // across rows (one packed pass carries `lanes` lane problems
+        // of size n, word-parallel).
         const BATCH: f64 = 1e6;
         report.point(
             &format!("generic_tree/n={n}"),
             Duration::from_secs_f64(generic_s * BATCH),
             Some(n as u64 * BATCH as u64),
         );
-        report.point(
+        report.point_with_lanes(
             &format!("packed_tree_64lane/n={n}"),
             Duration::from_secs_f64(packed_s * BATCH),
             Some(64 * n as u64 * BATCH as u64),
+            64,
+        );
+        report.point_with_lanes(
+            &format!("packed_tree_w2_128lane/n={n}"),
+            Duration::from_secs_f64(packed_w2_s * BATCH),
+            Some(128 * n as u64 * BATCH as u64),
+            128,
+        );
+        report.point_with_lanes(
+            &format!("packed_tree_w4_256lane/n={n}"),
+            Duration::from_secs_f64(packed_w4_s * BATCH),
+            Some(256 * n as u64 * BATCH as u64),
+            256,
         );
     }
     println!("{t}");
-    println!("one packed pass evaluates 64 independent lane networks word-parallel.");
+    println!(
+        "one packed pass evaluates 64·W independent lane networks word-parallel;\n\
+         W=4 covers the ISA's full 256-register space in a single evaluation."
+    );
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     if json_flag_set(&args) {

@@ -43,6 +43,30 @@ fn div_chain(iters: u32) -> Program {
     ultrascalar_isa::asm::assemble(&src, 8).expect("div_chain kernel assembles")
 }
 
+/// The same blocked-heavy regime spread across the upper half of a
+/// 128-entry register file: every live operand sits past lane word 0,
+/// so the engine's multi-word unready mask does real work (before the
+/// lanes went multi-word this kernel fell back to the scalar scan).
+fn wide_div_chain(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r66, 3
+            li   r67, {iters}
+            li   r71, 0
+            li   r65, 1000000007
+        loop:
+            div  r100, r65, r66
+            div  r101, r100, r66
+            div  r102, r101, r66
+            div  r65, r102, r66     ; loop-carried: serial at any window size
+            subi r67, r67, 1
+            bne  r67, r71, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 128).expect("wide_div_chain kernel assembles")
+}
+
 /// Wall time of `batch` complete runs, in seconds.
 fn time_batch(cfg: &ProcConfig, prog: &Program, batch: usize) -> f64 {
     let start = Instant::now();
@@ -84,6 +108,7 @@ fn main() {
 
     let workloads: Vec<(&str, Program, bool)> = vec![
         ("div_chain", div_chain(48), false),
+        ("wide_div_chain_r128", wide_div_chain(48), false),
         ("pointer_chase", workload::pointer_chase(96, 11), true),
         ("dense_dot", workload::dot_product(96), false),
     ];

@@ -304,6 +304,13 @@ pub fn execute_program(o: &RunOptions, program: &Program) -> Result<(RunResult, 
         out.push_str(&format!(", {} store→load forwards", r.stats.store_forwards));
     }
     out.push('\n');
+    if r.stats.packed_fallbacks > 0 {
+        out.push_str(
+            "warning: packed flag networks requested but inactive — the engine fell back \
+             to the scalar scan (distance-dependent forwarding requires per-consumer \
+             readiness)\n",
+        );
+    }
     if o.show_regs {
         out.push_str("registers:\n");
         for (i, v) in r.regs.iter().enumerate() {
@@ -438,6 +445,28 @@ mod tests {
         let (r, _) = execute_run(&o, src).unwrap();
         assert!(r.halted);
         assert_eq!(r.regs[3], 51);
+    }
+
+    #[test]
+    fn packed_fallback_warning_surfaces() {
+        let src = "
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            halt
+        ";
+        // Pipelined forwarding is the one remaining scalar-fallback
+        // condition; the downgrade must be announced, not silent.
+        let o = parse_run(&args("k.asm --window 8 --per-hop 1")).unwrap();
+        let (r, report) = execute_run(&o, src).unwrap();
+        assert_eq!(r.stats.packed_fallbacks, 1);
+        assert!(report.contains("warning: packed flag networks"));
+        // Wide register files no longer fall back: 128 registers stay
+        // on the packed path, report clean.
+        let o = parse_run(&args("k.asm --window 8 --regs 128")).unwrap();
+        let (r, report) = execute_run(&o, src).unwrap();
+        assert_eq!(r.stats.packed_fallbacks, 0);
+        assert!(!report.contains("warning"));
     }
 
     #[test]

@@ -100,6 +100,10 @@ pub struct JsonPoint {
     pub wall_s: f64,
     /// Simulated cycles (steps), when the point ran the cycle engine.
     pub steps: Option<u64>,
+    /// Independent bit-lanes evaluated per pass, when the point timed a
+    /// packed SWAR substrate form (`64 · W` for word width `W`; absent
+    /// for scalar/generic forms).
+    pub lanes: Option<u64>,
 }
 
 impl JsonPoint {
@@ -133,6 +137,25 @@ impl JsonReport {
             label: label.to_string(),
             wall_s: wall.as_secs_f64(),
             steps,
+            lanes: None,
+        });
+        self
+    }
+
+    /// Append one measured point that evaluated `lanes` independent
+    /// bit-lane networks per pass (the packed substrate forms).
+    pub fn point_with_lanes(
+        &mut self,
+        label: &str,
+        wall: Duration,
+        steps: Option<u64>,
+        lanes: u64,
+    ) -> &mut Self {
+        self.points.push(JsonPoint {
+            label: label.to_string(),
+            wall_s: wall.as_secs_f64(),
+            steps,
+            lanes: Some(lanes),
         });
         self
     }
@@ -168,6 +191,9 @@ impl JsonReport {
                 if let Some(sps) = p.steps_per_sec() {
                     out.push_str(&format!(", \"steps_per_sec\": {sps:.1}"));
                 }
+            }
+            if let Some(lanes) = p.lanes {
+                out.push_str(&format!(", \"lanes\": {lanes}"));
             }
             out.push('}');
             if i + 1 < self.points.len() {

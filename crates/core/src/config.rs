@@ -97,12 +97,15 @@ pub struct ProcConfig {
     /// Packed word-parallel flag networks (on by default): the
     /// program-order scan keeps its four all-earlier AND flags in one
     /// bit-packed lane word and, under [`ForwardModel::SingleCycle`],
-    /// maintains a register-unready lane word plus a per-register
+    /// maintains register-unready lane words (64 registers per word,
+    /// covering the ISA's full 256-register space) plus a per-register
     /// readiness-time table, so a blocked station is detected by
-    /// AND-ing its decode-time source mask against one `u64` instead of
-    /// re-deriving readiness per source operand. Results are cycle-exact
-    /// either way; `false` retains the scalar flag path as a
-    /// differential-testing reference.
+    /// AND-ing its decode-time source mask against a small word array
+    /// instead of re-deriving readiness per source operand. Results are
+    /// cycle-exact either way; `false` retains the scalar flag path as
+    /// a differential-testing reference. When the gate must fall back
+    /// to the scalar scan despite this flag (pipelined forwarding),
+    /// `ProcStats::packed_fallbacks` records the downgrade.
     pub packed_flags: bool,
 }
 

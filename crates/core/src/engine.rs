@@ -32,7 +32,9 @@ use std::collections::VecDeque;
 use crate::config::{ForwardModel, ProcConfig};
 use crate::fetch::{FetchUnit, TraceCache};
 use crate::processor::{Processor, RunResult};
-use crate::station::{MemPhase, StationEntry};
+use crate::station::{
+    mask_any, mask_intersection, MemPhase, RegMask, StationEntry, MAX_PACKED_REGS, REG_LANE_WORDS,
+};
 use crate::stats::ProcStats;
 use crate::timing::InstrTiming;
 use ultrascalar_isa::{Instr, Program};
@@ -178,19 +180,30 @@ struct StoreInfo {
 
 /// Wake-up collection for the packed-gate fast path: `blocked` is the
 /// non-empty intersection of a station's source mask with the scan's
-/// register-unready word. Under single-cycle forwarding a blocked
+/// register-unready lane words. Under single-cycle forwarding a blocked
 /// source becomes usable exactly one cycle after its writer completes,
 /// so the readiness time is read straight off the per-register table
 /// without building a [`Source`] (`u64::MAX` entries — writers with no
-/// scheduled completion — are absorbed by the `min`).
+/// scheduled completion — are absorbed by the `min`). Only the first
+/// `words` lane words can hold raised bits (the caller's intersection
+/// is truncated to the program's live register prefix).
 #[inline]
-fn packed_wakeups(mut blocked: u64, ready_at: &[u64], t: u64, next_source_ready: &mut u64) {
-    while blocked != 0 {
-        let r = blocked.trailing_zeros() as usize;
-        blocked &= blocked - 1;
-        let ra = ready_at[r];
-        if ra > t && ra != u64::MAX {
-            *next_source_ready = (*next_source_ready).min(ra);
+fn packed_wakeups(
+    blocked: &RegMask,
+    words: usize,
+    ready_at: &[u64],
+    t: u64,
+    next_source_ready: &mut u64,
+) {
+    for (j, &word) in blocked.iter().take(words).enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let r = j * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
+            let ra = ready_at[r];
+            if ra > t && ra != u64::MAX {
+                *next_source_ready = (*next_source_ready).min(ra);
+            }
         }
     }
 }
@@ -242,11 +255,16 @@ impl Processor for Ultrascalar {
         // forwarding latency (ready one cycle after the writer
         // completes); pipelined forwarding makes readiness depend on
         // the producer/consumer ring distance, so it keeps the scalar
-        // resolve path. The register-unready lanes live in one word,
-        // hence the 64-register bound.
-        let packed = self.cfg.packed_flags
-            && matches!(fwd, ForwardModel::SingleCycle)
-            && program.num_regs <= 64;
+        // resolve path. The register-unready lanes live in
+        // `REG_LANE_WORDS` words, covering every register file the ISA
+        // can express (`num_regs <= 256`); the width check is a
+        // safeguard against the ISA widening without this path.
+        let packed_ok =
+            matches!(fwd, ForwardModel::SingleCycle) && program.num_regs <= MAX_PACKED_REGS;
+        let packed = self.cfg.packed_flags && packed_ok;
+        // Live prefix of the lane words for this program's register
+        // file: the mask tests never touch words no register can reach.
+        let lane_words = program.num_regs.div_ceil(64).min(REG_LANE_WORDS);
 
         let mut fetch = FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL);
         let mut mem = MemSystem::new(self.cfg.mem.clone(), &program.init_mem);
@@ -255,6 +273,13 @@ impl Processor for Ultrascalar {
         let mut next_seq: u64 = 0;
         let mut alloc_counter: usize = 0;
         let mut stats = ProcStats::default();
+        if self.cfg.packed_flags && !packed_ok {
+            // Visible diagnostic instead of a silent downgrade: the
+            // run asked for the packed fast path but the gate kept the
+            // scalar scan (pipelined forwarding, or a register file
+            // wider than the packed lane words).
+            stats.packed_fallbacks += 1;
+        }
         let mut timings: Vec<InstrTiming> = Vec::new();
         let mut halted = false;
         // Shared-ALU pool: first cycle each unit is free again.
@@ -355,13 +380,13 @@ impl Processor for Ultrascalar {
             // networks live side by side as lanes of one packed word,
             // narrowed in place as the scan passes each station.
             let mut flags: u64 = F_STORES_DONE | F_LOADS_DONE | F_BRANCHES_DONE | F_STORES_RESOLVED;
-            // Register-unready lane word: bit `r` is raised while the
+            // Register-unready lane words: lane `r` is raised while the
             // most recent preceding writer of register `r` has not
             // produced a usable value this cycle — the software form of
             // the per-register ready-bit CSPP lanes (paper Figure 4),
-            // all 64 registers in one word, so a blocked reader is
-            // detected by a single mask test.
-            let mut unready_word: u64 = 0;
+            // 64 registers per word across `REG_LANE_WORDS` words, so a
+            // blocked reader is detected by one word-array mask test.
+            let mut unready: RegMask = [0; REG_LANE_WORDS];
             scratch.reset();
             let ScanScratch {
                 last_writer,
@@ -406,16 +431,22 @@ impl Processor for Ultrascalar {
                     if eligible {
                         // Packed fast gate: a station is blocked iff its
                         // decode-time source mask intersects the unready
-                        // lane word — one load-and-AND replaces the full
-                        // operand resolution, which then runs only for
-                        // stations that can actually issue.
+                        // lane words — one word-array AND replaces the
+                        // full operand resolution, which then runs only
+                        // for stations that can actually issue.
                         let blocked = if packed {
-                            unready_word & entry.src_mask
+                            mask_intersection(&unready, &entry.src_mask, lane_words)
                         } else {
-                            0
+                            [0; REG_LANE_WORDS]
                         };
-                        if packed && blocked != 0 {
-                            packed_wakeups(blocked, writer_ready_at, t, &mut next_source_ready);
+                        if packed && mask_any(&blocked, lane_words) {
+                            packed_wakeups(
+                                &blocked,
+                                lane_words,
+                                writer_ready_at,
+                                t,
+                                &mut next_source_ready,
+                            );
                         } else {
                             let srcs = entry.instr.reads();
                             let s0 = srcs[0].map(&resolve);
@@ -625,17 +656,23 @@ impl Processor for Ultrascalar {
                         }
                         if renaming {
                             let blocked = if packed {
-                                unready_word & entry.src_mask
+                                mask_intersection(&unready, &entry.src_mask, lane_words)
                             } else {
-                                0
+                                [0; REG_LANE_WORDS]
                             };
-                            if packed && blocked != 0 {
+                            if packed && mask_any(&blocked, lane_words) {
                                 // Packed gate, same shape as the issue
                                 // path: an unresolved store gates every
                                 // younger load under renaming, and its
                                 // operands' readiness times are wake-up
                                 // events.
-                                packed_wakeups(blocked, writer_ready_at, t, &mut next_source_ready);
+                                packed_wakeups(
+                                    &blocked,
+                                    lane_words,
+                                    writer_ready_at,
+                                    t,
+                                    &mut next_source_ready,
+                                );
                                 flags &= !F_STORES_RESOLVED;
                                 store_infos.push(StoreInfo {
                                     resolved: false,
@@ -713,11 +750,12 @@ impl Processor for Ultrascalar {
                             // correctly see it unready.
                             let ra = entry.completed_at.map_or(u64::MAX, |done| done + 1);
                             writer_ready_at[rd.index()] = ra;
-                            let bit = 1u64 << rd.index();
+                            let bit = 1u64 << (rd.index() % 64);
+                            let word = &mut unready[rd.index() / 64];
                             if ra > t {
-                                unready_word |= bit;
+                                *word |= bit;
                             } else {
-                                unready_word &= !bit;
+                                *word &= !bit;
                             }
                         }
                     }

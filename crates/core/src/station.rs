@@ -2,6 +2,55 @@
 
 use ultrascalar_isa::Instr;
 
+/// Lane words in a packed register mask. Four words cover the ISA's
+/// entire register space (`Reg` is a `u8`, and programs validate
+/// `num_regs <= 256`), so the packed engine path never has to fall
+/// back to the scalar scan on account of register-file width.
+pub const REG_LANE_WORDS: usize = 4;
+
+/// Registers covered by the packed readiness path: `64 · W` lanes.
+pub const MAX_PACKED_REGS: usize = 64 * REG_LANE_WORDS;
+
+/// A per-register bit mask over multi-word lanes: bit `r % 64` of word
+/// `r / 64` belongs to register `r` — the engine-side fixed-width form
+/// of the `[u64; W]` lane words in `ultrascalar_prefix::packed`.
+pub type RegMask = [u64; REG_LANE_WORDS];
+
+/// Word-wise AND over the first `words` lane words (the live prefix
+/// for the running program: `num_regs.div_ceil(64)` words; higher
+/// words can never be raised and are skipped). This sits on the
+/// engine's per-station hot path, so the common narrow widths are
+/// spelled out rather than looped — `words` is constant over a run and
+/// the match predicts perfectly, keeping a `num_regs <= 64` program at
+/// exactly one AND like the original single-word mask.
+#[inline(always)]
+pub fn mask_intersection(a: &RegMask, b: &RegMask, words: usize) -> RegMask {
+    let mut out = [0u64; REG_LANE_WORDS];
+    match words {
+        1 => out[0] = a[0] & b[0],
+        2 => {
+            out[0] = a[0] & b[0];
+            out[1] = a[1] & b[1];
+        }
+        _ => {
+            for j in 0..REG_LANE_WORDS {
+                out[j] = a[j] & b[j];
+            }
+        }
+    }
+    out
+}
+
+/// True iff any of the first `words` lane words is raised.
+#[inline(always)]
+pub fn mask_any(m: &RegMask, words: usize) -> bool {
+    match words {
+        1 => m[0] != 0,
+        2 => (m[0] | m[1]) != 0,
+        _ => m.iter().any(|&w| w != 0),
+    }
+}
+
 /// Progress of an instruction's memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemPhase {
@@ -47,23 +96,21 @@ pub struct StationEntry {
     pub taken: Option<bool>,
     /// Resolved architectural next pc (branches/jumps; `pc+1` others).
     pub actual_next: Option<usize>,
-    /// Bit `r` set iff the instruction reads register `r` (registers
-    /// ≥ 64 are omitted — the packed engine path that consumes this
-    /// mask is only enabled when every register fits one lane word).
-    /// Fixed at decode, so per-cycle readiness gating is a single
-    /// load-and-AND against the scan's unready lane word.
-    pub src_mask: u64,
+    /// Lane `r` set iff the instruction reads register `r`, over
+    /// [`REG_LANE_WORDS`] lane words (every architectural register has
+    /// a lane — the ISA caps register files at [`MAX_PACKED_REGS`]).
+    /// Fixed at decode, so per-cycle readiness gating is a word-array
+    /// AND against the scan's unready lane words.
+    pub src_mask: RegMask,
 }
 
 impl StationEntry {
     /// A freshly fetched entry.
     pub fn new(seq: u64, pc: usize, instr: Instr, predicted_next: usize, fetched_at: u64) -> Self {
-        let src_mask = instr
-            .reads()
-            .iter()
-            .flatten()
-            .filter(|r| r.index() < 64)
-            .fold(0u64, |m, r| m | 1 << r.index());
+        let mut src_mask: RegMask = [0; REG_LANE_WORDS];
+        for r in instr.reads().iter().flatten() {
+            src_mask[r.index() / 64] |= 1u64 << (r.index() % 64);
+        }
         StationEntry {
             seq,
             pc,
@@ -159,5 +206,31 @@ mod tests {
         let e = StationEntry::new(0, 10, Instr::Halt, 10, 0);
         assert!(e.is_synthetic(10));
         assert!(!e.is_synthetic(11));
+    }
+
+    #[test]
+    fn src_mask_covers_high_registers() {
+        let e = StationEntry::new(
+            0,
+            0,
+            Instr::Alu {
+                op: ultrascalar_isa::AluOp::Add,
+                rd: Reg(0),
+                rs1: Reg(65),
+                rs2: Reg(255),
+            },
+            1,
+            0,
+        );
+        assert_eq!(e.src_mask[0], 0);
+        assert_eq!(e.src_mask[1], 1 << 1); // r65 = word 1, bit 1
+        assert_eq!(e.src_mask[3], 1 << 63); // r255 = word 3, bit 63
+        let unready: RegMask = [0, 1 << 1, 0, 0];
+        assert!(mask_any(&mask_intersection(&unready, &e.src_mask, 4), 4));
+        let ready: RegMask = [!0, 0, !0, 0];
+        assert!(!mask_any(&mask_intersection(&ready, &e.src_mask, 4), 4));
+        // Truncated to the live word prefix, higher words drop out.
+        assert!(!mask_any(&mask_intersection(&unready, &e.src_mask, 1), 1));
+        assert!(mask_any(&mask_intersection(&unready, &e.src_mask, 2), 2));
     }
 }

@@ -36,6 +36,13 @@ pub struct ProcStats {
     /// Issue opportunities lost to shared-ALU contention: ready
     /// instructions that could not start because no ALU was free.
     pub alu_stalls: u64,
+    /// Runs in which `ProcConfig::packed_flags` was requested but the
+    /// engine's gate kept the scalar scan (pipelined forwarding, or a
+    /// register file wider than the packed lane words). Zero whenever
+    /// the packed fast path actually ran — a silent downgrade would
+    /// otherwise be invisible in sweeps over the very regimes the
+    /// packed path exists for.
+    pub packed_fallbacks: u64,
     /// Memory-system counters.
     pub mem: MemStats,
 }

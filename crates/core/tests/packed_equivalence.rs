@@ -5,6 +5,11 @@
 //! representation change — lane-packed all-earlier AND flags and a
 //! per-register writer-readiness bitset gating blocked stations — so
 //! any observable divergence is a bug.
+//!
+//! Register-file widths cover every lane-word regime of the multi-word
+//! readiness mask: 6 (one word, the MIPS-sized corner), 65 (first lane
+//! of the second word), 128 (exact two-word boundary) and 256 (the
+//! ISA's maximum, all four words live).
 
 use ultrascalar::{ForwardModel, LatencyModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
 use ultrascalar_isa::{AluOp, BranchCond, Instr, Program, Reg};
@@ -23,9 +28,8 @@ impl Rng {
     }
 }
 
-fn random_program(rng: &mut Rng) -> Program {
+fn random_program(rng: &mut Rng, nregs: usize) -> Program {
     let len = 12 + rng.below(20) as usize;
-    let nregs = 6;
     let mut instrs = Vec::new();
     for i in 0..len {
         let r = |rng: &mut Rng| Reg(rng.below(nregs as u64) as u8);
@@ -81,8 +85,9 @@ fn random_program(rng: &mut Rng) -> Program {
 /// The configurations under test: all the feature interactions the
 /// packed gate touches (renaming store re-resolution, shared ALUs,
 /// finite memory, trace cache, fetch caps) plus a pipelined-forwarding
-/// configuration, where `packed_flags` must silently fall back to the
-/// scalar path because readiness is reader-dependent.
+/// configuration, where `packed_flags` must fall back to the scalar
+/// path (with the downgrade counted, not silent) because readiness is
+/// reader-dependent.
 fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
     vec![
         (
@@ -128,34 +133,148 @@ fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
     ]
 }
 
-#[test]
-fn packed_flags_match_legacy_path() {
-    let mut rng = Rng(0xBADC0DE5);
+fn differential_sweep(seed: u64, nregs: usize, iters: u32) {
+    let mut rng = Rng(seed);
     let lat = LatencyModel {
         branch: 2,
         ..LatencyModel::default()
     };
-    for iter in 0..250u32 {
-        let prog = random_program(&mut rng);
+    for iter in 0..iters {
+        let prog = random_program(&mut rng, nregs);
         if prog.validate().is_err() {
             continue;
         }
         for (name, cfg) in configs(lat) {
             assert!(cfg.packed_flags, "packed flags must default on");
+            let pipelined = matches!(cfg.forward, ForwardModel::Pipelined { .. });
             let packed = Ultrascalar::new(cfg.clone()).run(&prog);
             let legacy = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+            // The fallback diagnostic is the one legitimate stats
+            // divergence: the packed run records the downgrade exactly
+            // when the gate cannot hold (pipelined forwarding — never
+            // register-file width, which the multi-word lanes cover in
+            // full), the scalar run never does.
+            assert_eq!(
+                packed.stats.packed_fallbacks, pipelined as u64,
+                "iter {iter} {name} L={nregs}: fallback counter"
+            );
+            assert_eq!(
+                legacy.stats.packed_fallbacks, 0,
+                "iter {iter} {name} L={nregs}: scalar run must not count fallbacks"
+            );
+            let mut ps = packed.stats.clone();
+            let mut ls = legacy.stats.clone();
+            ps.packed_fallbacks = 0;
+            ls.packed_fallbacks = 0;
             assert_eq!(
                 packed.cycles, legacy.cycles,
-                "iter {iter} {name}: cycle mismatch"
+                "iter {iter} {name} L={nregs}: cycle mismatch"
             );
-            assert_eq!(packed.halted, legacy.halted, "iter {iter} {name}: halted");
-            assert_eq!(packed.regs, legacy.regs, "iter {iter} {name}: regs");
-            assert_eq!(packed.mem, legacy.mem, "iter {iter} {name}: memory");
-            assert_eq!(packed.stats, legacy.stats, "iter {iter} {name}: stats");
+            assert_eq!(
+                packed.halted, legacy.halted,
+                "iter {iter} {name} L={nregs}: halted"
+            );
+            assert_eq!(
+                packed.regs, legacy.regs,
+                "iter {iter} {name} L={nregs}: regs"
+            );
+            assert_eq!(
+                packed.mem, legacy.mem,
+                "iter {iter} {name} L={nregs}: memory"
+            );
+            assert_eq!(ps, ls, "iter {iter} {name} L={nregs}: stats");
             assert_eq!(
                 packed.timings, legacy.timings,
-                "iter {iter} {name}: timings"
+                "iter {iter} {name} L={nregs}: timings"
             );
         }
+    }
+}
+
+#[test]
+fn packed_flags_match_legacy_path() {
+    differential_sweep(0xBADC0DE5, 6, 250);
+}
+
+#[test]
+fn packed_flags_match_legacy_path_65_regs() {
+    differential_sweep(0x65BEEF01, 65, 100);
+}
+
+#[test]
+fn packed_flags_match_legacy_path_128_regs() {
+    differential_sweep(0x128ABCDE, 128, 100);
+}
+
+#[test]
+fn packed_flags_match_legacy_path_256_regs() {
+    differential_sweep(0x256FEED2, 256, 100);
+}
+
+/// A tiny blocked-heavy program over `nregs` registers that exercises
+/// high-register forwarding (the last writer and reader live past lane
+/// word 0 when `nregs > 64`).
+fn high_reg_chain(nregs: usize) -> Program {
+    let hi = (nregs - 1) as u8;
+    let instrs = vec![
+        Instr::LoadImm {
+            rd: Reg(hi),
+            imm: 41,
+        },
+        Instr::Alu {
+            op: AluOp::Mul,
+            rd: Reg(hi),
+            rs1: Reg(hi),
+            rs2: Reg(hi),
+        },
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(0),
+            rs1: Reg(hi),
+            imm: 1,
+        },
+        Instr::Halt,
+    ];
+    Program::new(instrs, nregs)
+}
+
+/// Regression test for the fallback diagnostic (the downgrade used to
+/// be silent): at `num_regs = 65` the single-cycle gate must *stay
+/// packed* (counter clean — this is the width that used to fall back
+/// when the unready lanes lived in one `u64`), while a
+/// pipelined-forwarding run at the same width must count exactly one
+/// fallback and still compute the same result.
+#[test]
+fn fallback_diagnostic_fires_only_when_gate_drops() {
+    for nregs in [65usize, 128, 256] {
+        let prog = high_reg_chain(nregs);
+        prog.validate().expect("chain validates");
+
+        let single = Ultrascalar::new(ProcConfig::ultrascalar_i(8)).run(&prog);
+        assert_eq!(
+            single.stats.packed_fallbacks, 0,
+            "L={nregs}: single-cycle forwarding must keep the packed path"
+        );
+        assert_eq!(single.regs[0], 41 * 41 + 1);
+
+        let piped = Ultrascalar::new(
+            ProcConfig::ultrascalar_i(8).with_forwarding(ForwardModel::Pipelined { per_hop: 1 }),
+        )
+        .run(&prog);
+        assert_eq!(
+            piped.stats.packed_fallbacks, 1,
+            "L={nregs}: pipelined forwarding must count its scalar fallback"
+        );
+        assert_eq!(piped.regs[0], 41 * 41 + 1);
+
+        // Not requested ⇒ nothing to report, even where the gate would
+        // have dropped.
+        let unrequested = Ultrascalar::new(
+            ProcConfig::ultrascalar_i(8)
+                .with_forwarding(ForwardModel::Pipelined { per_hop: 1 })
+                .without_packed_flags(),
+        )
+        .run(&prog);
+        assert_eq!(unrequested.stats.packed_fallbacks, 0);
     }
 }

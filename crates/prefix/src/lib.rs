@@ -26,8 +26,12 @@
 //!   the circuit generators build netlists through,
 //! * [`packed`] — bit-packed boolean CSPP: 64 one-bit networks per
 //!   `u64` word evaluated word-parallel (SWAR), the production form of
-//!   the paper's flag and ready-bit circuits, and the [`packed::BitWords`]
-//!   bitset backing packed per-cycle state elsewhere in the workspace,
+//!   the paper's flag and ready-bit circuits; the multi-word
+//!   [`packed::PackedCsppScratchW`] form evaluates `64·W` lanes per
+//!   pass for problems wider than one machine word (e.g. register
+//!   files with up to 256 logical registers), and the
+//!   [`packed::BitWords`] bitset backs packed per-cycle state
+//!   elsewhere in the workspace,
 //! * [`op`] — the associative-operator abstraction shared by all of the
 //!   above, including the two operators used in the paper
 //!   ([`op::First`], the register-forwarding operator `a ⊗ b = a`, and
@@ -52,8 +56,9 @@ pub use arena::{cspp_heap_with, ArenaScan};
 pub use cspp::{cspp_ring, cspp_tree, segmented_prefix_ring, segmented_prefix_tree};
 pub use op::{BoolAnd, BoolOr, First, Last, Max, Min, PrefixOp, SegPair, Sum};
 pub use packed::{
-    pack_lane, packed_cspp_ring, unpack_lane, AndWords, BitWords, OrWords, PackedCsppScratch,
-    PackedPair, WordOp,
+    pack_lane, pack_lane_w, packed_cspp_ring, packed_cspp_ring_w, unpack_lane, unpack_lane_w,
+    AndWords, BitWords, OrWords, PackedCsppScratch, PackedCsppScratchW, PackedPair, PackedPairW,
+    WordOp,
 };
 pub use sched::allocate_oldest_first;
 pub use tree::{tree_scan_exclusive, tree_scan_inclusive, TreeScan};

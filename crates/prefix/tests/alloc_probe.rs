@@ -33,6 +33,26 @@ fn probing() -> bool {
     PROBING.try_with(Cell::get).unwrap_or(false)
 }
 
+/// RAII arm/disarm of the probe flag: disarms on drop, so a panicking
+/// measured body (a failed assertion inside the loop) unwinds through
+/// the guard and cannot leave the thread-local armed to count ambient
+/// allocations — e.g. libtest's panic-message formatting — against
+/// whatever runs next on this thread.
+struct ProbeGuard;
+
+impl ProbeGuard {
+    fn arm() -> Self {
+        PROBING.with(|p| p.set(true));
+        ProbeGuard
+    }
+}
+
+impl Drop for ProbeGuard {
+    fn drop(&mut self) {
+        PROBING.with(|p| p.set(false));
+    }
+}
+
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if probing() {
@@ -56,13 +76,21 @@ static A: Counting = Counting;
 
 use ultrascalar_prefix::arena::ArenaScan;
 use ultrascalar_prefix::op::{SegOp, SegPair, Sum};
-use ultrascalar_prefix::packed::{AndWords, BitWords, PackedCsppScratch, PackedPair};
+use ultrascalar_prefix::packed::{
+    AndWords, BitWords, PackedCsppScratch, PackedCsppScratchW, PackedPair, PackedPairW,
+};
 
 #[test]
 fn substrate_steady_state_allocates_nothing() {
     const N: usize = 1024;
     let values: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
     let seg: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x85EB_CA6B)).collect();
+    let values_w: Vec<[u64; 4]> = (0..N as u64)
+        .map(|i| std::array::from_fn(|j| (i + j as u64).wrapping_mul(0x9E37_79B9)))
+        .collect();
+    let seg_w: Vec<[u64; 4]> = (0..N as u64)
+        .map(|i| std::array::from_fn(|j| (i + j as u64).wrapping_mul(0x85EB_CA6B)))
+        .collect();
     let leaves: Vec<SegPair<u32>> = (0..N as u32)
         .map(|i| SegPair::leaf(i * 7 + 1, i % 5 == 2))
         .collect();
@@ -70,6 +98,8 @@ fn substrate_steady_state_allocates_nothing() {
     let mut packed = PackedCsppScratch::new();
     let mut packed_out = Vec::new();
     let mut flags_out = Vec::new();
+    let mut packed_w = PackedCsppScratchW::<4>::new();
+    let mut packed_w_out: Vec<PackedPairW<4>> = Vec::new();
     let mut arena = ArenaScan::new();
     let mut arena_out = Vec::new();
     let mut bits = BitWords::new(N);
@@ -77,11 +107,14 @@ fn substrate_steady_state_allocates_nothing() {
     let steady = |packed: &mut PackedCsppScratch,
                   packed_out: &mut Vec<PackedPair>,
                   flags_out: &mut Vec<u64>,
+                  packed_w: &mut PackedCsppScratchW<4>,
+                  packed_w_out: &mut Vec<PackedPairW<4>>,
                   arena: &mut ArenaScan<SegPair<u32>>,
                   arena_out: &mut Vec<SegPair<u32>>,
                   bits: &mut BitWords| {
         packed.cspp_into::<AndWords>(&values, &seg, packed_out);
         packed.all_earlier_into(&values, 17, flags_out);
+        packed_w.cspp_into::<AndWords>(&values_w, &seg_w, packed_w_out);
         arena.build::<SegOp<Sum>>(&leaves);
         let root = *arena.root();
         arena.scan_exclusive_into::<SegOp<Sum>>(root, arena_out);
@@ -100,25 +133,29 @@ fn substrate_steady_state_allocates_nothing() {
         &mut packed,
         &mut packed_out,
         &mut flags_out,
+        &mut packed_w,
+        &mut packed_w_out,
         &mut arena,
         &mut arena_out,
         &mut bits,
     );
 
-    PROBING.with(|p| p.set(true));
+    let guard = ProbeGuard::arm();
     let before = ALLOCS.load(Ordering::SeqCst);
     for _ in 0..50 {
         steady(
             &mut packed,
             &mut packed_out,
             &mut flags_out,
+            &mut packed_w,
+            &mut packed_w_out,
             &mut arena,
             &mut arena_out,
             &mut bits,
         );
     }
     let after = ALLOCS.load(Ordering::SeqCst);
-    PROBING.with(|p| p.set(false));
+    drop(guard);
     assert_eq!(
         after - before,
         0,
