@@ -10,8 +10,8 @@
 //! cargo run -p ultrascalar-bench --bin distributed_cache
 //! ```
 
-use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_bench::Table;
+use ultrascalar::{EnginePool, PredictorKind, ProcConfig};
+use ultrascalar_bench::{parallel_map_with, Table};
 use ultrascalar_isa::workload;
 use ultrascalar_memsys::{Bandwidth, CacheConfig, MemConfig, NetworkKind};
 use ultrascalar_vlsi::metrics::ArchParams;
@@ -48,20 +48,26 @@ fn main() {
         "hit rate",
     ]);
     let mut total_saved = 0i64;
-    for (name, prog) in workload::standard_suite(61) {
-        let pred = PredictorKind::Bimodal(64);
-        let plain = Ultrascalar::new(
-            ProcConfig::hybrid(n, n / clusters)
-                .with_predictor(pred)
-                .with_mem(base.clone()),
-        )
-        .run(&prog);
-        let with_cache = Ultrascalar::new(
-            ProcConfig::hybrid(n, n / clusters)
-                .with_predictor(pred)
-                .with_mem(cached.clone()),
-        )
-        .run(&prog);
+    let pred = PredictorKind::Bimodal(64);
+    let cfg_plain = ProcConfig::hybrid(n, n / clusters)
+        .with_predictor(pred)
+        .with_mem(base.clone());
+    let cfg_cached = ProcConfig::hybrid(n, n / clusters)
+        .with_predictor(pred)
+        .with_mem(cached.clone());
+    let suite = workload::standard_suite(61);
+    // Each worker keeps two warm engines (plain and cached memory
+    // hierarchy) and rewinds them per kernel.
+    let results = parallel_map_with(
+        &suite,
+        || EnginePool::new(2),
+        |pool, (_, prog)| {
+            let plain = pool.acquire(&cfg_plain).run(prog).clone();
+            let cached = pool.acquire(&cfg_cached).run(prog).clone();
+            (plain, cached)
+        },
+    );
+    for ((name, _), (plain, with_cache)) in suite.iter().zip(&results) {
         assert_eq!(plain.regs, with_cache.regs, "{name}");
         assert_eq!(plain.mem, with_cache.mem, "{name}");
         let plain_net_loads = plain.stats.mem.loads;

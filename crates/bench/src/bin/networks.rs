@@ -7,16 +7,31 @@
 //! cargo run -p ultrascalar-bench --bin networks
 //! ```
 
-use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_bench::Table;
+use ultrascalar::{EnginePool, PredictorKind, ProcConfig};
+use ultrascalar_bench::{parallel_map_with, Table};
 use ultrascalar_isa::workload;
 use ultrascalar_memsys::{Bandwidth, MemConfig, MemRequest, MemSystem, NetworkKind, ReqKind};
 
-fn drain(cfg: MemConfig, reqs: &[MemRequest]) -> u64 {
-    let mut m = MemSystem::new(cfg, &[]);
+/// Cycles to drain a burst of requests through `m` (rewound first).
+///
+/// Every network admits at least one request per cycle once older
+/// traffic clears, so a burst that outlives the cap means the model
+/// stopped accepting — panic with the evidence rather than spinning
+/// forever.
+fn drain(m: &mut MemSystem, reqs: &[MemRequest]) -> u64 {
+    m.reset(&[]);
     let mut pending: Vec<MemRequest> = reqs.to_vec();
+    let cap = 1_000 + 100 * reqs.len() as u64;
     let mut t = 0u64;
     while !pending.is_empty() {
+        assert!(
+            t < cap,
+            "network failed to drain: {} of {} requests still pending after {t} cycles \
+             (first stuck id {})",
+            pending.len(),
+            reqs.len(),
+            pending[0].id
+        );
         let (acc, _) = m.tick(t, &pending);
         pending.retain(|r| !acc.contains(&r.id));
         t += 1;
@@ -79,9 +94,20 @@ fn main() {
         ),
     ];
     let mut t = Table::new(vec!["traffic", "fat tree (cycles)", "butterfly (cycles)"]);
-    for (name, reqs) in &patterns {
-        let tree = drain(base.clone(), reqs);
-        let fly = drain(base.clone().with_network(NetworkKind::Butterfly), reqs);
+    // Each worker keeps one memory system per topology and rewinds
+    // them per traffic pattern.
+    let fly_cfg = base.clone().with_network(NetworkKind::Butterfly);
+    let drained = parallel_map_with(
+        &patterns,
+        || {
+            (
+                MemSystem::new(base.clone(), &[]),
+                MemSystem::new(fly_cfg.clone(), &[]),
+            )
+        },
+        |(tree, fly), (_, reqs)| (drain(tree, reqs), drain(fly, reqs)),
+    );
+    for ((name, _), (tree, fly)) in patterns.iter().zip(&drained) {
         t.row(vec![name.to_string(), format!("{tree}"), format!("{fly}")]);
     }
     println!("{t}");
@@ -94,20 +120,25 @@ fn main() {
         banks: 8,
         ..base.clone()
     };
-    for (name, prog) in workload::standard_suite(29) {
-        let pred = PredictorKind::Bimodal(64);
-        let tree = Ultrascalar::new(
-            ProcConfig::ultrascalar_i(16)
-                .with_predictor(pred)
-                .with_mem(mem16.clone()),
-        )
-        .run(&prog);
-        let fly = Ultrascalar::new(
-            ProcConfig::ultrascalar_i(16)
-                .with_predictor(pred)
-                .with_mem(mem16.clone().with_network(NetworkKind::Butterfly)),
-        )
-        .run(&prog);
+    let pred = PredictorKind::Bimodal(64);
+    let cfg_tree = ProcConfig::ultrascalar_i(16)
+        .with_predictor(pred)
+        .with_mem(mem16.clone());
+    let cfg_fly = ProcConfig::ultrascalar_i(16)
+        .with_predictor(pred)
+        .with_mem(mem16.clone().with_network(NetworkKind::Butterfly));
+    let suite = workload::standard_suite(29);
+    // Each worker keeps one warm engine per topology.
+    let results = parallel_map_with(
+        &suite,
+        || EnginePool::new(2),
+        |pool, (_, prog)| {
+            let tree = pool.acquire(&cfg_tree).run(prog).clone();
+            let fly = pool.acquire(&cfg_fly).run(prog).clone();
+            (tree, fly)
+        },
+    );
+    for ((name, _), (tree, fly)) in suite.iter().zip(&results) {
         assert_eq!(tree.regs, fly.regs, "{name}");
         t.row(vec![
             name.to_string(),

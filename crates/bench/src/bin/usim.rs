@@ -4,6 +4,8 @@
 //! usim run  <file.asm> [options]    run a program on a processor model
 //! usim asm  <file.asm> [--regs N] [--emit out.ubin]
 //!                                   assemble; list encodings or write a .ubin
+//! usim serve [--socket PATH]        batch mode: JSON requests in, JSON
+//!                                   responses out (see crate::serve)
 //! usim help                         this text
 //!
 //! run options:
@@ -37,7 +39,7 @@ use ultrascalar_bench::cli;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: usim run|asm <file.asm> [options]   (usim help for details)");
+        eprintln!("usage: usim run|asm|serve [options]   (usim help for details)");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -47,38 +49,32 @@ fn main() -> ExitCode {
             let program = cli::load_program(&o.path, &bytes, o.regs)?;
             cli::execute_program(&o, &program).map(|(_, report)| report)
         }),
-        "asm" => {
-            let mut regs = 32usize;
-            let mut path = None;
-            let mut emit: Option<String> = None;
-            let mut it = rest.iter();
-            while let Some(a) = it.next() {
-                match a.as_str() {
-                    "--regs" => regs = it.next().and_then(|v| v.parse().ok()).unwrap_or(32),
-                    "--emit" => emit = it.next().cloned(),
-                    p => path = Some(p.to_string()),
+        "asm" => cli::parse_asm(rest).and_then(|o| {
+            let src = std::fs::read_to_string(&o.path)
+                .map_err(|e| format!("cannot read {}: {e}", o.path))?;
+            match &o.emit {
+                Some(out) => {
+                    let bytes = cli::emit_binary(&src, o.regs)?;
+                    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    Ok(format!("wrote {} bytes to {out}", bytes.len()))
                 }
+                None => cli::execute_asm(&src, o.regs),
             }
-            match path {
-                None => Err("missing assembly file".into()),
-                Some(p) => std::fs::read_to_string(&p)
-                    .map_err(|e| format!("cannot read {p}: {e}"))
-                    .and_then(|src| match &emit {
-                        Some(out) => {
-                            let bytes = cli::emit_binary(&src, regs)?;
-                            std::fs::write(out, &bytes)
-                                .map_err(|e| format!("cannot write {out}: {e}"))?;
-                            Ok(format!("wrote {} bytes to {out}", bytes.len()))
-                        }
-                        None => cli::execute_asm(&src, regs),
-                    }),
+        }),
+        "serve" => {
+            return match cli::parse_serve(rest).and_then(|o| ultrascalar_bench::serve::serve(&o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("usim: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         "help" | "--help" | "-h" => {
             println!("{}", HELP);
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown subcommand `{other}` (run|asm|help)")),
+        other => Err(format!("unknown subcommand `{other}` (run|asm|serve|help)")),
     };
     match result {
         Ok(report) => {
@@ -100,6 +96,12 @@ const HELP: &str = "usim — Ultrascalar command-line driver
   usim run  <file.asm> [options]    run a program on a processor model
   usim asm  <file.asm> [--regs N] [--emit out.ubin]
                                     assemble; list encodings or write a .ubin
+  usim serve [--socket PATH] [--program-cache N] [--engines N]
+                                    batch mode: newline-delimited JSON requests
+                                    on stdin (or the socket), one JSON response
+                                    per line; programs are cached and engines
+                                    pooled so repeated requests are allocation-
+                                    free
   usim run also accepts .ubin object files
 
 run options:

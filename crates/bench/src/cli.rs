@@ -86,6 +86,34 @@ impl Default for RunOptions {
     }
 }
 
+/// Parse an `--arch` value (shared by `usim run` and `usim serve`
+/// request options).
+pub fn parse_arch(v: &str) -> Result<ArchChoice, String> {
+    match v {
+        "usi" | "ultrascalar-i" | "i" => Ok(ArchChoice::UsI),
+        "usii" | "ultrascalar-ii" | "ii" => Ok(ArchChoice::UsII),
+        "hybrid" => Ok(ArchChoice::Hybrid),
+        x => Err(format!("unknown arch `{x}` (usi|usii|hybrid)")),
+    }
+}
+
+/// Parse a `--predictor` value (shared by `usim run` and `usim serve`
+/// request options).
+pub fn parse_predictor(v: &str) -> Result<PredictorKind, String> {
+    match v {
+        "perfect" => Ok(PredictorKind::Perfect),
+        "nottaken" | "not-taken" => Ok(PredictorKind::NotTaken),
+        "taken" => Ok(PredictorKind::Taken),
+        "btfn" => Ok(PredictorKind::Btfn),
+        other => match other.strip_prefix("bimodal:") {
+            Some(k) => Ok(PredictorKind::Bimodal(
+                k.parse().map_err(|_| "bad bimodal size".to_string())?,
+            )),
+            None => Err(format!("unknown predictor `{v}`")),
+        },
+    }
+}
+
 /// Parse `usim run` arguments (everything after the subcommand).
 pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     let mut o = RunOptions::default();
@@ -99,14 +127,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--arch" => {
-                o.arch = match value(&mut it, "--arch")?.as_str() {
-                    "usi" | "ultrascalar-i" | "i" => ArchChoice::UsI,
-                    "usii" | "ultrascalar-ii" | "ii" => ArchChoice::UsII,
-                    "hybrid" => ArchChoice::Hybrid,
-                    x => return Err(format!("unknown arch `{x}` (usi|usii|hybrid)")),
-                }
-            }
+            "--arch" => o.arch = parse_arch(&value(&mut it, "--arch")?)?,
             "--window" | "-n" => {
                 o.window = value(&mut it, "--window")?
                     .parse()
@@ -119,21 +140,7 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
                         .map_err(|_| "bad --cluster".to_string())?,
                 )
             }
-            "--predictor" => {
-                let v = value(&mut it, "--predictor")?;
-                o.predictor = match v.as_str() {
-                    "perfect" => PredictorKind::Perfect,
-                    "nottaken" | "not-taken" => PredictorKind::NotTaken,
-                    "taken" => PredictorKind::Taken,
-                    "btfn" => PredictorKind::Btfn,
-                    other => match other.strip_prefix("bimodal:") {
-                        Some(k) => PredictorKind::Bimodal(
-                            k.parse().map_err(|_| "bad bimodal size".to_string())?,
-                        ),
-                        None => return Err(format!("unknown predictor `{v}`")),
-                    },
-                }
-            }
+            "--predictor" => o.predictor = parse_predictor(&value(&mut it, "--predictor")?)?,
             "--alus" => {
                 o.alus = Some(
                     value(&mut it, "--alus")?
@@ -192,8 +199,122 @@ pub fn parse_run(args: &[String]) -> Result<RunOptions, String> {
     Ok(o)
 }
 
+/// Parsed `usim asm` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmOptions {
+    /// Assembly source path.
+    pub path: String,
+    /// Logical register count the program is assembled for.
+    pub regs: usize,
+    /// Output `.ubin` path (`--emit`); listing mode when absent.
+    pub emit: Option<String>,
+}
+
+/// Parse `usim asm` arguments (everything after the subcommand) with
+/// the same strict error style as [`parse_run`]: a malformed `--regs`,
+/// an unknown flag, or a second positional argument is an error, not a
+/// silent fallback.
+pub fn parse_asm(args: &[String]) -> Result<AsmOptions, String> {
+    let mut o = AsmOptions {
+        path: String::new(),
+        regs: 32,
+        emit: None,
+    };
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--regs" => {
+                o.regs = value(&mut it, "--regs")?
+                    .parse()
+                    .map_err(|_| "bad --regs".to_string())?
+            }
+            "--emit" => o.emit = Some(value(&mut it, "--emit")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if o.path.is_empty() {
+                    o.path = path.to_string();
+                } else {
+                    return Err(format!("unexpected positional argument `{path}`"));
+                }
+            }
+        }
+    }
+    if o.path.is_empty() {
+        return Err("missing assembly file".into());
+    }
+    Ok(o)
+}
+
+/// Parsed `usim serve` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on; serve stdin→stdout when absent.
+    pub socket: Option<String>,
+    /// Assembled-program cache capacity.
+    pub program_cache: usize,
+    /// Warm-engine pool capacity.
+    pub engines: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: None,
+            program_cache: 64,
+            engines: 8,
+        }
+    }
+}
+
+/// Parse `usim serve` arguments (everything after the subcommand).
+pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let mut o = ServeOptions::default();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => o.socket = Some(value(&mut it, "--socket")?),
+            "--program-cache" => {
+                o.program_cache = value(&mut it, "--program-cache")?
+                    .parse()
+                    .map_err(|_| "bad --program-cache".to_string())?
+            }
+            "--engines" => {
+                o.engines = value(&mut it, "--engines")?
+                    .parse()
+                    .map_err(|_| "bad --engines".to_string())?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            extra => return Err(format!("unexpected positional argument `{extra}`")),
+        }
+    }
+    if o.program_cache == 0 {
+        return Err("--program-cache must be at least 1".into());
+    }
+    if o.engines == 0 {
+        return Err("--engines must be at least 1".into());
+    }
+    Ok(o)
+}
+
 /// Build the processor configuration from parsed options.
 pub fn build_config(o: &RunOptions) -> Result<ProcConfig, String> {
+    if !(0.0..=1.0).contains(&o.mem_exp) {
+        return Err(format!(
+            "--mem-exp {} out of range (the bandwidth exponent p in M(s) = s^p \
+             must lie within [0, 1])",
+            o.mem_exp
+        ));
+    }
     let cluster = match o.arch {
         ArchChoice::UsI => 1,
         ArchChoice::UsII => o.window,
@@ -201,7 +322,7 @@ pub fn build_config(o: &RunOptions) -> Result<ProcConfig, String> {
     };
     let mut mem = MemConfig {
         n_leaves: o.window,
-        bandwidth: Bandwidth::new(1.0, o.mem_exp.clamp(0.0, 1.0)),
+        bandwidth: Bandwidth::new(1.0, o.mem_exp),
         banks: (o.window / 2).max(1),
         bank_occupancy: 1,
         hop_latency: 1,
@@ -391,6 +512,62 @@ mod tests {
         assert!(parse_run(&args("a.asm --bogus")).is_err());
         assert!(parse_run(&args("a.asm b.asm")).is_err());
         assert!(parse_run(&args("a.asm --predictor bimodal:x")).is_err());
+    }
+
+    #[test]
+    fn parse_asm_defaults_and_flags() {
+        let o = parse_asm(&args("prog.asm")).unwrap();
+        assert_eq!(o.path, "prog.asm");
+        assert_eq!(o.regs, 32);
+        assert_eq!(o.emit, None);
+        let o = parse_asm(&args("prog.asm --regs 64 --emit out.ubin")).unwrap();
+        assert_eq!(o.regs, 64);
+        assert_eq!(o.emit.as_deref(), Some("out.ubin"));
+    }
+
+    #[test]
+    fn parse_asm_rejects_bad_input() {
+        // Malformed --regs used to fall back silently to 32.
+        assert!(parse_asm(&args("prog.asm --regs abc")).is_err());
+        assert!(parse_asm(&args("prog.asm --regs")).is_err());
+        // Unknown flags used to be swallowed as the positional path.
+        assert!(parse_asm(&args("prog.asm --bogus")).is_err());
+        // A second positional used to replace the first silently.
+        assert!(parse_asm(&args("a.asm b.asm")).is_err());
+        assert!(parse_asm(&args("")).is_err());
+        assert!(parse_asm(&args("prog.asm --emit")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        let o = parse_serve(&args("")).unwrap();
+        assert_eq!(o, ServeOptions::default());
+        let o = parse_serve(&args("--socket /tmp/u.sock --program-cache 4 --engines 2")).unwrap();
+        assert_eq!(o.socket.as_deref(), Some("/tmp/u.sock"));
+        assert_eq!((o.program_cache, o.engines), (4, 2));
+    }
+
+    #[test]
+    fn parse_serve_rejects_bad_input() {
+        assert!(parse_serve(&args("--bogus")).is_err());
+        assert!(parse_serve(&args("stray.asm")).is_err());
+        assert!(parse_serve(&args("--program-cache 0")).is_err());
+        assert!(parse_serve(&args("--engines 0")).is_err());
+        assert!(parse_serve(&args("--engines x")).is_err());
+    }
+
+    #[test]
+    fn build_config_rejects_out_of_range_mem_exp() {
+        let mut o = parse_run(&args("a.asm")).unwrap();
+        for bad in [-0.1, 1.5, f64::NAN] {
+            o.mem_exp = bad;
+            let err = build_config(&o).unwrap_err();
+            assert!(err.contains("[0, 1]"), "error names the range: {err}");
+        }
+        o.mem_exp = 1.0;
+        assert!(build_config(&o).is_ok());
+        o.mem_exp = 0.0;
+        assert!(build_config(&o).is_ok());
     }
 
     #[test]

@@ -10,9 +10,11 @@
 
 pub mod cli;
 pub mod fig11;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 
 pub use fig11::{expected, measured_exponents, Arch, ExpectedExponents, MeasuredExponents};
-pub use sweep::{parallel_map, parallel_map_timed, JsonReport};
+pub use serve::Server;
+pub use sweep::{parallel_map, parallel_map_timed, parallel_map_with, JsonReport};
 pub use table::Table;

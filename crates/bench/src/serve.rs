@@ -1,0 +1,738 @@
+//! `usim serve` — a long-running batch/server mode for simulation
+//! requests.
+//!
+//! The serving loop reads newline-delimited JSON requests from stdin
+//! (or a Unix socket with `--socket PATH`) and writes one JSON response
+//! per line:
+//!
+//! ```text
+//! {"program": "li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n",
+//!  "options": {"arch": "usi", "window": 8}}
+//! → {"ok":true,"arch":"usi","window":8,"cluster":1,"halted":true,...}
+//! ```
+//!
+//! Design-space exploration drives the same few programs through many
+//! configuration points, so the loop is built to make the repeated
+//! request the cheap one:
+//!
+//! * assembled programs are cached in an [`ProgramCache`] keyed by
+//!   source content, so a repeated source skips the assembler;
+//! * engines are pooled in an [`EnginePool`] keyed by exact
+//!   [`ProcConfig`] equality and rewound in place
+//!   ([`Processor::run_reusing`]), so a repeated configuration skips
+//!   every per-run allocation;
+//! * requests parse into reused [`String`] buffers and responses
+//!   serialise into a reused line buffer, so the steady-state request
+//!   loop — parse, cache hit, pool hit, simulate, respond — performs
+//!   **zero heap allocations** (asserted by the counting-allocator
+//!   probe in `tests/serve_alloc_probe.rs`).
+//!
+//! The JSON codec is hand-rolled like [`crate::sweep::JsonReport`]:
+//! this workspace takes no serde dependency.
+//!
+//! Identical requests produce byte-identical responses (per-request
+//! wall time is reported only when the request opts in with
+//! `"timing": true`); cache effectiveness is observable through the
+//! aggregate counters of a `{"cmd":"stats"}` request and the final
+//! summary printed on shutdown.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
+
+use crate::cli::{self, RunOptions, ServeOptions};
+use ultrascalar::{EnginePool, ProcConfig, Processor, RunResult};
+use ultrascalar_isa::ProgramCache;
+use ultrascalar_memsys::NetworkKind;
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Cmd {
+    /// Simulate a program (the default when `cmd` is absent).
+    #[default]
+    Run,
+    /// Report aggregate serving counters.
+    Stats,
+    /// Acknowledge and stop the serving loop.
+    Shutdown,
+}
+
+/// One parsed request. Lives inside the [`Server`] and is rewound per
+/// line so its string buffers are reused across requests.
+#[derive(Debug, Default)]
+struct Request {
+    cmd: Cmd,
+    id: String,
+    has_id: bool,
+    program: String,
+    has_program: bool,
+    program_path: String,
+    has_program_path: bool,
+    timing: bool,
+    registers: bool,
+    opts: RunOptions,
+}
+
+impl Request {
+    fn reset(&mut self) {
+        self.cmd = Cmd::Run;
+        self.id.clear();
+        self.has_id = false;
+        self.program.clear();
+        self.has_program = false;
+        self.program_path.clear();
+        self.has_program_path = false;
+        self.timing = false;
+        self.registers = false;
+        // `RunOptions::default()` holds only plain data and an empty
+        // (unallocated) path string, so this rewinds without touching
+        // the allocator.
+        self.opts = RunOptions::default();
+    }
+}
+
+/// Aggregate serving counters, reported by `{"cmd":"stats"}` and in the
+/// final summary line.
+#[derive(Debug, Clone, Default)]
+pub struct ServeCounters {
+    /// Request lines handled (including malformed ones).
+    pub requests: u64,
+    /// Simulation runs completed.
+    pub runs: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Total cycles simulated across all runs.
+    pub cycles_simulated: u64,
+    /// Total instructions committed across all runs.
+    pub instructions_committed: u64,
+    /// Runs in which the engine fell back to the scalar scan.
+    pub packed_fallbacks: u64,
+    /// Wall time spent handling requests (parse + simulate + respond).
+    pub wall: Duration,
+}
+
+/// The serving state: program cache, engine pool, counters, and the
+/// reused request/response buffers.
+#[derive(Debug)]
+pub struct Server {
+    programs: ProgramCache,
+    engines: EnginePool,
+    counters: ServeCounters,
+    req: Request,
+    key: String,
+    sval: String,
+    file_src: String,
+    line_out: String,
+    shutdown: bool,
+}
+
+impl Server {
+    /// Create a server with the given program-cache and engine-pool
+    /// capacities.
+    ///
+    /// # Panics
+    /// Panics if either capacity is zero.
+    pub fn new(program_cache: usize, engines: usize) -> Self {
+        Server {
+            programs: ProgramCache::new(program_cache),
+            engines: EnginePool::new(engines),
+            counters: ServeCounters::default(),
+            req: Request::default(),
+            key: String::new(),
+            sval: String::new(),
+            file_src: String::new(),
+            line_out: String::new(),
+            shutdown: false,
+        }
+    }
+
+    /// Aggregate counters so far.
+    pub fn counters(&self) -> &ServeCounters {
+        &self.counters
+    }
+
+    /// The program cache (for inspecting hit/miss counts).
+    pub fn programs(&self) -> &ProgramCache {
+        &self.programs
+    }
+
+    /// The engine pool (for inspecting hit/miss counts).
+    pub fn engines(&self) -> &EnginePool {
+        &self.engines
+    }
+
+    /// Has a shutdown request been handled?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handle one request line and return the response line (no
+    /// trailing newline). Never fails: malformed requests produce an
+    /// `{"ok":false,"error":…}` response.
+    pub fn handle_line(&mut self, line: &str) -> &str {
+        let started = Instant::now();
+        self.counters.requests += 1;
+        if let Err(e) = self.handle_inner(line) {
+            self.counters.errors += 1;
+            self.line_out.clear();
+            self.line_out.push_str("{\"ok\":false,");
+            if self.req.has_id {
+                self.line_out.push_str("\"id\":\"");
+                escape_into(&mut self.line_out, &self.req.id);
+                self.line_out.push_str("\",");
+            }
+            self.line_out.push_str("\"error\":\"");
+            escape_into(&mut self.line_out, &e);
+            self.line_out.push_str("\"}");
+        }
+        self.counters.wall += started.elapsed();
+        &self.line_out
+    }
+
+    fn handle_inner(&mut self, line: &str) -> Result<(), String> {
+        let Server {
+            programs,
+            engines,
+            counters,
+            req,
+            key,
+            sval,
+            file_src,
+            line_out,
+            shutdown,
+        } = self;
+        parse_request(line, req, key, sval)?;
+        match req.cmd {
+            Cmd::Stats => {
+                line_out.clear();
+                write_stats(line_out, counters, programs, engines);
+                Ok(())
+            }
+            Cmd::Shutdown => {
+                *shutdown = true;
+                line_out.clear();
+                line_out.push_str("{\"ok\":true,\"shutdown\":true}");
+                Ok(())
+            }
+            Cmd::Run => {
+                let src: &str = if req.has_program {
+                    if req.has_program_path {
+                        return Err("give either `program` or `program_path`, not both".into());
+                    }
+                    &req.program
+                } else if req.has_program_path {
+                    file_src.clear();
+                    let bytes = std::fs::read(&req.program_path)
+                        .map_err(|e| format!("cannot read {}: {e}", req.program_path))?;
+                    let text = std::str::from_utf8(&bytes)
+                        .map_err(|e| format!("{} is not UTF-8: {e}", req.program_path))?;
+                    file_src.push_str(text);
+                    file_src
+                } else {
+                    return Err("request needs a `program` or `program_path`".into());
+                };
+                let cfg = cli::build_config(&req.opts)?;
+                let program = programs
+                    .get_or_assemble(src, req.opts.regs)
+                    .map_err(|e| e.to_string())?;
+                let pooled = engines.acquire(&cfg);
+                let run_started = Instant::now();
+                pooled.engine.run_reusing(program, &mut pooled.result);
+                let run_wall = run_started.elapsed();
+                counters.runs += 1;
+                counters.cycles_simulated += pooled.result.cycles;
+                counters.instructions_committed += pooled.result.stats.committed;
+                counters.packed_fallbacks += pooled.result.stats.packed_fallbacks;
+                line_out.clear();
+                let wall_us = req.timing.then_some(run_wall.as_micros() as u64);
+                write_run(line_out, req, &cfg, &pooled.result, wall_us);
+                Ok(())
+            }
+        }
+    }
+
+    /// The one-line human-readable summary printed on shutdown/EOF.
+    pub fn final_stats_line(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "usim serve: {} requests ({} runs, {} errors), program cache {} hits / {} misses, \
+             engine pool {} hits / {} misses, {} cycles simulated, {} instructions committed, \
+             {} packed fallbacks, {:.3} s",
+            c.requests,
+            c.runs,
+            c.errors,
+            self.programs.hits(),
+            self.programs.misses(),
+            self.engines.hits(),
+            self.engines.misses(),
+            c.cycles_simulated,
+            c.instructions_committed,
+            c.packed_fallbacks,
+            c.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// Serialise a run response. Identical requests must produce
+/// byte-identical responses, so per-request wall time appears only
+/// when the request opted in with `"timing": true` (and `wall_us` is
+/// `Some`).
+fn write_run(
+    out: &mut String,
+    req: &Request,
+    cfg: &ProcConfig,
+    r: &RunResult,
+    wall_us: Option<u64>,
+) {
+    out.push_str("{\"ok\":true,");
+    if req.has_id {
+        out.push_str("\"id\":\"");
+        escape_into(out, &req.id);
+        out.push_str("\",");
+    }
+    let arch = if cfg.cluster == 1 {
+        "usi"
+    } else if cfg.cluster == cfg.window {
+        "usii"
+    } else {
+        "hybrid"
+    };
+    let _ = write!(
+        out,
+        "\"arch\":\"{arch}\",\"window\":{},\"cluster\":{},\"halted\":{},\
+         \"cycles\":{},\"instructions\":{},\"ipc\":{:.4},\"branches\":{},\
+         \"mispredictions\":{},\"flushed\":{},\"loads\":{},\"stores\":{},\
+         \"store_forwards\":{},\"packed_fallbacks\":{}",
+        cfg.window,
+        cfg.cluster,
+        r.halted,
+        r.cycles,
+        r.stats.committed,
+        r.ipc(),
+        r.stats.branches,
+        r.stats.mispredictions,
+        r.stats.flushed,
+        r.stats.mem.loads,
+        r.stats.mem.stores,
+        r.stats.store_forwards,
+        r.stats.packed_fallbacks,
+    );
+    if req.registers {
+        out.push_str(",\"registers\":[");
+        for (i, v) in r.regs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    if let Some(us) = wall_us {
+        let _ = write!(out, ",\"wall_us\":{us}");
+    }
+    out.push('}');
+}
+
+fn write_stats(out: &mut String, c: &ServeCounters, programs: &ProgramCache, engines: &EnginePool) {
+    let _ = write!(
+        out,
+        "{{\"ok\":true,\"stats\":{{\"requests\":{},\"runs\":{},\"errors\":{},\
+         \"program_cache_hits\":{},\"program_cache_misses\":{},\"programs_cached\":{},\
+         \"engine_pool_hits\":{},\"engine_pool_misses\":{},\"engines_warm\":{},\
+         \"cycles_simulated\":{},\"instructions_committed\":{},\"packed_fallbacks\":{},\
+         \"wall_s\":{:.6}}}}}",
+        c.requests,
+        c.runs,
+        c.errors,
+        programs.hits(),
+        programs.misses(),
+        programs.len(),
+        engines.hits(),
+        engines.misses(),
+        engines.len(),
+        c.cycles_simulated,
+        c.instructions_committed,
+        c.packed_fallbacks,
+        c.wall.as_secs_f64(),
+    );
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A byte cursor over one request line. All string values parse into
+/// caller-owned buffers, so a well-formed request allocates nothing.
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(s: &'a str) -> Self {
+        P {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(&c) if c == want => {
+                self.i += 1;
+                Ok(())
+            }
+            Some(&c) => Err(format!(
+                "bad JSON: expected `{}` at byte {}, found `{}`",
+                want as char, self.i, c as char
+            )),
+            None => Err(format!(
+                "bad JSON: expected `{}` at byte {}, found end of line",
+                want as char, self.i
+            )),
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.i >= self.b.len()
+    }
+
+    /// Parse a JSON string into `out` (cleared first), decoding all
+    /// escapes including `\uXXXX` surrogate pairs.
+    fn string_into(&mut self, out: &mut String) -> Result<(), String> {
+        out.clear();
+        self.eat(b'"')?;
+        loop {
+            let Some(&c) = self.b.get(self.i) else {
+                return Err("bad JSON: unterminated string".into());
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let Some(&e) = self.b.get(self.i) else {
+                        return Err("bad JSON: unterminated escape".into());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must
+                                // follow with the low half.
+                                if self.b.get(self.i) != Some(&b'\\')
+                                    || self.b.get(self.i + 1) != Some(&b'u')
+                                {
+                                    return Err("bad JSON: lone high surrogate".into());
+                                }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad JSON: invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => return Err("bad JSON: invalid \\u escape".into()),
+                            }
+                        }
+                        other => {
+                            return Err(format!("bad JSON: unknown escape `\\{}`", other as char))
+                        }
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting at c.
+                    let start = self.i - 1;
+                    while self.b.get(self.i).is_some_and(|&n| n & 0xC0 == 0x80) {
+                        self.i += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| "bad JSON: invalid UTF-8 in string".to_string())?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(&c) = self.b.get(self.i) else {
+                return Err("bad JSON: truncated \\u escape".into());
+            };
+            self.i += 1;
+            v = v * 16
+                + match c {
+                    b'0'..=b'9' => (c - b'0') as u32,
+                    b'a'..=b'f' => (c - b'a') as u32 + 10,
+                    b'A'..=b'F' => (c - b'A') as u32 + 10,
+                    _ => return Err("bad JSON: non-hex digit in \\u escape".into()),
+                };
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("bad JSON: expected a number at byte {start}"))
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        if self.b[self.i..].starts_with(b"true") {
+            self.i += 4;
+            Ok(true)
+        } else if self.b[self.i..].starts_with(b"false") {
+            self.i += 5;
+            Ok(false)
+        } else {
+            Err(format!("bad JSON: expected true/false at byte {}", self.i))
+        }
+    }
+}
+
+fn as_int(x: f64, what: &str) -> Result<u64, String> {
+    if x >= 0.0 && x.fract() == 0.0 && x <= (1u64 << 53) as f64 {
+        Ok(x as u64)
+    } else {
+        Err(format!("{what} must be a non-negative integer"))
+    }
+}
+
+fn as_usize(x: f64, what: &str) -> Result<usize, String> {
+    Ok(as_int(x, what)? as usize)
+}
+
+/// Parse one request line into `req` (rewound first). `key` and `sval`
+/// are caller-owned scratch buffers so parsing is allocation-free.
+fn parse_request(
+    line: &str,
+    req: &mut Request,
+    key: &mut String,
+    sval: &mut String,
+) -> Result<(), String> {
+    req.reset();
+    let mut p = P::new(line);
+    p.eat(b'{')?;
+    if p.peek() == Some(b'}') {
+        p.eat(b'}')?;
+    } else {
+        loop {
+            p.string_into(key)?;
+            p.eat(b':')?;
+            match key.as_str() {
+                "cmd" => {
+                    p.string_into(sval)?;
+                    req.cmd = match sval.as_str() {
+                        "run" => Cmd::Run,
+                        "stats" => Cmd::Stats,
+                        "shutdown" => Cmd::Shutdown,
+                        other => return Err(format!("unknown cmd `{other}` (run|stats|shutdown)")),
+                    };
+                }
+                "id" => {
+                    p.string_into(&mut req.id)?;
+                    req.has_id = true;
+                }
+                "program" => {
+                    p.string_into(&mut req.program)?;
+                    req.has_program = true;
+                }
+                "program_path" => {
+                    p.string_into(&mut req.program_path)?;
+                    req.has_program_path = true;
+                }
+                "timing" => req.timing = p.boolean()?,
+                "registers" => req.registers = p.boolean()?,
+                "options" => parse_options(&mut p, &mut req.opts, key, sval)?,
+                other => return Err(format!("unknown request field `{other}`")),
+            }
+            match p.peek() {
+                Some(b',') => p.eat(b',')?,
+                _ => break,
+            }
+        }
+        p.eat(b'}')?;
+    }
+    if !p.at_end() {
+        return Err("bad JSON: trailing characters after request object".into());
+    }
+    Ok(())
+}
+
+/// Parse the nested `options` object. Field names mirror the `usim run`
+/// flags; values go through the same validation as the CLI parser.
+fn parse_options(
+    p: &mut P,
+    o: &mut RunOptions,
+    key: &mut String,
+    sval: &mut String,
+) -> Result<(), String> {
+    p.eat(b'{')?;
+    if p.peek() == Some(b'}') {
+        return p.eat(b'}');
+    }
+    loop {
+        p.string_into(key)?;
+        p.eat(b':')?;
+        match key.as_str() {
+            "arch" => {
+                p.string_into(sval)?;
+                o.arch = cli::parse_arch(sval)?;
+            }
+            "predictor" => {
+                p.string_into(sval)?;
+                o.predictor = cli::parse_predictor(sval)?;
+            }
+            "window" => o.window = as_usize(p.number()?, "window")?,
+            "cluster" => o.cluster = Some(as_usize(p.number()?, "cluster")?),
+            "alus" => o.alus = Some(as_usize(p.number()?, "alus")?),
+            "mem_exp" => o.mem_exp = p.number()?,
+            "network" => {
+                p.string_into(sval)?;
+                o.network = match sval.as_str() {
+                    "fattree" | "fat-tree" => NetworkKind::FatTree,
+                    "butterfly" => NetworkKind::Butterfly,
+                    other => return Err(format!("unknown network `{other}` (fattree|butterfly)")),
+                };
+            }
+            "butterfly" => {
+                if p.boolean()? {
+                    o.network = NetworkKind::Butterfly;
+                }
+            }
+            "renaming" => o.renaming = p.boolean()?,
+            "cache" => o.cache = p.boolean()?,
+            "fetch_width" => o.fetch_width = Some(as_usize(p.number()?, "fetch_width")?),
+            "per_hop" => o.per_hop = Some(as_int(p.number()?, "per_hop")?),
+            "regs" => o.regs = as_usize(p.number()?, "regs")?,
+            "max_cycles" => o.max_cycles = as_int(p.number()?, "max_cycles")?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        match p.peek() {
+            Some(b',') => p.eat(b',')?,
+            _ => break,
+        }
+    }
+    p.eat(b'}')
+}
+
+/// Run the serving loop for `reader`/`writer` until EOF or a shutdown
+/// request.
+pub fn serve_stream<R: BufRead, W: Write>(
+    server: &mut Server,
+    mut reader: R,
+    mut writer: W,
+) -> Result<(), String> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let resp = server.handle_line(trimmed);
+        if writeln!(writer, "{resp}").is_err() {
+            // Downstream closed the pipe; stop quietly like `usim run |
+            // head` does.
+            return Ok(());
+        }
+        if writer.flush().is_err() {
+            return Ok(());
+        }
+        if server.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Entry point for `usim serve`: dispatch on stdin/stdout or a Unix
+/// socket, and print the final counter summary to stderr on exit.
+pub fn serve(o: &ServeOptions) -> Result<(), String> {
+    let mut server = Server::new(o.program_cache, o.engines);
+    match &o.socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stream(&mut server, stdin.lock(), stdout.lock())?;
+        }
+        Some(path) => {
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| format!("cannot bind {path}: {e}"))?;
+            eprintln!("usim serve: listening on {path}");
+            for conn in listener.incoming() {
+                let conn = conn.map_err(|e| format!("accept failed: {e}"))?;
+                let reader = std::io::BufReader::new(
+                    conn.try_clone()
+                        .map_err(|e| format!("socket clone failed: {e}"))?,
+                );
+                serve_stream(&mut server, reader, &conn)?;
+                if server.shutdown_requested() {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    eprintln!("{}", server.final_stats_line());
+    Ok(())
+}

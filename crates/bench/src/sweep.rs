@@ -39,12 +39,36 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, || (), |(), t| f(t))
+}
+
+/// Like [`parallel_map`], but each worker carries mutable state built
+/// once by `init` and threaded through every point it claims.
+///
+/// This is how sweeps hoist per-point setup out of the measurement
+/// loop: a worker's state holds warm engines ([`ultrascalar::EnginePool`])
+/// or resettable memory systems, so each point rewinds existing
+/// structures instead of reallocating them. Results are still returned
+/// in input order, and a serial fallback (one worker, one state) keeps
+/// output byte-identical on single-CPU hosts.
+///
+/// # Panics
+/// Propagates a panic from any worker (the sweep is deterministic, so
+/// a panicking point would panic serially too).
+pub fn parallel_map_with<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(items.len().max(1));
     if workers <= 1 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|t| f(&mut state, t)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -53,13 +77,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let mut state = init();
                     let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        done.push((i, f(&items[i])));
+                        done.push((i, f(&mut state, &items[i])));
                     }
                     done
                 })
@@ -258,6 +283,22 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(parallel_map(&none, |x| *x).is_empty());
         assert_eq!(parallel_map(&[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn stateful_map_reuses_worker_state() {
+        let items: Vec<u64> = (0..97).collect();
+        // Per-worker scratch: results must not depend on which worker
+        // (or how much prior state) handled a point.
+        let out = parallel_map_with(
+            &items,
+            || Vec::<u64>::new(),
+            |seen, &x| {
+                seen.push(x);
+                x + seen.len() as u64 - seen.len() as u64
+            },
+        );
+        assert_eq!(out, items);
     }
 
     #[test]

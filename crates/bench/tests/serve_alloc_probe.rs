@@ -1,0 +1,123 @@
+//! Steady-state allocation probe for the `usim serve` request loop.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up request that sizes every retained buffer (parsed request
+//! strings, the program cache entry, the pooled engine's scratch, the
+//! response line), repeated identical requests must perform **zero**
+//! allocations — parse, program-cache hit, engine-pool hit, the full
+//! cycle-accurate simulation, and response serialisation all run on
+//! reused memory. The probe also alternates two programs and two
+//! configurations to show the steady state survives a working set
+//! larger than one.
+//!
+//! Counting is gated on a const-initialised thread-local so only the
+//! probe thread's allocations register (the libtest harness thread
+//! lazily initialises channel state mid-run otherwise).
+//!
+//! Single `#[test]` on purpose: the counter is process-global and the
+//! default test harness runs tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Raised only on the probe thread, only around the measured loop.
+    static PROBING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn probing() -> bool {
+    PROBING.try_with(Cell::get).unwrap_or(false)
+}
+
+/// RAII arm/disarm of the probe flag: disarms on drop so a panicking
+/// measured body cannot leave the thread-local armed.
+struct ProbeGuard;
+
+impl ProbeGuard {
+    fn arm() -> Self {
+        PROBING.with(|p| p.set(true));
+        ProbeGuard
+    }
+}
+
+impl Drop for ProbeGuard {
+    fn drop(&mut self) {
+        PROBING.with(|p| p.set(false));
+    }
+}
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if probing() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if probing() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+use ultrascalar_bench::serve::Server;
+
+/// A loop-carrying kernel: branches, loads and stores keep the
+/// predictor, memory system and window reset paths all on the
+/// measured path.
+const REQ_LOOP: &str = r#"{"program":"li r1, 0\nli r2, 8\nli r3, 0\nloop:\nsw r1, (r1)\nlw r4, (r1)\nadd r3, r3, r4\naddi r1, r1, 1\nblt r1, r2, loop\nhalt\n","options":{"arch":"usi","window":8,"predictor":"bimodal:64"}}"#;
+
+/// Same program through a different topology: engine-pool working set
+/// of two.
+const REQ_HYBRID: &str = r#"{"program":"li r1, 0\nli r2, 8\nli r3, 0\nloop:\nsw r1, (r1)\nlw r4, (r1)\nadd r3, r3, r4\naddi r1, r1, 1\nblt r1, r2, loop\nhalt\n","options":{"arch":"hybrid","window":8,"cluster":4,"predictor":"bimodal:64","renaming":true}}"#;
+
+/// A second source, so the program cache also serves from a working
+/// set of two.
+const REQ_MUL: &str = r#"{"program":"li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n","options":{"arch":"usi","window":8,"predictor":"bimodal:64"}}"#;
+
+#[test]
+fn serve_request_loop_allocates_nothing_in_steady_state() {
+    let mut server = Server::new(8, 4);
+
+    let steady = |server: &mut Server| {
+        for req in [REQ_LOOP, REQ_HYBRID, REQ_MUL] {
+            let resp = server.handle_line(req);
+            assert!(resp.starts_with("{\"ok\":true,"));
+        }
+    };
+
+    // Warm-up: assembles both programs, builds both engines, sizes
+    // every reused buffer.
+    steady(&mut server);
+    steady(&mut server);
+
+    let runs_before = server.counters().runs;
+    let guard = ProbeGuard::arm();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..50 {
+        steady(&mut server);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    drop(guard);
+    assert_eq!(
+        after - before,
+        0,
+        "serve request loop allocated in steady state"
+    );
+    assert_eq!(server.counters().runs - runs_before, 150);
+    // Every probed request was a cache/pool hit.
+    assert_eq!(server.programs().misses(), 2);
+    assert_eq!(server.engines().misses(), 2);
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests for the `usim serve` request loop: response shape,
+//! byte-identical repeats, cache/pool accounting, strict error
+//! handling, and the stream driver.
+
+use ultrascalar_bench::serve::{serve_stream, Server};
+
+const PROG: &str =
+    r#"{"program":"li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n","options":{"window":8}}"#;
+
+#[test]
+fn repeated_request_is_byte_identical_and_hits_caches() {
+    let mut s = Server::new(8, 4);
+    let first = s.handle_line(PROG).to_string();
+    assert!(first.starts_with("{\"ok\":true,"), "{first}");
+    assert!(first.contains("\"halted\":true"), "{first}");
+    assert!(first.contains("\"instructions\":4"), "{first}");
+    assert_eq!((s.programs().hits(), s.programs().misses()), (0, 1));
+    assert_eq!((s.engines().hits(), s.engines().misses()), (0, 1));
+    for _ in 0..3 {
+        let again = s.handle_line(PROG).to_string();
+        assert_eq!(again, first, "identical request, identical response");
+    }
+    assert_eq!((s.programs().hits(), s.programs().misses()), (3, 1));
+    assert_eq!((s.engines().hits(), s.engines().misses()), (3, 1));
+    assert_eq!(s.counters().runs, 4);
+    assert_eq!(s.counters().errors, 0);
+}
+
+#[test]
+fn registers_and_timing_are_opt_in() {
+    let mut s = Server::new(8, 4);
+    let bare = s.handle_line(PROG).to_string();
+    assert!(!bare.contains("registers"), "{bare}");
+    assert!(!bare.contains("wall_us"), "{bare}");
+    let full = s
+        .handle_line(
+            r#"{"id":"q1","registers":true,"timing":true,"program":"li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n","options":{"window":8}}"#,
+        )
+        .to_string();
+    assert!(full.contains("\"id\":\"q1\""), "{full}");
+    // r3 = 42 in the committed register file.
+    assert!(full.contains("\"registers\":[0,6,7,42,"), "{full}");
+    assert!(full.contains("\"wall_us\":"), "{full}");
+}
+
+#[test]
+fn options_map_to_the_configured_engine() {
+    let mut s = Server::new(8, 4);
+    let resp = s
+        .handle_line(
+            r#"{"program":"li r1, 1\nhalt\n","options":{"arch":"hybrid","window":16,"cluster":4,"predictor":"bimodal:64","renaming":true,"regs":16}}"#,
+        )
+        .to_string();
+    assert!(resp.contains("\"arch\":\"hybrid\""), "{resp}");
+    assert!(resp.contains("\"window\":16"), "{resp}");
+    assert!(resp.contains("\"cluster\":4"), "{resp}");
+    let usii = s
+        .handle_line(r#"{"program":"li r1, 1\nhalt\n","options":{"arch":"usii","window":8}}"#)
+        .to_string();
+    assert!(usii.contains("\"arch\":\"usii\""), "{usii}");
+    assert_eq!(s.engines().len(), 2, "two distinct configs warmed");
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let mut s = Server::new(8, 4);
+    for (req, needle) in [
+        ("not json at all", "bad JSON"),
+        (r#"{"program":"li r1, 1\nhalt\n""#, "bad JSON"),
+        (r#"{"frobnicate":1}"#, "unknown request field"),
+        (r#"{"cmd":"dance"}"#, "unknown cmd"),
+        (r#"{"options":{}}"#, "needs a `program`"),
+        (
+            r#"{"program":"li r1, 1\nhalt\n","program_path":"x"}"#,
+            "not both",
+        ),
+        (r#"{"program":"frobnicate r1\n"}"#, "unknown mnemonic"),
+        (
+            r#"{"program":"li r1, 1\nhalt\n","options":{"mem_exp":2.5}}"#,
+            "[0, 1]",
+        ),
+        (
+            r#"{"program":"li r1, 1\nhalt\n","options":{"window":-3}}"#,
+            "non-negative integer",
+        ),
+        (
+            r#"{"program":"li r1, 1\nhalt\n","options":{"quantum":true}}"#,
+            "unknown option",
+        ),
+    ] {
+        let resp = s.handle_line(req).to_string();
+        assert!(resp.starts_with("{\"ok\":false,"), "{req} -> {resp}");
+        assert!(resp.contains(needle), "{req} -> {resp}");
+    }
+    assert_eq!(s.counters().errors, 10);
+    // The server still works after every failure.
+    let ok = s.handle_line(PROG).to_string();
+    assert!(ok.starts_with("{\"ok\":true,"), "{ok}");
+}
+
+#[test]
+fn failed_assembly_is_not_cached() {
+    let mut s = Server::new(8, 4);
+    s.handle_line(r#"{"program":"frobnicate r1\n"}"#);
+    assert_eq!(s.programs().len(), 0);
+    s.handle_line(r#"{"program":"frobnicate r1\n"}"#);
+    assert_eq!(s.programs().misses(), 2, "errors re-assemble every time");
+}
+
+#[test]
+fn stats_and_shutdown_commands() {
+    let mut s = Server::new(8, 4);
+    s.handle_line(PROG);
+    s.handle_line(PROG);
+    let stats = s.handle_line(r#"{"cmd":"stats"}"#).to_string();
+    assert!(stats.contains("\"requests\":3"), "{stats}");
+    assert!(stats.contains("\"runs\":2"), "{stats}");
+    assert!(stats.contains("\"program_cache_hits\":1"), "{stats}");
+    assert!(stats.contains("\"engine_pool_hits\":1"), "{stats}");
+    assert!(stats.contains("\"cycles_simulated\":"), "{stats}");
+    assert!(!s.shutdown_requested());
+    let bye = s.handle_line(r#"{"cmd":"shutdown"}"#).to_string();
+    assert_eq!(bye, "{\"ok\":true,\"shutdown\":true}");
+    assert!(s.shutdown_requested());
+    let line = s.final_stats_line();
+    assert!(line.contains("4 requests (2 runs, 0 errors)"), "{line}");
+}
+
+#[test]
+fn json_escapes_round_trip() {
+    let mut s = Server::new(8, 4);
+    // h = 'h', \t in the id comes back escaped in the response.
+    let resp = s
+        .handle_line(
+            "{\"id\":\"tab\\there \\u2192 done\",\"program\":\"li r1, 1\\n\\u0068alt\\n\"}",
+        )
+        .to_string();
+    assert!(resp.starts_with("{\"ok\":true,"), "{resp}");
+    assert!(
+        resp.contains("\"id\":\"tab\\there \u{2192} done\""),
+        "{resp}"
+    );
+}
+
+#[test]
+fn stream_driver_answers_each_line_and_stops_on_shutdown() {
+    let mut s = Server::new(8, 4);
+    let input = format!("{PROG}\n\n{PROG}\n{{\"cmd\":\"shutdown\"}}\n{PROG}\n");
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(&mut s, input.as_bytes(), &mut out).expect("stream serves");
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    // Blank line skipped; the request after shutdown never runs.
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert_eq!(lines[0], lines[1]);
+    assert_eq!(lines[2], "{\"ok\":true,\"shutdown\":true}");
+    assert_eq!(s.counters().runs, 2);
+}

@@ -43,7 +43,12 @@ impl ForwardModel {
 }
 
 /// Configuration shared by every processor model.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is structural and exact — the engine pool uses it to
+/// decide whether a warm engine can serve a request, so two configs
+/// compare equal iff an engine built from one is interchangeable with
+/// an engine built from the other.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcConfig {
     /// Window / issue width `n` (number of execution stations).
     pub window: usize,

@@ -38,7 +38,7 @@ use crate::station::{
 use crate::stats::ProcStats;
 use crate::timing::InstrTiming;
 use ultrascalar_isa::{Instr, Program};
-use ultrascalar_memsys::{MemRequest, MemSystem, ReqKind};
+use ultrascalar_memsys::{MemRequest, MemResponse, MemSystem, ReqKind};
 /// Fuel given to the golden interpreter when pre-computing the perfect
 /// fetch path. Far beyond any workload in this repository.
 const ORACLE_FUEL: usize = 50_000_000;
@@ -90,12 +90,16 @@ struct ScanScratch {
 }
 
 impl ScanScratch {
-    fn new(num_regs: usize) -> Self {
-        ScanScratch {
-            last_writer: vec![None; num_regs],
-            writer_ready_at: vec![0; num_regs],
-            ..ScanScratch::default()
-        }
+    /// Size the per-register tables for a program's register file and
+    /// empty everything, reusing retained capacity (allocation-free
+    /// whenever the file is no wider than any previously prepared one).
+    fn prepare(&mut self, num_regs: usize) {
+        self.last_writer.clear();
+        self.last_writer.resize(num_regs, None);
+        self.writer_ready_at.clear();
+        self.writer_ready_at.resize(num_regs, 0);
+        self.store_infos.clear();
+        self.requests.clear();
     }
 
     /// Reset for a new cycle without releasing capacity.
@@ -209,9 +213,39 @@ fn packed_wakeups(
 }
 
 /// The unified Ultrascalar processor model.
-#[derive(Debug, Clone)]
+///
+/// The engine retains its allocation-heavy working state — fetch unit,
+/// memory system, window clusters, scan buffers, trace cache — across
+/// runs. [`Processor::run_reusing`] rewinds all of it in place, so a
+/// warm engine serving its second and later requests for a same-shape
+/// program performs **zero** allocations (the serve-mode probe pins
+/// this); [`Processor::run`] produces identical results and merely
+/// pays for a fresh [`RunResult`]. Retention is invisible to results:
+/// the reuse-equivalence tests pin a warm engine cycle-exact against a
+/// freshly constructed one.
+#[derive(Debug)]
 pub struct Ultrascalar {
     cfg: ProcConfig,
+    scratch: EngineScratch,
+}
+
+/// Working state retained across runs. Everything here is rewound (not
+/// rebuilt) at the top of each run; the cluster pool recycles the
+/// per-cluster entry vectors that commit and flush would otherwise
+/// drop, closing the last per-cycle allocation in the refill path.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    fetch: Option<FetchUnit>,
+    mem: Option<MemSystem>,
+    trace_cache: Option<TraceCache>,
+    window: VecDeque<Cluster>,
+    /// Free list of cluster entry vectors (always pushed cleared).
+    cluster_pool: Vec<Vec<StationEntry>>,
+    scan: ScanScratch,
+    alu_free_at: Vec<u64>,
+    /// Caller-side buffers for [`MemSystem::tick_into`].
+    accepted: Vec<u64>,
+    responses: Vec<MemResponse>,
 }
 
 impl Ultrascalar {
@@ -221,12 +255,24 @@ impl Ultrascalar {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: ProcConfig) -> Self {
         cfg.validate().expect("invalid processor configuration");
-        Ultrascalar { cfg }
+        Ultrascalar {
+            cfg,
+            scratch: EngineScratch::default(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ProcConfig {
         &self.cfg
+    }
+}
+
+impl Clone for Ultrascalar {
+    /// Clones the configuration only: the clone starts cold, with no
+    /// retained working state (warm buffers are an optimisation, never
+    /// part of an engine's observable identity).
+    fn clone(&self) -> Self {
+        Ultrascalar::new(self.cfg.clone())
     }
 }
 
@@ -244,6 +290,16 @@ impl Processor for Ultrascalar {
     }
 
     fn run(&mut self, program: &Program) -> RunResult {
+        let mut out = RunResult::default();
+        self.run_reusing(program, &mut out);
+        out
+    }
+
+    fn reset(&mut self) {
+        self.scratch = EngineScratch::default();
+    }
+
+    fn run_reusing(&mut self, program: &Program, out: &mut RunResult) {
         program.validate().expect("program must validate");
         let n = self.cfg.window;
         let c = self.cfg.cluster;
@@ -266,13 +322,55 @@ impl Processor for Ultrascalar {
         // file: the mask tests never touch words no register can reach.
         let lane_words = program.num_regs.div_ceil(64).min(REG_LANE_WORDS);
 
-        let mut fetch = FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL);
-        let mut mem = MemSystem::new(self.cfg.mem.clone(), &program.init_mem);
-        let mut committed_regs = program.init_regs.clone();
-        let mut window: VecDeque<Cluster> = VecDeque::with_capacity(k);
+        // Rewind the retained working state in place. The engine's
+        // configuration is fixed at construction, so each component's
+        // shape (predictor kind, memory config, trace-cache geometry,
+        // ALU pool size) never changes between runs — reset, not
+        // rebuild, except on the very first run.
+        let EngineScratch {
+            fetch,
+            mem,
+            trace_cache,
+            window,
+            cluster_pool,
+            scan,
+            alu_free_at,
+            accepted,
+            responses,
+        } = &mut self.scratch;
+        match fetch {
+            Some(f) => f.reset(program, self.cfg.predictor, ORACLE_FUEL),
+            None => *fetch = Some(FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL)),
+        }
+        let fetch = fetch.as_mut().expect("fetch unit initialised above");
+        match mem {
+            Some(m) => m.reset(&program.init_mem),
+            None => *mem = Some(MemSystem::new(self.cfg.mem.clone(), &program.init_mem)),
+        }
+        let mem = mem.as_mut().expect("memory system initialised above");
+        // A previous run that hit the cycle budget leaves clusters in
+        // the window; recycle them.
+        while let Some(mut cl) = window.pop_front() {
+            cl.entries.clear();
+            cluster_pool.push(cl.entries);
+        }
         let mut next_seq: u64 = 0;
         let mut alloc_counter: usize = 0;
-        let mut stats = ProcStats::default();
+
+        // The caller's result buffer is the working state: committed
+        // registers and timings accumulate directly into `out`, so
+        // finishing a run writes nothing it would have to copy.
+        let RunResult {
+            halted: out_halted,
+            cycles: out_cycles,
+            regs: committed_regs,
+            mem: out_mem,
+            stats,
+            timings,
+        } = out;
+        stats.reset();
+        timings.clear();
+        committed_regs.clone_from(&program.init_regs);
         if self.cfg.packed_flags && !packed_ok {
             // Visible diagnostic instead of a silent downgrade: the
             // run asked for the packed fast path but the gate kept the
@@ -280,16 +378,24 @@ impl Processor for Ultrascalar {
             // wider than the packed lane words).
             stats.packed_fallbacks += 1;
         }
-        let mut timings: Vec<InstrTiming> = Vec::new();
         let mut halted = false;
         // Shared-ALU pool: first cycle each unit is free again.
-        let mut alu_free_at: Vec<u64> = self.cfg.alus.map(|k| vec![0u64; k]).unwrap_or_default();
+        alu_free_at.clear();
+        if let Some(pool) = self.cfg.alus {
+            alu_free_at.resize(pool, 0u64);
+        }
         // Trace-cache fetch model: redirects to uncached trace heads
         // stall refill.
-        let mut trace_cache = self
-            .cfg
-            .trace_cache
-            .map(|(entries, penalty)| TraceCache::new(entries, penalty));
+        let mut trace_cache = match self.cfg.trace_cache {
+            Some((entries, penalty)) => {
+                match trace_cache {
+                    Some(tc) => tc.reset(),
+                    None => *trace_cache = Some(TraceCache::new(entries, penalty)),
+                }
+                trace_cache.as_mut()
+            }
+            None => None,
+        };
         let mut fetch_stalled_until: u64 = 0;
 
         // Refill: fill the youngest partial cluster, then allocate new
@@ -300,6 +406,7 @@ impl Processor for Ultrascalar {
                       fetch: &mut FetchUnit,
                       next_seq: &mut u64,
                       alloc_counter: &mut usize,
+                      pool: &mut Vec<Vec<StationEntry>>,
                       visible_at: u64| {
             let mut budget = fetch_budget;
             let pull = |fetch: &mut FetchUnit,
@@ -324,7 +431,10 @@ impl Processor for Ultrascalar {
                 }
             }
             while window.len() < k {
-                let mut entries = Vec::with_capacity(c);
+                // Recycle an entry vector dropped by commit or flush;
+                // pool vectors are always pushed cleared.
+                let mut entries = pool.pop().unwrap_or_default();
+                entries.reserve(c);
                 while entries.len() < c {
                     match pull(fetch, next_seq, &mut budget) {
                         Some(e) => entries.push(e),
@@ -332,6 +442,7 @@ impl Processor for Ultrascalar {
                     }
                 }
                 if entries.is_empty() {
+                    pool.push(entries);
                     return;
                 }
                 window.push_back(Cluster {
@@ -344,15 +455,16 @@ impl Processor for Ultrascalar {
 
         // Initial fill: the window starts filling at cycle 0.
         refill(
-            &mut window,
-            &mut fetch,
+            window,
+            fetch,
             &mut next_seq,
             &mut alloc_counter,
+            cluster_pool,
             0,
         );
 
         // Per-cycle scan buffers, reused across the whole run.
-        let mut scratch = ScanScratch::new(program.num_regs);
+        scan.prepare(program.num_regs);
 
         let mut t: u64 = 0;
         while t < self.cfg.max_cycles {
@@ -387,13 +499,13 @@ impl Processor for Ultrascalar {
             // 64 registers per word across `REG_LANE_WORDS` words, so a
             // blocked reader is detected by one word-array mask test.
             let mut unready: RegMask = [0; REG_LANE_WORDS];
-            scratch.reset();
+            scan.reset();
             let ScanScratch {
                 last_writer,
                 writer_ready_at,
                 store_infos,
                 requests,
-            } = &mut scratch;
+            } = &mut *scan;
             let mut free_alus = alu_free_at.iter().filter(|&&f| f <= t).count();
 
             for ci in 0..window.len() {
@@ -479,8 +591,8 @@ impl Processor for Ultrascalar {
                                             e.completed_at = Some(t + lat.of(&instr) - 1);
                                             e.result = Some(v);
                                             e.actual_next = Some(e.pc + 1);
-                                            record_fw(&mut stats, &s0);
-                                            record_fw(&mut stats, &s1);
+                                            record_fw(stats, &s0);
+                                            record_fw(stats, &s1);
                                         } else {
                                             stats.alu_stalls += 1;
                                         }
@@ -500,7 +612,7 @@ impl Processor for Ultrascalar {
                                             e.completed_at = Some(t + lat.of(&instr) - 1);
                                             e.result = Some(v);
                                             e.actual_next = Some(e.pc + 1);
-                                            record_fw(&mut stats, &s0);
+                                            record_fw(stats, &s0);
                                         } else {
                                             stats.alu_stalls += 1;
                                         }
@@ -522,8 +634,8 @@ impl Processor for Ultrascalar {
                                         e.taken = Some(taken);
                                         e.actual_next =
                                             Some(if taken { target as usize } else { e.pc + 1 });
-                                        record_fw(&mut stats, &s0);
-                                        record_fw(&mut stats, &s1);
+                                        record_fw(stats, &s0);
+                                        record_fw(stats, &s1);
                                     }
                                     Instr::Jump { target } => {
                                         let e = &mut window[ci].entries[ei];
@@ -560,7 +672,7 @@ impl Processor for Ultrascalar {
                                                     e.result = Some(v);
                                                     e.actual_next = Some(e.pc + 1);
                                                     stats.store_forwards += 1;
-                                                    record_fw(&mut stats, &s0);
+                                                    record_fw(stats, &s0);
                                                 } else {
                                                     requests.push(MemRequest {
                                                         id: seq,
@@ -571,7 +683,7 @@ impl Processor for Ultrascalar {
                                                     let e = &mut window[ci].entries[ei];
                                                     e.mem = MemPhase::Requesting;
                                                     if first_attempt {
-                                                        record_fw(&mut stats, &s0);
+                                                        record_fw(stats, &s0);
                                                     }
                                                 }
                                             }
@@ -585,7 +697,7 @@ impl Processor for Ultrascalar {
                                             let e = &mut window[ci].entries[ei];
                                             e.mem = MemPhase::Requesting;
                                             if first_attempt {
-                                                record_fw(&mut stats, &s0);
+                                                record_fw(stats, &s0);
                                             }
                                         }
                                     }
@@ -604,8 +716,8 @@ impl Processor for Ultrascalar {
                                             let e = &mut window[ci].entries[ei];
                                             e.mem = MemPhase::Requesting;
                                             if first_attempt {
-                                                record_fw(&mut stats, &s0);
-                                                record_fw(&mut stats, &s1);
+                                                record_fw(stats, &s0);
+                                                record_fw(stats, &s1);
                                             }
                                         }
                                     }
@@ -774,19 +886,21 @@ impl Processor for Ultrascalar {
                 }
             }
 
-            // ---- Phase B: memory arbitration and responses.
+            // ---- Phase B: memory arbitration and responses, through
+            // the retained accept/response buffers (the memory system
+            // clears them first) — no per-cycle allocation.
             let offered_requests = !requests.is_empty();
-            let (accepted, responses) = mem.tick(t, requests);
+            mem.tick_into(t, requests, accepted, responses);
             let had_responses = !responses.is_empty();
-            for id in accepted {
-                if let Some((ci, ei)) = locate(&window, id) {
+            for &id in accepted.iter() {
+                if let Some((ci, ei)) = locate(window, id) {
                     let e = &mut window[ci].entries[ei];
                     e.issued_at = Some(t);
                     e.mem = MemPhase::InFlight;
                 }
             }
-            for resp in responses {
-                if let Some((ci, ei)) = locate(&window, resp.id) {
+            for resp in responses.iter() {
+                if let Some((ci, ei)) = locate(window, resp.id) {
                     let e = &mut window[ci].entries[ei];
                     if e.mem == MemPhase::InFlight {
                         e.completed_at = Some(t);
@@ -819,8 +933,11 @@ impl Processor for Ultrascalar {
                             // entirely, this cluster past the branch.
                             let mut flushed = 0u64;
                             while window.len() > ci + 1 {
-                                flushed +=
-                                    window.pop_back().map_or(0, |cl| cl.entries.len() as u64);
+                                if let Some(mut cl) = window.pop_back() {
+                                    flushed += cl.entries.len() as u64;
+                                    cl.entries.clear();
+                                    cluster_pool.push(cl.entries);
+                                }
                             }
                             let keep = ei + 1;
                             flushed += (window[ci].entries.len() - keep) as u64;
@@ -850,9 +967,10 @@ impl Processor for Ultrascalar {
                 if !(complete_cluster && all_done) {
                     break;
                 }
-                let cluster = window.pop_front().expect("front exists");
+                let mut cluster = window.pop_front().expect("front exists");
+                let ring_index = cluster.ring_index;
                 committed_any = true;
-                for (ei, e) in cluster.entries.into_iter().enumerate() {
+                for (ei, e) in cluster.entries.drain(..).enumerate() {
                     let synthetic = e.is_synthetic(program.len());
                     if !synthetic {
                         stats.committed += 1;
@@ -863,7 +981,7 @@ impl Processor for Ultrascalar {
                             fetched: e.fetched_at,
                             issue: e.issued_at.expect("committed ⇒ issued"),
                             complete: e.completed_at.expect("committed ⇒ completed"),
-                            slot: (cluster.ring_index % k) * c + ei,
+                            slot: (ring_index % k) * c + ei,
                         });
                         if e.instr.is_branch() {
                             stats.branches += 1;
@@ -880,6 +998,7 @@ impl Processor for Ultrascalar {
                         halted = true;
                     }
                 }
+                cluster_pool.push(cluster.entries);
                 if halted {
                     break;
                 }
@@ -894,10 +1013,11 @@ impl Processor for Ultrascalar {
             let seq_before_refill = next_seq;
             if t + 1 >= fetch_stalled_until {
                 refill(
-                    &mut window,
-                    &mut fetch,
+                    window,
+                    fetch,
                     &mut next_seq,
                     &mut alloc_counter,
+                    cluster_pool,
                     t + 1,
                 );
             }
@@ -949,14 +1069,12 @@ impl Processor for Ultrascalar {
 
         stats.cycles = t;
         stats.mem = mem.stats();
-        timings.sort_by_key(|x| x.seq);
-        RunResult {
-            halted,
-            cycles: t,
-            regs: committed_regs,
-            mem: mem.snapshot().to_vec(),
-            stats,
-            timings,
-        }
+        // Timings carry unique `seq` keys, so the unstable sort is
+        // deterministic — and, unlike the stable sort, allocation-free.
+        timings.sort_unstable_by_key(|x| x.seq);
+        out_mem.clear();
+        out_mem.extend_from_slice(mem.snapshot());
+        *out_cycles = t;
+        *out_halted = halted;
     }
 }

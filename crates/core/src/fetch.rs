@@ -35,6 +35,10 @@ pub enum FetchUnit {
     },
     /// Replay the architecturally correct path (perfect prediction).
     Replay {
+        /// The program the stream was computed from (kept so
+        /// [`FetchUnit::reset`] can recognise a same-program rewind and
+        /// skip re-running the golden interpreter).
+        program: Program,
         /// Pre-computed correct-path fetch stream.
         seq: Vec<Fetched>,
         /// Next position in `seq`.
@@ -71,7 +75,11 @@ impl FetchUnit {
                         predicted_next: pc,
                     });
                 }
-                FetchUnit::Replay { seq, pos: 0 }
+                FetchUnit::Replay {
+                    program: program.clone(),
+                    seq,
+                    pos: 0,
+                }
             }
             _ => FetchUnit::Path {
                 program: program.clone(),
@@ -81,12 +89,47 @@ impl FetchUnit {
         }
     }
 
+    /// Rewind to the start of `program` with the given predictor kind,
+    /// reusing retained buffers wherever the shape allows. Equivalent
+    /// to `*self = FetchUnit::new(program, kind, fuel)` but
+    /// allocation-free when `program` is the one already loaded: a
+    /// replay unit rewinds its position instead of re-running the
+    /// golden interpreter, and a path unit rewinds its pc and clears
+    /// predictor training in place.
+    pub fn reset(&mut self, program: &Program, kind: PredictorKind, fuel: usize) {
+        match self {
+            FetchUnit::Replay {
+                program: held, pos, ..
+            } if kind == PredictorKind::Perfect && held == program => {
+                *pos = 0;
+                return;
+            }
+            FetchUnit::Path {
+                program: held,
+                cur_pc,
+                predictor,
+            } if kind != PredictorKind::Perfect && predictor.kind() == kind => {
+                if held != program {
+                    held.instrs.clone_from(&program.instrs);
+                    held.num_regs = program.num_regs;
+                    held.init_regs.clone_from(&program.init_regs);
+                    held.init_mem.clone_from(&program.init_mem);
+                }
+                *cur_pc = Some(0);
+                predictor.reset();
+                return;
+            }
+            _ => {}
+        }
+        *self = FetchUnit::new(program, kind, fuel);
+    }
+
     /// Fetch the next instruction along the (predicted) path, or `None`
     /// if fetch has stopped (a halt was supplied).
     #[allow(clippy::should_implement_trait)] // deliberate hardware name
     pub fn next(&mut self) -> Option<Fetched> {
         match self {
-            FetchUnit::Replay { seq, pos } => {
+            FetchUnit::Replay { seq, pos, .. } => {
                 let f = *seq.get(*pos)?;
                 *pos += 1;
                 Some(f)
@@ -137,7 +180,7 @@ impl FetchUnit {
     /// Has fetch run dry (halt supplied / trace exhausted)?
     pub fn exhausted(&self) -> bool {
         match self {
-            FetchUnit::Replay { seq, pos } => *pos >= seq.len(),
+            FetchUnit::Replay { seq, pos, .. } => *pos >= seq.len(),
             FetchUnit::Path { cur_pc, .. } => cur_pc.is_none(),
         }
     }
@@ -307,6 +350,14 @@ impl TraceCache {
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Rewind to the as-constructed state for a new run: traces
+    /// forgotten, counters cleared, retained capacity kept.
+    pub fn reset(&mut self) {
+        self.lru.clear();
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Record a redirect to `pc`; returns the fetch stall in cycles

@@ -53,6 +53,7 @@ pub mod config;
 pub mod engine;
 pub mod fetch;
 pub mod latency;
+pub mod pool;
 pub mod predict;
 pub mod processor;
 pub mod station;
@@ -63,6 +64,7 @@ pub use baseline::BaselineOoO;
 pub use config::{ForwardModel, ProcConfig};
 pub use engine::Ultrascalar;
 pub use latency::LatencyModel;
+pub use pool::{EnginePool, PooledEngine};
 pub use predict::PredictorKind;
 pub use processor::{Processor, RunResult};
 pub use stats::ProcStats;

@@ -1,0 +1,178 @@
+//! A pool of warm [`Ultrascalar`] engines keyed by [`ProcConfig`].
+//!
+//! Serving mode amortises per-request setup the way the paper's CSPP
+//! substrate amortises per-instruction cost across the window: the
+//! expensive structures are built once and rewound in place. An engine
+//! retains its fetch unit, memory system, window clusters and scan
+//! buffers across runs (see [`crate::engine::Ultrascalar`]), so a pool
+//! hit turns a request into a pure [`Processor::run_reusing`] call —
+//! zero allocations in steady state. Each pooled engine carries its own
+//! [`RunResult`] buffer for the same reason.
+//!
+//! The pool is a small linear-scan LRU: request streams alternate
+//! between a handful of configurations, so an exact `ProcConfig`
+//! comparison over a few entries beats any hashing scheme — and a
+//! config compare allocates nothing.
+
+use crate::config::ProcConfig;
+use crate::engine::Ultrascalar;
+use crate::processor::{Processor, RunResult};
+
+/// A warm engine with its reusable result buffer.
+#[derive(Debug)]
+pub struct PooledEngine {
+    /// The engine (configuration fixed at pool admission).
+    pub engine: Ultrascalar,
+    /// Result buffer for [`Processor::run_reusing`]; overwritten by
+    /// each run, so read it before the next acquire-and-run.
+    pub result: RunResult,
+}
+
+impl PooledEngine {
+    /// Run `program` on the warm engine into the pooled result buffer
+    /// and return a reference to it.
+    pub fn run(&mut self, program: &ultrascalar_isa::Program) -> &RunResult {
+        self.engine.run_reusing(program, &mut self.result);
+        &self.result
+    }
+}
+
+/// LRU pool of warm engines keyed by exact [`ProcConfig`] equality.
+#[derive(Debug)]
+pub struct EnginePool {
+    entries: Vec<(u64, PooledEngine)>,
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl EnginePool {
+    /// Create a pool holding at most `capacity` warm engines.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "engine pool needs capacity");
+        EnginePool {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch the warm engine for `cfg`, building one on first use (and
+    /// evicting the least recently used engine at capacity). A hit
+    /// performs no allocation at all.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid (as [`Ultrascalar::new`] would).
+    pub fn acquire(&mut self, cfg: &ProcConfig) -> &mut PooledEngine {
+        self.stamp += 1;
+        let found = self
+            .entries
+            .iter()
+            .position(|(_, p)| p.engine.config() == cfg);
+        let idx = match found {
+            Some(i) => {
+                self.hits += 1;
+                self.entries[i].0 = self.stamp;
+                i
+            }
+            None => {
+                self.misses += 1;
+                if self.entries.len() == self.capacity {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (stamp, _))| *stamp)
+                        .map(|(i, _)| i)
+                        .expect("pool non-empty at capacity");
+                    self.entries.swap_remove(lru);
+                }
+                self.entries.push((
+                    self.stamp,
+                    PooledEngine {
+                        engine: Ultrascalar::new(cfg.clone()),
+                        result: RunResult::default(),
+                    },
+                ));
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[idx].1
+    }
+
+    /// Engines currently pooled.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the pool empty (no engine warmed yet)?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Acquisitions served by an already-warm engine.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Acquisitions that had to build (or rebuild after eviction) an
+    /// engine.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultrascalar_isa::workload;
+
+    #[test]
+    fn hit_reuses_miss_builds() {
+        let mut pool = EnginePool::new(2);
+        let a = ProcConfig::ultrascalar_i(4);
+        let b = ProcConfig::ultrascalar_ii(4);
+        pool.acquire(&a);
+        assert_eq!((pool.hits(), pool.misses(), pool.len()), (0, 1, 1));
+        pool.acquire(&a);
+        assert_eq!((pool.hits(), pool.misses(), pool.len()), (1, 1, 1));
+        pool.acquire(&b);
+        assert_eq!((pool.hits(), pool.misses(), pool.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut pool = EnginePool::new(2);
+        let a = ProcConfig::ultrascalar_i(4);
+        let b = ProcConfig::ultrascalar_i(8);
+        let c = ProcConfig::ultrascalar_i(16);
+        pool.acquire(&a);
+        pool.acquire(&b);
+        pool.acquire(&a); // refresh a: b is now LRU
+        pool.acquire(&c); // evicts b
+        assert_eq!(pool.len(), 2);
+        let before = pool.misses();
+        pool.acquire(&a);
+        assert_eq!(pool.misses(), before, "a must still be warm");
+        pool.acquire(&b);
+        assert_eq!(pool.misses(), before + 1, "b was evicted");
+    }
+
+    #[test]
+    fn pooled_run_matches_fresh_engine() {
+        let mut pool = EnginePool::new(1);
+        let cfg = ProcConfig::ultrascalar_i(8);
+        for (name, prog) in workload::standard_suite(3) {
+            let fresh = Ultrascalar::new(cfg.clone()).run(&prog);
+            let warm = pool.acquire(&cfg).run(&prog);
+            assert_eq!(warm.cycles, fresh.cycles, "{name}");
+            assert_eq!(warm.regs, fresh.regs, "{name}");
+        }
+    }
+}

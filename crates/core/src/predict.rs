@@ -51,6 +51,13 @@ impl Predictor {
         self.kind
     }
 
+    /// Forget all training, in place and allocation-free: every bimodal
+    /// counter returns to its power-on weakly-not-taken state, exactly
+    /// as `Predictor::new(self.kind())` would start.
+    pub fn reset(&mut self) {
+        self.counters.fill(1);
+    }
+
     /// Predict the direction of the conditional branch at `pc` with the
     /// given target.
     pub fn predict(&self, pc: usize, target: usize) -> bool {

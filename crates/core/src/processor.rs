@@ -5,7 +5,11 @@ use crate::timing::InstrTiming;
 use ultrascalar_isa::Program;
 
 /// The outcome of running a program to completion on a processor model.
-#[derive(Debug, Clone)]
+///
+/// `Default` is the empty (no run yet) state; it exists so callers of
+/// [`Processor::run_reusing`] can hold one result buffer and let each
+/// run overwrite it in place, reusing the vectors' capacity.
+#[derive(Debug, Clone, Default)]
 pub struct RunResult {
     /// Did the program's halt commit (vs the cycle budget expiring)?
     pub halted: bool,
@@ -37,6 +41,23 @@ pub trait Processor {
     /// Run `program` until its halt commits or the cycle budget runs
     /// out.
     fn run(&mut self, program: &Program) -> RunResult;
+
+    /// Run `program`, writing the outcome into `out` in place. The
+    /// result is identical to [`Processor::run`] — previous contents of
+    /// `out` are fully overwritten — but models that retain working
+    /// state (see [`Processor::reset`]) reuse `out`'s buffers instead
+    /// of allocating a fresh result, which is what makes a warm
+    /// engine's request loop allocation-free. The default delegates to
+    /// `run`.
+    fn run_reusing(&mut self, program: &Program, out: &mut RunResult) {
+        *out = self.run(program);
+    }
+
+    /// Drop any working state retained across runs, returning the model
+    /// to its freshly-constructed (cold) footprint. Purely a memory
+    /// release: results never depend on whether a model is warm or
+    /// cold. The default is a no-op for models that retain nothing.
+    fn reset(&mut self) {}
 }
 
 /// Compare a run result against the golden interpreter's architectural

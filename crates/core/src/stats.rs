@@ -48,6 +48,42 @@ pub struct ProcStats {
 }
 
 impl ProcStats {
+    /// Rewind to the default state in place: counters zeroed and
+    /// histograms emptied while keeping their allocations, so an engine
+    /// reusing a `RunResult` across requests regrows them without
+    /// touching the allocator. Exhaustive destructuring keeps this in
+    /// sync with the struct by construction.
+    pub fn reset(&mut self) {
+        let ProcStats {
+            cycles,
+            committed,
+            branches,
+            mispredictions,
+            flushed,
+            occupancy_sum,
+            forward_dist,
+            regfile_reads,
+            issue_hist,
+            store_forwards,
+            alu_stalls,
+            packed_fallbacks,
+            mem,
+        } = self;
+        *cycles = 0;
+        *committed = 0;
+        *branches = 0;
+        *mispredictions = 0;
+        *flushed = 0;
+        *occupancy_sum = 0;
+        forward_dist.clear();
+        *regfile_reads = 0;
+        issue_hist.clear();
+        *store_forwards = 0;
+        *alu_stalls = 0;
+        *packed_fallbacks = 0;
+        *mem = MemStats::default();
+    }
+
     /// Committed instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -1,0 +1,188 @@
+//! A content-hash-keyed LRU cache of assembled [`Program`]s.
+//!
+//! Serving mode re-simulates the same few sources across many
+//! configuration points (the design-space-exploration workload of the
+//! related work), so repeated requests should skip the assembler
+//! entirely. The key is an FNV-1a hash over the source text and the
+//! register-file width; because hashes can collide, every entry also
+//! keeps its source and a hit requires an exact match — a cache hit
+//! can never return the wrong program, and the hit path allocates
+//! nothing (hashing and comparison both run over borrowed bytes).
+//!
+//! The cache is a small linear-scan LRU, like the engine pool in the
+//! core crate: request streams cycle through a handful of programs, so
+//! scanning a few entries beats maintaining a map.
+
+use crate::asm::{assemble, AsmError};
+use crate::program::Program;
+
+/// FNV-1a over a byte string: tiny, dependency-free, and good enough
+/// to make full-source comparisons rare.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    hash: u64,
+    num_regs: usize,
+    source: String,
+    program: Program,
+    last_used: u64,
+}
+
+/// LRU cache of assembled programs keyed by (source text, register
+/// count).
+#[derive(Debug)]
+pub struct ProgramCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProgramCache {
+    /// Create a cache holding at most `capacity` assembled programs.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "program cache needs capacity");
+        ProgramCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Return the assembled program for `src` with `num_regs`
+    /// registers, assembling (and caching) on first sight. Assembly
+    /// errors are returned and cached nowhere — a later corrected
+    /// request with the same hash cannot be poisoned.
+    pub fn get_or_assemble(&mut self, src: &str, num_regs: usize) -> Result<&Program, AsmError> {
+        self.stamp += 1;
+        let hash = fnv1a(src.as_bytes());
+        let found = self
+            .entries
+            .iter()
+            .position(|e| e.hash == hash && e.num_regs == num_regs && e.source == src);
+        let idx = match found {
+            Some(i) => {
+                self.hits += 1;
+                self.entries[i].last_used = self.stamp;
+                i
+            }
+            None => {
+                self.misses += 1;
+                let program = assemble(src, num_regs)?;
+                if self.entries.len() == self.capacity {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("cache non-empty at capacity");
+                    self.entries.swap_remove(lru);
+                }
+                self.entries.push(CacheEntry {
+                    hash,
+                    num_regs,
+                    source: src.to_string(),
+                    program,
+                    last_used: self.stamp,
+                });
+                self.entries.len() - 1
+            }
+        };
+        Ok(&self.entries[idx].program)
+    }
+
+    /// Programs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served without running the assembler.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the assembler (including ones whose assembly
+    /// failed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n";
+
+    #[test]
+    fn repeat_source_hits() {
+        let mut c = ProgramCache::new(4);
+        let p1 = c.get_or_assemble(PROG, 32).expect("assembles").clone();
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        let p2 = c.get_or_assemble(PROG, 32).expect("assembles").clone();
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn register_count_is_part_of_the_key() {
+        let mut c = ProgramCache::new(4);
+        c.get_or_assemble(PROG, 32).expect("assembles");
+        let p = c.get_or_assemble(PROG, 8).expect("assembles");
+        assert_eq!(p.num_regs, 8);
+        assert_eq!((c.hits(), c.misses(), c.len()), (0, 2, 2));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let mut c = ProgramCache::new(4);
+        assert!(c.get_or_assemble("bogus r1", 32).is_err());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut c = ProgramCache::new(2);
+        let a = "li r1, 1\nhalt\n";
+        let b = "li r1, 2\nhalt\n";
+        let d = "li r1, 3\nhalt\n";
+        c.get_or_assemble(a, 32).expect("assembles");
+        c.get_or_assemble(b, 32).expect("assembles");
+        c.get_or_assemble(a, 32).expect("assembles"); // refresh a
+        c.get_or_assemble(d, 32).expect("assembles"); // evicts b
+        assert_eq!(c.len(), 2);
+        let misses = c.misses();
+        c.get_or_assemble(a, 32).expect("assembles");
+        assert_eq!(c.misses(), misses, "a still cached");
+        c.get_or_assemble(b, 32).expect("assembles");
+        assert_eq!(c.misses(), misses + 1, "b was evicted");
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_spreads() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

@@ -13,6 +13,8 @@
 //!   round-tripping;
 //! * [`asm`] — a small two-pass assembler (labels, comments) and a
 //!   disassembler;
+//! * [`cache`] — a content-hash-keyed LRU cache of assembled programs,
+//!   so serving mode re-runs a repeated source without re-assembling;
 //! * [`program`] — the [`program::Program`] container shared by every
 //!   processor model;
 //! * [`interp`] — the *golden* sequential interpreter: the architectural
@@ -33,6 +35,7 @@
 
 pub mod asm;
 pub mod binary;
+pub mod cache;
 pub mod encode;
 pub mod instr;
 pub mod interp;
@@ -41,6 +44,7 @@ pub mod workload;
 
 pub use asm::{assemble, disassemble, AsmError};
 pub use binary::{read_binary, write_binary, BinaryError};
+pub use cache::ProgramCache;
 pub use encode::{decode, encode, DecodeError};
 pub use instr::{AluOp, BranchCond, Instr, Reg};
 pub use interp::{ExecRecord, Interp, RunOutcome};

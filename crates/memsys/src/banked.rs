@@ -38,6 +38,20 @@ impl BankedMemory {
         }
     }
 
+    /// Rewind to the as-constructed state in place (no allocation):
+    /// storage re-zeroed then loaded with `image`, every bank free at
+    /// cycle 0, counters cleared. Word and bank counts are unchanged.
+    ///
+    /// # Panics
+    /// Panics if the image exceeds the memory size.
+    pub fn reset(&mut self, image: &[u32]) {
+        self.words.fill(0);
+        self.load_image(image);
+        self.free_at.fill(0);
+        self.accesses = 0;
+        self.bank_conflicts = 0;
+    }
+
     /// Load an initial image starting at word 0.
     ///
     /// # Panics

@@ -79,6 +79,14 @@ impl Butterfly {
         }
     }
 
+    /// Rewind to the as-constructed state for a new run: wires freed,
+    /// statistics cleared. Allocation-free.
+    pub fn reset(&mut self) {
+        self.begin_cycle();
+        self.admitted = 0;
+        self.conflicts = 0;
+    }
+
     /// Try to route from `leaf` to the port serving `addr` this cycle.
     /// Consumes the path's stage wires on success; consumes nothing on
     /// failure.
@@ -89,22 +97,25 @@ impl Butterfly {
         assert!(leaf < self.n, "leaf out of range");
         let dest = self.dest_of(addr);
         // Compute the path: after stage s, bit s of the position equals
-        // bit s of the destination.
+        // bit s of the destination. The position count is a usize, so
+        // a stack array of one slot per possible stage covers every
+        // network — this sits on the per-request hot path and must not
+        // allocate.
         let mut pos = leaf;
-        let mut path = Vec::with_capacity(self.stages);
-        for s in 0..self.stages {
+        let mut path = [0usize; usize::BITS as usize];
+        for (s, slot) in path[..self.stages].iter_mut().enumerate() {
             let bit = 1usize << s;
             pos = (pos & !bit) | (dest & bit);
-            path.push(pos);
+            *slot = pos;
         }
         debug_assert!(self.stages == 0 || pos == dest);
-        for (s, &q) in path.iter().enumerate() {
+        for (s, &q) in path[..self.stages].iter().enumerate() {
             if self.used[s].get(q) {
                 self.conflicts += 1;
                 return false;
             }
         }
-        for (s, &q) in path.iter().enumerate() {
+        for (s, &q) in path[..self.stages].iter().enumerate() {
             self.used[s].set(q);
         }
         self.admitted += 1;

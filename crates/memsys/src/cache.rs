@@ -69,6 +69,17 @@ impl ClusterCaches {
         self.cfg
     }
 
+    /// Rewind to the as-constructed state in place (no allocation):
+    /// every line invalidated, counters cleared. Data words may keep
+    /// stale values — a `None` tag makes them unreachable.
+    pub fn reset(&mut self) {
+        for group in &mut self.tags {
+            group.fill(None);
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Which group serves a station leaf, given the total leaf count.
     pub fn group_of(&self, leaf: usize, n_leaves: usize) -> usize {
         if n_leaves == 0 {

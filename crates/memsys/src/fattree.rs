@@ -96,6 +96,16 @@ impl FatTree {
         self.generation += 1;
     }
 
+    /// Rewind to the as-constructed state for a new run: statistics
+    /// cleared and every per-cycle counter back to zero. O(1) — the
+    /// generation stamp advances, so stale counters lazily read as
+    /// zero exactly as in [`FatTree::begin_cycle`].
+    pub fn reset(&mut self) {
+        self.generation += 1;
+        self.admitted = 0;
+        self.link_rejections = 0;
+    }
+
     /// Try to admit a request from `leaf` this cycle. On success the
     /// capacity is consumed along the whole root path and `true` is
     /// returned; on failure nothing is consumed.

@@ -28,7 +28,7 @@ pub enum NetworkKind {
 }
 
 /// Memory system configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// Number of stations (network leaves).
     pub n_leaves: usize,
@@ -183,6 +183,13 @@ impl Network {
         }
     }
 
+    fn reset(&mut self) {
+        match self {
+            Network::Tree(t) => t.reset(),
+            Network::Fly(b) => b.reset(),
+        }
+    }
+
     fn rejections(&self) -> u64 {
         match self {
             Network::Tree(t) => t.link_rejections,
@@ -229,6 +236,35 @@ impl MemSystem {
         }
     }
 
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Rewind to the freshly-constructed state for a new run, reusing
+    /// every retained buffer: storage is re-zeroed and reloaded with
+    /// `image`, network capacities and caches are cleared, in-flight
+    /// accesses are dropped, and statistics return to zero. After this,
+    /// the system is observationally identical to
+    /// `MemSystem::new(cfg, image)` — the reuse-equivalence tests in
+    /// `ultrascalar` pin that cycle-exactly. Allocation-free unless the
+    /// image forces a different word count than the previous run.
+    pub fn reset(&mut self, image: &[u32]) {
+        let words = self.cfg.words.max(image.len()).max(1);
+        if words == self.banks.len() {
+            self.banks.reset(image);
+        } else {
+            self.banks = BankedMemory::new(words, self.cfg.banks.max(1), self.cfg.bank_occupancy);
+            self.banks.load_image(image);
+        }
+        self.net.reset();
+        if let Some(caches) = &mut self.caches {
+            caches.reset();
+        }
+        self.in_flight.clear();
+        self.stats = MemStats::default();
+    }
+
     /// Total access latency for an admitted request.
     pub fn latency(&self) -> u64 {
         self.cfg.base_latency
@@ -249,8 +285,26 @@ impl MemSystem {
     /// processor guarantees ordering before submitting); accepted loads
     /// snapshot their value immediately and deliver it at completion.
     pub fn tick(&mut self, now: u64, requests: &[MemRequest]) -> (Vec<u64>, Vec<MemResponse>) {
-        self.net.begin_cycle();
         let mut accepted = Vec::new();
+        let mut done = Vec::new();
+        self.tick_into(now, requests, &mut accepted, &mut done);
+        (accepted, done)
+    }
+
+    /// [`MemSystem::tick`] writing into caller-owned buffers (cleared
+    /// first), so a processor's cycle loop can reuse the same two
+    /// vectors across millions of cycles instead of allocating a fresh
+    /// pair whenever there is traffic.
+    pub fn tick_into(
+        &mut self,
+        now: u64,
+        requests: &[MemRequest],
+        accepted: &mut Vec<u64>,
+        done: &mut Vec<MemResponse>,
+    ) {
+        accepted.clear();
+        done.clear();
+        self.net.begin_cycle();
         for req in requests {
             // Distributed cluster cache: a hitting load is served
             // locally and never enters the network.
@@ -319,7 +373,6 @@ impl MemSystem {
             self.stats.cache_misses = caches.misses;
         }
 
-        let mut done = Vec::new();
         self.in_flight.retain(|&(t, r)| {
             if t <= now {
                 done.push(r);
@@ -328,7 +381,6 @@ impl MemSystem {
                 true
             }
         });
-        (accepted, done)
     }
 
     /// Are any accesses still in flight?
