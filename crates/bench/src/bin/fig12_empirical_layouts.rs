@@ -9,7 +9,9 @@
 
 use ultrascalar_bench::Table;
 use ultrascalar_vlsi::empirical::figure12;
-use ultrascalar_vlsi::Tech;
+use ultrascalar_vlsi::floorplan::LayoutCache;
+use ultrascalar_vlsi::metrics::ArchParams;
+use ultrascalar_vlsi::{hybrid, usi, Tech};
 
 fn main() {
     println!("Figure 12 — empirical layouts, 0.35 µm CMOS, 3 metal layers,");
@@ -52,6 +54,62 @@ fn main() {
         "\ncalibration note: the technology constants are fitted once to the\n\
          paper's 7 cm Ultrascalar I measurement; the hybrid's size and the\n\
          density ratio are then model outputs (see EXPERIMENTS.md)."
+    );
+
+    // Scaling the *placed* floorplans (every station, cluster and
+    // channel strip an explicit rectangle) well past the paper's
+    // measured points. The memoised layout cache answers each size
+    // from the previous one's rectangle prefix — byte-identical to a
+    // from-scratch placement — so the sweep extends to n = 4096
+    // without re-deriving 2n − 1 rectangles per point.
+    println!("\nplaced floorplans at scale (memoised subtree layouts, 0.35 µm):");
+    let tech = Tech::cmos_035();
+    let mut cache = LayoutCache::new();
+    let mut t = Table::new(vec![
+        "n",
+        "US-I rects",
+        "US-I side (cm)",
+        "hybrid rects",
+        "hybrid side (cm)",
+        "util US-I",
+        "util hybrid",
+    ]);
+    for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        let p = ArchParams::paper_empirical(n);
+        let f_usi = cache.usi_floorplan(&p, &tech);
+        let f_hy = cache.hybrid_floorplan(&p, 32, &tech);
+        // Placed bounding boxes must land exactly on the analytic
+        // recurrences the paper's Figure 11 row evaluates.
+        let bb_usi = f_usi.bounding();
+        let side_usi = usi::side_um(&p, &tech);
+        assert!(
+            (bb_usi.w.max(bb_usi.h) - side_usi).abs() / side_usi < 1e-9,
+            "n={n}: US-I placement disagrees with recurrence"
+        );
+        let bb_hy = f_hy.bounding();
+        let side_hy = hybrid::side_um(&p, 32, &tech);
+        assert!(
+            (bb_hy.w.max(bb_hy.h) - side_hy).abs() / side_hy < 1e-9,
+            "n={n}: hybrid placement disagrees with recurrence"
+        );
+        assert_eq!(f_usi.leaves(), n);
+        assert_eq!(f_hy.leaves(), n / 32);
+        t.row(vec![
+            format!("{n}"),
+            format!("{}", f_usi.rects.len()),
+            format!("{:.1}", side_usi / 1e4),
+            format!("{}", f_hy.rects.len()),
+            format!("{:.1}", side_hy / 1e4),
+            format!("{:.3}", f_usi.leaf_utilisation()),
+            format!("{:.3}", f_hy.leaf_utilisation()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "layout cache: {} families, {} rects built, {} served from memoised prefixes",
+        cache.families(),
+        cache.rects_built(),
+        cache.rects_reused()
     );
 
     println!("\nprojection to 0.1 µm (the paper's closing claim):");

@@ -1,17 +1,20 @@
-//! Paired A/B comparison of the packed flag-network engine path
-//! against the scalar per-flag reference path.
+//! Paired A/B comparison of the packed engine paths against the scalar
+//! per-flag reference path: the full packed configuration (flag
+//! networks *and* the bit-sliced value snapshot), the flags-only
+//! configuration (`without_packed_values`) and the scalar baseline
+//! (`without_packed_flags`).
 //!
 //! Criterion times each configuration in its own contiguous block, so
 //! on a busy machine the run-to-run drift between blocks swamps the
-//! few-percent delta between the two engine paths. Here the two paths
-//! are timed in interleaved batches within every round — A/B, then
-//! B/A on the next round to cancel first-order drift — and the
-//! per-round ratio is taken before aggregating, so a slow round slows
-//! both sides and drops out of the quotient. The median over rounds is
-//! robust to the occasional preempted batch.
+//! few-percent delta between the engine paths. Here the paths are
+//! timed in interleaved batches within every round — the order rotated
+//! each round to cancel first-order drift — and the per-round ratio is
+//! taken before aggregating, so a slow round slows every side and
+//! drops out of the quotient. The median over rounds is robust to the
+//! occasional preempted batch.
 //!
-//! Usage: `step_ab [--json] [--quick]`. `--json` appends the packed
-//! rows to `BENCH_step_ab.json`; `--quick` trims sizes for smoke runs.
+//! Usage: `step_ab [--json] [--quick]`. `--json` appends the rows to
+//! `BENCH_step_ab.json`; `--quick` trims sizes for smoke runs.
 
 use std::time::Instant;
 use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
@@ -67,6 +70,36 @@ fn wide_div_chain(iters: u32) -> Program {
     ultrascalar_isa::asm::assemble(&src, 128).expect("wide_div_chain kernel assembles")
 }
 
+/// Forwarding-heavy fan: a hub register rewritten twice per loop
+/// round, each rewrite feeding a fan of dependent accumulator adds.
+/// Nearly every operand read in the window resolves against an
+/// in-flight writer, so this is the regime where the packed *value*
+/// snapshot (`ProcConfig::packed_values`) replaces the scalar
+/// last-writer walk on the hottest path — and where the per-cycle
+/// last-writer map reset it removes is widest relative to work done.
+fn forward_fan(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r1, 3
+            li   r9, {iters}
+            li   r10, 0
+        loop:
+            addi r1, r1, 1
+            add  r2, r2, r1
+            add  r3, r3, r1
+            add  r4, r4, r1
+            addi r1, r1, 2
+            add  r5, r5, r1
+            add  r6, r6, r1
+            add  r7, r7, r1
+            subi r9, r9, 1
+            bne  r9, r10, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("forward_fan kernel assembles")
+}
+
 /// Wall time of `batch` complete runs, in seconds.
 fn time_batch(cfg: &ProcConfig, prog: &Program, batch: usize) -> f64 {
     let start = Instant::now();
@@ -109,6 +142,7 @@ fn main() {
     let workloads: Vec<(&str, Program, bool)> = vec![
         ("div_chain", div_chain(48), false),
         ("wide_div_chain_r128", wide_div_chain(48), false),
+        ("forward_fan", forward_fan(48), false),
         ("pointer_chase", workload::pointer_chase(96, 11), true),
         ("dense_dot", workload::dot_product(96), false),
     ];
@@ -118,11 +152,14 @@ fn main() {
         "kernel",
         "n",
         "packed ms",
+        "flags-only ms",
         "scalar ms",
         "speedup",
+        "vs flags-only",
     ]);
     let mut report = JsonReport::new("step_ab");
     let mut ratios_all: Vec<f64> = Vec::new();
+    let mut ratios_values: Vec<f64> = Vec::new();
 
     for &n in sizes {
         let archs: Vec<(String, ProcConfig)> = vec![
@@ -140,6 +177,7 @@ fn main() {
                 } else {
                     base.clone()
                 };
+                let flags_only = packed.clone().without_packed_values();
                 let scalar = packed.clone().without_packed_flags();
                 let cycles = Ultrascalar::new(packed.clone()).run(prog).cycles;
 
@@ -147,39 +185,61 @@ fn main() {
                 // averages out within a batch.
                 let probe = time_batch(&packed, prog, 1).max(1e-6);
                 let batch = ((0.025 / probe).ceil() as usize).clamp(2, 64);
-                time_batch(&scalar, prog, batch); // warm both paths
+                time_batch(&scalar, prog, batch); // warm all three paths
+                time_batch(&flags_only, prog, batch);
                 time_batch(&packed, prog, batch);
 
                 let mut tp: Vec<f64> = Vec::with_capacity(rounds);
+                let mut tf: Vec<f64> = Vec::with_capacity(rounds);
                 let mut ts: Vec<f64> = Vec::with_capacity(rounds);
                 let mut ratio: Vec<f64> = Vec::with_capacity(rounds);
+                let mut ratio_v: Vec<f64> = Vec::with_capacity(rounds);
                 for round in 0..rounds {
-                    let (a, b) = if round % 2 == 0 {
-                        let a = time_batch(&packed, prog, batch);
-                        let b = time_batch(&scalar, prog, batch);
-                        (a, b)
-                    } else {
-                        let b = time_batch(&scalar, prog, batch);
-                        let a = time_batch(&packed, prog, batch);
-                        (a, b)
+                    // Rotate the measurement order so no path always
+                    // rides the front (or back) of a scheduler slice.
+                    let mut a = 0.0;
+                    let mut f = 0.0;
+                    let mut b = 0.0;
+                    let order: [usize; 3] = match round % 3 {
+                        0 => [0, 1, 2],
+                        1 => [2, 0, 1],
+                        _ => [1, 2, 0],
                     };
+                    for which in order {
+                        match which {
+                            0 => a = time_batch(&packed, prog, batch),
+                            1 => f = time_batch(&flags_only, prog, batch),
+                            _ => b = time_batch(&scalar, prog, batch),
+                        }
+                    }
                     tp.push(a / batch as f64);
+                    tf.push(f / batch as f64);
                     ts.push(b / batch as f64);
                     ratio.push(b / a);
+                    ratio_v.push(f / a);
                 }
-                let (mp, ms, mr) = (median(&mut tp), median(&mut ts), median(&mut ratio));
+                let (mp, mf, ms) = (median(&mut tp), median(&mut tf), median(&mut ts));
+                let (mr, mrv) = (median(&mut ratio), median(&mut ratio_v));
                 ratios_all.push(mr);
+                ratios_values.push(mrv);
                 t.row(vec![
                     arch.clone(),
                     kernel.to_string(),
                     n.to_string(),
                     format!("{:.3}", mp * 1e3),
+                    format!("{:.3}", mf * 1e3),
                     format!("{:.3}", ms * 1e3),
                     format!("{:.3}x", mr),
+                    format!("{:.3}x", mrv),
                 ]);
                 report.point(
                     &format!("packed/{arch}/{kernel}/n={n}"),
                     std::time::Duration::from_secs_f64(mp),
+                    Some(cycles),
+                );
+                report.point(
+                    &format!("flags_only/{arch}/{kernel}/n={n}"),
+                    std::time::Duration::from_secs_f64(mf),
                     Some(cycles),
                 );
                 report.point(
@@ -196,6 +256,11 @@ fn main() {
     println!(
         "geometric-mean speedup (packed over scalar): {:.3}x",
         geo.exp()
+    );
+    let geo_v = ratios_values.iter().map(|r| r.ln()).sum::<f64>() / ratios_values.len() as f64;
+    println!(
+        "geometric-mean speedup (value snapshot over flags-only): {:.3}x",
+        geo_v.exp()
     );
 
     if json_flag_set(&args) {

@@ -290,14 +290,10 @@ mod tests {
         let items: Vec<u64> = (0..97).collect();
         // Per-worker scratch: results must not depend on which worker
         // (or how much prior state) handled a point.
-        let out = parallel_map_with(
-            &items,
-            || Vec::<u64>::new(),
-            |seen, &x| {
-                seen.push(x);
-                x + seen.len() as u64 - seen.len() as u64
-            },
-        );
+        let out = parallel_map_with(&items, Vec::<u64>::new, |seen, &x| {
+            seen.push(x);
+            x + seen.len() as u64 - seen.len() as u64
+        });
         assert_eq!(out, items);
     }
 

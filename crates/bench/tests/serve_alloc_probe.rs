@@ -87,12 +87,19 @@ const REQ_HYBRID: &str = r#"{"program":"li r1, 0\nli r2, 8\nli r3, 0\nloop:\nsw 
 /// set of two.
 const REQ_MUL: &str = r#"{"program":"li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n","options":{"arch":"usi","window":8,"predictor":"bimodal:64"}}"#;
 
+/// Forwarding-heavy fan: a hub register rewritten then read by a fan
+/// of dependent adds. Every operand resolve in this kernel hits the
+/// packed value snapshot (`ProcConfig::packed_values`), so the probe
+/// pins the snapshot's writer-value/sequence lanes as allocation-free
+/// too — they live in the pooled engine's retained scan scratch.
+const REQ_FAN: &str = r#"{"program":"li r1, 3\naddi r1, r1, 1\nadd r2, r2, r1\nadd r3, r3, r1\nadd r4, r4, r1\naddi r1, r1, 2\nadd r5, r5, r1\nadd r6, r6, r1\nadd r7, r7, r1\nhalt\n","options":{"arch":"usi","window":8,"predictor":"bimodal:64"}}"#;
+
 #[test]
 fn serve_request_loop_allocates_nothing_in_steady_state() {
     let mut server = Server::new(8, 4);
 
     let steady = |server: &mut Server| {
-        for req in [REQ_LOOP, REQ_HYBRID, REQ_MUL] {
+        for req in [REQ_LOOP, REQ_HYBRID, REQ_MUL, REQ_FAN] {
             let resp = server.handle_line(req);
             assert!(resp.starts_with("{\"ok\":true,"));
         }
@@ -116,8 +123,10 @@ fn serve_request_loop_allocates_nothing_in_steady_state() {
         0,
         "serve request loop allocated in steady state"
     );
-    assert_eq!(server.counters().runs - runs_before, 150);
-    // Every probed request was a cache/pool hit.
-    assert_eq!(server.programs().misses(), 2);
+    assert_eq!(server.counters().runs - runs_before, 200);
+    // Every probed request was a cache/pool hit (the fan shares the
+    // loop kernel's configuration, so it is a third program but not a
+    // third engine).
+    assert_eq!(server.programs().misses(), 3);
     assert_eq!(server.engines().misses(), 2);
 }

@@ -112,6 +112,22 @@ pub struct ProcConfig {
     /// to the scalar scan despite this flag (pipelined forwarding),
     /// `ProcStats::packed_fallbacks` records the downgrade.
     pub packed_flags: bool,
+    /// Packed *value* forwarding (on by default; requires
+    /// [`ProcConfig::packed_flags`]): the scan batches last-writer
+    /// value/readiness propagation into a per-cycle packed register
+    /// snapshot — struct-of-arrays value/seq/readiness tables gated by
+    /// a has-writer lane word, the engine-side form of the bit-sliced
+    /// value CSPP in `ultrascalar_prefix::sliced` — so the per-cycle
+    /// reset is a word-parallel clear of the lane words instead of an
+    /// `O(num_regs)` scalar-map fill, and a station that passes the
+    /// unready-mask gate reads its operands straight out of the
+    /// snapshot lanes. Results are cycle-exact either way; `false`
+    /// retains the scalar last-writer resolve as a
+    /// differential-testing reference. The flag rides on the same gate
+    /// as `packed_flags` (single-cycle forwarding, `num_regs` within
+    /// the packed lane words) and the same
+    /// `ProcStats::packed_fallbacks` diagnostic.
+    pub packed_values: bool,
 }
 
 impl ProcConfig {
@@ -133,6 +149,7 @@ impl ProcConfig {
             fetch_width: None,
             cycle_skip: true,
             packed_flags: true,
+            packed_values: true,
         }
     }
 
@@ -212,12 +229,25 @@ impl ProcConfig {
     }
 
     /// Builder: disable the packed word-parallel flag networks, forcing
-    /// the scalar per-flag/per-operand path. Cycle-exact results are
-    /// identical with packing on; this exists as the
-    /// differential-testing reference and for apples-to-apples
+    /// the scalar per-flag/per-operand path. Packed value forwarding
+    /// rides on the flag networks (the unready-mask gate and readiness
+    /// tables), so this clears [`ProcConfig::packed_values`] too.
+    /// Cycle-exact results are identical with packing on; this exists
+    /// as the differential-testing reference and for apples-to-apples
     /// simulator-performance measurements.
     pub fn without_packed_flags(mut self) -> Self {
         self.packed_flags = false;
+        self.packed_values = false;
+        self
+    }
+
+    /// Builder: disable packed value forwarding only, keeping the
+    /// packed flag networks and unready-mask gate but resolving
+    /// operands through the scalar last-writer map. Cycle-exact results
+    /// are identical either way; this isolates the value-snapshot
+    /// contribution for differential testing and A/B measurement.
+    pub fn without_packed_values(mut self) -> Self {
+        self.packed_values = false;
         self
     }
 
@@ -293,12 +323,23 @@ mod tests {
             .without_packed_flags()
             .with_forwarding(ForwardModel::Pipelined { per_hop: 1 });
         assert!(!c.packed_flags);
+        // Value forwarding rides on the flag networks: clearing the
+        // flags clears it too.
+        assert!(!c.packed_values);
         assert_eq!(c.predictor, PredictorKind::Bimodal(64));
         assert_eq!(c.latency, LatencyModel::unit());
         assert_eq!(c.alus, Some(2));
         assert!(c.memory_renaming);
         assert_eq!(c.forward, ForwardModel::Pipelined { per_hop: 1 });
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn packed_values_clears_independently() {
+        let c = ProcConfig::ultrascalar_i(4);
+        assert!(c.packed_flags && c.packed_values);
+        let c = c.without_packed_values();
+        assert!(c.packed_flags && !c.packed_values);
     }
 
     #[test]

@@ -82,6 +82,21 @@ struct ScanScratch {
     /// register-unready lane word, it lets a blocked station's wake-up
     /// event be read off directly instead of re-resolving its operands.
     writer_ready_at: Vec<u64>,
+    /// Packed register snapshot, value lane (packed-values fast path):
+    /// the most recent preceding writer's value per register. Together
+    /// with `writer_seq` and `writer_ready_at` this is the
+    /// struct-of-arrays form of `last_writer` — the engine-side
+    /// counterpart of the bit-sliced value CSPP
+    /// (`ultrascalar_prefix::sliced`), maintained incrementally by the
+    /// scan instead of re-swept per cycle. Entries are live only where
+    /// the per-cycle has-writer lane word has the register's bit
+    /// raised, so the snapshot needs **no** per-cycle clear: the
+    /// word-parallel has-writer reset (four words) replaces the
+    /// `O(num_regs)` scalar-map fill.
+    writer_value: Vec<u32>,
+    /// Packed register snapshot, sequence lane: the writer's `seq`,
+    /// for forwarding-distance accounting.
+    writer_seq: Vec<u64>,
     /// Resolved state of each older store, in program order (memory
     /// renaming only).
     store_infos: Vec<StoreInfo>,
@@ -98,14 +113,25 @@ impl ScanScratch {
         self.last_writer.resize(num_regs, None);
         self.writer_ready_at.clear();
         self.writer_ready_at.resize(num_regs, 0);
+        self.writer_value.clear();
+        self.writer_value.resize(num_regs, 0);
+        self.writer_seq.clear();
+        self.writer_seq.resize(num_regs, 0);
         self.store_infos.clear();
         self.requests.clear();
     }
 
-    /// Reset for a new cycle without releasing capacity.
-    fn reset(&mut self) {
-        self.last_writer.fill(None);
-        self.writer_ready_at.fill(0);
+    /// Reset for a new cycle without releasing capacity. Under the
+    /// packed-values snapshot the per-register tables are *not* swept:
+    /// every slot the cycle reads is gated by a has-writer (or
+    /// unready) lane bit that is rebuilt from zero each cycle, so
+    /// stale slots are unreachable and the whole reset is the word-
+    /// parallel lane-word clear in the scan loop.
+    fn reset(&mut self, packed_values: bool) {
+        if !packed_values {
+            self.last_writer.fill(None);
+            self.writer_ready_at.fill(0);
+        }
         self.store_infos.clear();
         self.requests.clear();
     }
@@ -318,6 +344,10 @@ impl Processor for Ultrascalar {
         let packed_ok =
             matches!(fwd, ForwardModel::SingleCycle) && program.num_regs <= MAX_PACKED_REGS;
         let packed = self.cfg.packed_flags && packed_ok;
+        // Value forwarding rides on the flag networks: it needs the
+        // unready-mask gate (so blocked stations never read the
+        // snapshot) and the readiness table the gate maintains.
+        let packed_vals = packed && self.cfg.packed_values;
         // Live prefix of the lane words for this program's register
         // file: the mask tests never touch words no register can reach.
         let lane_words = program.num_regs.div_ceil(64).min(REG_LANE_WORDS);
@@ -499,10 +529,18 @@ impl Processor for Ultrascalar {
             // 64 registers per word across `REG_LANE_WORDS` words, so a
             // blocked reader is detected by one word-array mask test.
             let mut unready: RegMask = [0; REG_LANE_WORDS];
-            scan.reset();
+            // Has-writer lane words: lane `r` is raised once the scan
+            // has passed a writer of register `r` this cycle. Rebuilt
+            // from zero every cycle, this is the only per-cycle reset
+            // the packed-values snapshot needs (the value/seq/readiness
+            // tables are read exclusively at raised lanes).
+            let mut has_writer: RegMask = [0; REG_LANE_WORDS];
+            scan.reset(packed_vals);
             let ScanScratch {
                 last_writer,
                 writer_ready_at,
+                writer_value,
+                writer_seq,
                 store_infos,
                 requests,
             } = &mut *scan;
@@ -517,7 +555,29 @@ impl Processor for Ultrascalar {
                     // applying the forwarding-latency model.
                     let seq = entry.seq;
                     let resolve = |r: ultrascalar_isa::Reg| -> Source {
-                        match last_writer[r.index()] {
+                        let i = r.index();
+                        if packed_vals {
+                            // Snapshot resolve: a lane extraction from
+                            // the packed register snapshot instead of a
+                            // per-register match. Readiness comes off
+                            // the same table the unready gate maintains
+                            // (single-cycle forwarding, so no
+                            // position-dependent extra latency).
+                            return if has_writer[i / 64] >> (i % 64) & 1 == 1 {
+                                let ra = writer_ready_at[i];
+                                Source::Forwarded {
+                                    value: writer_value[i],
+                                    ready: ra <= t,
+                                    ready_at: (ra != u64::MAX).then_some(ra),
+                                    dist: seq - writer_seq[i],
+                                }
+                            } else {
+                                Source::Committed {
+                                    value: committed_regs[i],
+                                }
+                            };
+                        }
+                        match last_writer[i] {
                             Some(w) => {
                                 let ready_at =
                                     w.completed_at.map(|done| done + fwd.extra(w.pos, pos) + 1);
@@ -529,7 +589,7 @@ impl Processor for Ultrascalar {
                                 }
                             }
                             None => Source::Committed {
-                                value: committed_regs[r.index()],
+                                value: committed_regs[i],
                             },
                         }
                     };
@@ -848,12 +908,23 @@ impl Processor for Ultrascalar {
                         flags &= !F_BRANCHES_DONE;
                     }
                     if let Some(rd) = entry.instr.writes() {
-                        last_writer[rd.index()] = Some(Writer {
-                            seq: entry.seq,
-                            completed_at: entry.completed_at,
-                            value: entry.result.unwrap_or(0),
-                            pos,
-                        });
+                        if packed_vals {
+                            // Update the packed snapshot lanes in place
+                            // of the scalar map: value, seq and the
+                            // has-writer lane bit (readiness joins
+                            // below, shared with the unready gate).
+                            let i = rd.index();
+                            writer_value[i] = entry.result.unwrap_or(0);
+                            writer_seq[i] = entry.seq;
+                            has_writer[i / 64] |= 1u64 << (i % 64);
+                        } else {
+                            last_writer[rd.index()] = Some(Writer {
+                                seq: entry.seq,
+                                completed_at: entry.completed_at,
+                                value: entry.result.unwrap_or(0),
+                                pos,
+                            });
+                        }
                         if packed {
                             // Per-register ready lane: usable one cycle
                             // after completion under single-cycle

@@ -38,10 +38,13 @@ pub struct ProcStats {
     pub alu_stalls: u64,
     /// Runs in which `ProcConfig::packed_flags` was requested but the
     /// engine's gate kept the scalar scan (pipelined forwarding, or a
-    /// register file wider than the packed lane words). Zero whenever
-    /// the packed fast path actually ran — a silent downgrade would
-    /// otherwise be invisible in sweeps over the very regimes the
-    /// packed path exists for.
+    /// register file wider than the packed lane words). The
+    /// packed-values snapshot rides on the same gate, so a counted
+    /// fallback also means the value-snapshot resolve did not run.
+    /// Zero whenever the packed fast path actually ran — a silent
+    /// downgrade would otherwise be invisible in sweeps over the very
+    /// regimes the packed paths exist for. `usim serve` aggregates
+    /// this counter across requests in its `{"cmd":"stats"}` report.
     pub packed_fallbacks: u64,
     /// Memory-system counters.
     pub mem: MemStats,

@@ -32,6 +32,11 @@
 //!   files with up to 256 logical registers), and the
 //!   [`packed::BitWords`] bitset backs packed per-cycle state
 //!   elsewhere in the workspace,
+//! * [`sliced`] — bit-sliced *value* CSPP: whole `B`-bit register
+//!   values stored as `B` bit-planes per node, so one tree sweep
+//!   forwards the last-writer **value** for `64·W` registers at once
+//!   under the register-forwarding select operator (the software
+//!   analogue of the paper's Figure 4 value datapath),
 //! * [`op`] — the associative-operator abstraction shared by all of the
 //!   above, including the two operators used in the paper
 //!   ([`op::First`], the register-forwarding operator `a ⊗ b = a`, and
@@ -50,6 +55,7 @@ pub mod op;
 pub mod packed;
 pub mod scan;
 pub mod sched;
+pub mod sliced;
 pub mod tree;
 
 pub use arena::{cspp_heap_with, ArenaScan};
@@ -61,4 +67,7 @@ pub use packed::{
     WordOp,
 };
 pub use sched::allocate_oldest_first;
+pub use sliced::{
+    pack_value_lane, sliced_cspp_ring, unpack_value_lane, SlicedCsppScratch, SlicedPair,
+};
 pub use tree::{tree_scan_exclusive, tree_scan_inclusive, TreeScan};

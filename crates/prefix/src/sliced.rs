@@ -1,0 +1,500 @@
+//! Bit-sliced *value* CSPP — whole multi-bit register values forwarded
+//! through one word-parallel segmented-prefix network.
+//!
+//! The paper's Ultrascalar I datapath (Figure 4) instantiates one CSPP
+//! circuit per logical register that forwards the *entire 32-bit
+//! value* from each writer to every younger reader; the operator is
+//! [`crate::op::First`] (`a ⊗ b = a`), so the lifted segmented combine
+//! degenerates to a multiplexer: `value = sb ? vb : va`. A value is an
+//! opaque payload to that multiplexer — no arithmetic mixes its bits —
+//! which is what makes *bit-slicing* exact: store bit `p` of 64 lanes'
+//! values as one `u64` *plane* word, and the per-lane mux becomes the
+//! same three boolean word ops on every plane, steered by one shared
+//! segment word. One tree sweep then propagates the last-writer value
+//! for `64·W` registers simultaneously, the software analogue of the
+//! paper laying `L` identical value-forwarding CSPPs side by side.
+//!
+//! Unlike the boolean operators in [`crate::packed`], the select
+//! operator has **no two-sided identity**: there is no leaf `e` with
+//! `combine(e, x) = x` for every `x`, because a zero-segment `x` must
+//! pass the *left* operand's planes through. The all-zero pair is,
+//! however, an exact *right* identity (`combine(x, zero) = x`
+//! bit-for-bit), and the tree evaluation only ever pads on the right —
+//! trailing leaf slots up to the next power of two — so padding
+//! summaries appear exclusively as right-hand operands and real
+//! outputs are unaffected. The cyclic whole-ring fold is therefore
+//! seeded from leaf 0 itself rather than from an identity, and the
+//! linear reference [`sliced_cspp_ring`] does the same, which makes
+//! tree and ring agree **bit-for-bit** (the combine is exactly
+//! associative — pure boolean word ops — so association order cannot
+//! matter). Lanes with no raised segment bit anywhere still report
+//! `seg = 0` and a wrap-around artefact value that callers must treat
+//! as don't-care, exactly as in [`crate::cspp::cspp_ring`].
+
+/// A `64·W`-lane interval summary carrying `B`-bit values bit-sliced
+/// into planes: bit `L % 64` of `planes[p][L / 64]` is bit `p` of lane
+/// `L`'s value, and bit `L % 64` of `seg[L / 64]` is lane `L`'s
+/// "interval contains a segment boundary" flag. The value analogue of
+/// [`crate::packed::PackedPairW`] under the register-forwarding
+/// operator [`crate::op::First`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlicedPair<const B: usize, const W: usize> {
+    /// Bit-planes of the per-lane values: `planes[p]` holds bit `p` of
+    /// every lane's value, 64 lanes per word.
+    pub planes: [[u64; W]; B],
+    /// Per-lane "interval contains a segment boundary" flag.
+    pub seg: [u64; W],
+}
+
+impl<const B: usize, const W: usize> Default for SlicedPair<B, W> {
+    fn default() -> Self {
+        SlicedPair::identity()
+    }
+}
+
+impl<const B: usize, const W: usize> SlicedPair<B, W> {
+    /// The all-zero summary — an exact *right* identity of
+    /// [`SlicedPair::combine`] (`x.combine(&identity) == x`), used as
+    /// tree padding. It is **not** a left identity: the select
+    /// operator has none (see the module docs).
+    #[inline]
+    pub fn identity() -> Self {
+        SlicedPair {
+            planes: [[0; W]; B],
+            seg: [0; W],
+        }
+    }
+
+    /// The lifted segmented combine, `self` covering the interval
+    /// immediately before `rhs`: per lane, `seg ? rhs : self` on every
+    /// value plane (the register-forwarding multiplexer), and
+    /// `seg = sa | sb`. Word `j` combines independently of every other
+    /// word; plane `p` combines independently of every other plane.
+    #[inline]
+    pub fn combine(&self, rhs: &Self) -> Self {
+        let mut out = SlicedPair::identity();
+        for j in 0..W {
+            let take = rhs.seg[j];
+            for p in 0..B {
+                out.planes[p][j] = (rhs.planes[p][j] & take) | (self.planes[p][j] & !take);
+            }
+            out.seg[j] = self.seg[j] | rhs.seg[j];
+        }
+        out
+    }
+
+    /// Write lane `lane`'s value and segment flag (a station's leaf
+    /// contribution: `seg = true` marks the station as a writer whose
+    /// value starts a new segment).
+    ///
+    /// # Panics
+    /// Panics if `lane >= 64 * W` or `value` has bits at or above `B`.
+    #[inline]
+    pub fn set_lane(&mut self, lane: usize, value: u64, seg: bool) {
+        assert!(lane < 64 * W, "lane out of range");
+        assert!(B >= 64 || value >> B == 0, "value wider than B bits");
+        let (j, b) = (lane / 64, lane % 64);
+        let bit = 1u64 << b;
+        for p in 0..B {
+            self.planes[p][j] = (self.planes[p][j] & !bit) | ((value >> p & 1) << b);
+        }
+        self.seg[j] = (self.seg[j] & !bit) | ((seg as u64) << b);
+    }
+
+    /// Gather lane `lane`'s value back out of the bit-planes.
+    ///
+    /// # Panics
+    /// Panics if `lane >= 64 * W`.
+    #[inline]
+    pub fn lane_value(&self, lane: usize) -> u64 {
+        assert!(lane < 64 * W, "lane out of range");
+        let (j, b) = (lane / 64, lane % 64);
+        let mut v = 0u64;
+        for p in 0..B {
+            v |= (self.planes[p][j] >> b & 1) << p;
+        }
+        v
+    }
+
+    /// Read lane `lane`'s segment flag.
+    ///
+    /// # Panics
+    /// Panics if `lane >= 64 * W`.
+    #[inline]
+    pub fn lane_seg(&self, lane: usize) -> bool {
+        assert!(lane < 64 * W, "lane out of range");
+        self.seg[lane / 64] >> (lane % 64) & 1 == 1
+    }
+}
+
+/// Cyclic segmented parallel prefix over bit-sliced value lanes,
+/// linear ring reference — the value mirror of
+/// [`crate::packed::packed_cspp_ring_w`], specialised to the
+/// register-forwarding select operator.
+///
+/// `out[i]` summarises, per lane, the cyclically preceding stations
+/// back to the nearest raised segment bit: its value planes hold the
+/// nearest preceding writer's value. Because the select operator has
+/// no left identity, the whole-ring fold is seeded from `leaves[0]`
+/// itself (see the module docs); the tree form reproduces this
+/// bit-for-bit. Lanes with no raised segment bit anywhere report
+/// `seg = 0` and a wrap-around artefact value (don't-care, as in the
+/// generic reference).
+///
+/// # Panics
+/// Panics if the ring is empty.
+pub fn sliced_cspp_ring<const B: usize, const W: usize>(
+    leaves: &[SlicedPair<B, W>],
+) -> Vec<SlicedPair<B, W>> {
+    assert!(!leaves.is_empty(), "CSPP ring must be non-empty");
+    let mut whole = leaves[0];
+    for leaf in &leaves[1..] {
+        whole = whole.combine(leaf);
+    }
+    let mut out = Vec::with_capacity(leaves.len());
+    let mut acc = whole;
+    for leaf in leaves {
+        out.push(acc);
+        acc = acc.combine(leaf);
+    }
+    out
+}
+
+/// Reusable scratch for the log-depth bit-sliced value tree — the
+/// value analogue of [`crate::packed::PackedCsppScratchW`]. Retains
+/// its heap buffers across calls, so steady-state evaluation performs
+/// **zero** allocations once the ring size has been seen.
+#[derive(Debug, Clone)]
+pub struct SlicedCsppScratch<const B: usize, const W: usize> {
+    /// Up-sweep interval summaries, heap layout over `2 * size` slots.
+    summaries: Vec<SlicedPair<B, W>>,
+    /// Down-sweep prefixes, same layout.
+    prefix: Vec<SlicedPair<B, W>>,
+    /// `n` of the last sweep. While unchanged, the padding leaves above
+    /// `n` still hold the (right-)identity zero summary and the sweeps
+    /// overwrite every other slot they read, so the buffers need no
+    /// re-initialisation.
+    shape: usize,
+}
+
+impl<const B: usize, const W: usize> Default for SlicedCsppScratch<B, W> {
+    fn default() -> Self {
+        SlicedCsppScratch {
+            summaries: Vec::new(),
+            prefix: Vec::new(),
+            shape: 0,
+        }
+    }
+}
+
+impl<const B: usize, const W: usize> SlicedCsppScratch<B, W> {
+    /// Fresh scratch with no retained capacity.
+    pub fn new() -> Self {
+        SlicedCsppScratch::default()
+    }
+
+    /// Size both buffers to `2 * size` slots with the padding leaves
+    /// `[size + n, 2 * size)` holding the zero right-identity. A repeat
+    /// call with the same `n` is free: the sweeps only ever write the
+    /// non-padding slots, so the padding survives and no refill is
+    /// needed.
+    fn ensure_shape(&mut self, n: usize, size: usize) {
+        if self.shape == n {
+            return;
+        }
+        self.summaries.clear();
+        self.summaries.resize(2 * size, SlicedPair::identity());
+        self.prefix.clear();
+        self.prefix.resize(2 * size, SlicedPair::identity());
+        self.shape = n;
+    }
+
+    /// Up-sweep + down-sweep shared by the cyclic and seeded forms.
+    /// Padding leaves (the zero pair) only ever appear as right-hand
+    /// combine operands — they fill the *trailing* leaf slots — so the
+    /// right-identity property is all the padding needs.
+    fn sweep(
+        &mut self,
+        leaves: &[SlicedPair<B, W>],
+        init: Option<&SlicedPair<B, W>>,
+        out: &mut Vec<SlicedPair<B, W>>,
+    ) {
+        assert!(!leaves.is_empty(), "CSPP ring must be non-empty");
+        let n = leaves.len();
+        let size = n.next_power_of_two();
+        self.ensure_shape(n, size);
+        self.summaries[size..size + n].copy_from_slice(leaves);
+        for k in (1..size).rev() {
+            self.summaries[k] = self.summaries[2 * k].combine(&self.summaries[2 * k + 1]);
+        }
+        // Cyclic form: the root summary is the whole-ring fold seeded
+        // from leaf 0 (padding is a right identity), flowing back in
+        // before leaf 0 — no left identity required anywhere.
+        let seed = init.copied().unwrap_or(self.summaries[1]);
+        self.prefix[1] = seed;
+        for k in 1..size {
+            let p = self.prefix[k];
+            self.prefix[2 * k] = p;
+            self.prefix[2 * k + 1] = p.combine(&self.summaries[2 * k]);
+        }
+        out.clear();
+        out.extend_from_slice(&self.prefix[size..size + n]);
+    }
+
+    /// Cyclic segmented parallel prefix via the log-depth tree, into a
+    /// caller-provided output buffer. Bit-for-bit identical to
+    /// [`sliced_cspp_ring`] (property-tested), work `Θ(n · B · W)`
+    /// words, allocation-free once buffers are warm.
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    pub fn cspp_into(&mut self, leaves: &[SlicedPair<B, W>], out: &mut Vec<SlicedPair<B, W>>) {
+        self.sweep(leaves, None, out);
+    }
+
+    /// Non-cyclic segmented *exclusive* prefix seeded with `init`
+    /// flowing in before station 0 — the value mirror of
+    /// [`crate::cspp::segmented_prefix_ring`]. Seeding `init` with the
+    /// committed register file (one value per lane, `seg` as desired)
+    /// makes `out[i]` each station's full register view: the nearest
+    /// preceding in-window writer's value per register, or the
+    /// committed value where no writer precedes — the paper's Figure 4
+    /// datapath output.
+    ///
+    /// # Panics
+    /// Panics if the input is empty.
+    pub fn segmented_exclusive_into(
+        &mut self,
+        leaves: &[SlicedPair<B, W>],
+        init: &SlicedPair<B, W>,
+        out: &mut Vec<SlicedPair<B, W>>,
+    ) {
+        self.sweep(leaves, Some(init), out);
+    }
+}
+
+/// Write one register's CSPP instance — per-station `(value, seg)`
+/// pairs — into lane `lane` of a station-indexed leaf slice, the value
+/// form of [`crate::packed::pack_lane_w`].
+///
+/// # Panics
+/// Panics if `lane >= 64 * W`, the slice lengths differ, or any value
+/// has bits at or above `B`.
+pub fn pack_value_lane<const B: usize, const W: usize>(
+    leaves: &mut [SlicedPair<B, W>],
+    lane: usize,
+    values: &[u64],
+    seg: &[bool],
+) {
+    assert_eq!(leaves.len(), values.len(), "station count mismatch");
+    assert_eq!(leaves.len(), seg.len(), "station count mismatch");
+    for (i, leaf) in leaves.iter_mut().enumerate() {
+        leaf.set_lane(lane, values[i], seg[i]);
+    }
+}
+
+/// Extract lane `lane` of each station's summary as a value vector —
+/// the inverse of [`pack_value_lane`].
+///
+/// # Panics
+/// Panics if `lane >= 64 * W`.
+pub fn unpack_value_lane<const B: usize, const W: usize>(
+    leaves: &[SlicedPair<B, W>],
+    lane: usize,
+) -> Vec<u64> {
+    leaves.iter().map(|l| l.lane_value(lane)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cspp::{cspp_ring, segmented_prefix_ring};
+    use crate::op::{First, SegPair};
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_leaf<const B: usize, const W: usize>(state: &mut u64) -> SlicedPair<B, W> {
+        let mut leaf = SlicedPair::identity();
+        for p in 0..B {
+            for j in 0..W {
+                leaf.planes[p][j] = xorshift(state);
+            }
+        }
+        for j in 0..W {
+            // Sparse segment bits exercise long propagation runs.
+            leaf.seg[j] = xorshift(state) & xorshift(state) & xorshift(state);
+        }
+        leaf
+    }
+
+    /// The zero pair is an exact right identity, and demonstrably not
+    /// a left identity (the select operator has none).
+    #[test]
+    fn zero_is_right_identity_only() {
+        let mut state = 0x5EED_0BAD_F00D_CAFEu64;
+        for _ in 0..16 {
+            let x = random_leaf::<8, 2>(&mut state);
+            let id = SlicedPair::<8, 2>::identity();
+            assert_eq!(x.combine(&id), x);
+        }
+        // Left side: a zero-seg lane of x passes the *left* planes
+        // through, so identity-on-the-left zeroes it.
+        let mut x = SlicedPair::<8, 1>::identity();
+        x.set_lane(3, 0xAB, false);
+        let id = SlicedPair::<8, 1>::identity();
+        assert_ne!(id.combine(&x), x);
+    }
+
+    /// Lane round-trip through the plane representation.
+    #[test]
+    fn lane_accessors_round_trip() {
+        let mut p = SlicedPair::<32, 2>::identity();
+        p.set_lane(0, 0xDEAD_BEEF, true);
+        p.set_lane(77, 0x1234_5678, false);
+        p.set_lane(127, (1 << 32) - 1, true);
+        assert_eq!(p.lane_value(0), 0xDEAD_BEEF);
+        assert!(p.lane_seg(0));
+        assert_eq!(p.lane_value(77), 0x1234_5678);
+        assert!(!p.lane_seg(77));
+        assert_eq!(p.lane_value(127), (1 << 32) - 1);
+        assert!(p.lane_seg(127));
+        // Overwrite clears old bits.
+        p.set_lane(0, 0, false);
+        assert_eq!(p.lane_value(0), 0);
+        assert!(!p.lane_seg(0));
+    }
+
+    /// Figure 4's semantics in one lane: the ring forwards each
+    /// writer's value to every cyclically younger station.
+    #[test]
+    fn forwarding_example_in_a_lane() {
+        let lane = 5;
+        let mut leaves = vec![SlicedPair::<32, 1>::identity(); 8];
+        leaves[2].set_lane(lane, 42, true);
+        leaves[5].set_lane(lane, 7, true);
+        let out = sliced_cspp_ring(&leaves);
+        let expect = [7, 7, 7, 42, 42, 42, 7, 7];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(out[i].lane_value(lane), e, "station {i}");
+            assert!(out[i].lane_seg(lane), "station {i}");
+        }
+    }
+
+    /// Tree vs ring, exhaustive over small rings with dense random
+    /// planes — bit-for-bit, including wrap-artefact lanes.
+    #[test]
+    fn tree_matches_ring_small_sizes() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut scratch = SlicedCsppScratch::<8, 1>::new();
+        let mut out = Vec::new();
+        for n in 1..=33usize {
+            let leaves: Vec<SlicedPair<8, 1>> = (0..n).map(|_| random_leaf(&mut state)).collect();
+            scratch.cspp_into(&leaves, &mut out);
+            assert_eq!(out, sliced_cspp_ring(&leaves), "n={n}");
+        }
+    }
+
+    /// Every lane of the sliced ring matches the generic `u64` ring
+    /// under `First` — exactly, artefact values included, because both
+    /// seed the whole-ring fold from leaf 0.
+    #[test]
+    fn lanes_match_generic_reference() {
+        let mut state = 0xD1CE_F00D_5EED_4321u64;
+        let n = 11;
+        let mut per_lane: Vec<(Vec<u64>, Vec<bool>)> = Vec::new();
+        let mut leaves = vec![SlicedPair::<32, 2>::identity(); n];
+        for lane in 0..128 {
+            let values: Vec<u64> = (0..n).map(|_| xorshift(&mut state) & 0xFFFF_FFFF).collect();
+            let seg: Vec<bool> = (0..n)
+                .map(|_| xorshift(&mut state) & xorshift(&mut state) & 1 == 1)
+                .collect();
+            pack_value_lane(&mut leaves, lane, &values, &seg);
+            per_lane.push((values, seg));
+        }
+        let out = sliced_cspp_ring(&leaves);
+        for (lane, (values, seg)) in per_lane.iter().enumerate() {
+            let generic = cspp_ring::<u64, First>(values, seg);
+            let got = unpack_value_lane(&out, lane);
+            for i in 0..n {
+                assert_eq!(got[i], generic[i].value, "lane {lane} station {i}");
+                assert_eq!(
+                    out[i].lane_seg(lane),
+                    generic[i].seg,
+                    "lane {lane} station {i}"
+                );
+            }
+        }
+    }
+
+    /// Seeded exclusive form vs the generic serial reference: the
+    /// committed-register-file view of every station.
+    #[test]
+    fn seeded_exclusive_matches_serial() {
+        let mut state = 0xFACE_FEED_0123_4567u64;
+        let n = 9;
+        let mut leaves = vec![SlicedPair::<16, 1>::identity(); n];
+        let mut init = SlicedPair::<16, 1>::identity();
+        let mut per_lane: Vec<(Vec<u64>, Vec<bool>, u64)> = Vec::new();
+        for lane in 0..64 {
+            let values: Vec<u64> = (0..n).map(|_| xorshift(&mut state) & 0xFFFF).collect();
+            let seg: Vec<bool> = (0..n).map(|_| xorshift(&mut state) & 1 == 1).collect();
+            let committed = xorshift(&mut state) & 0xFFFF;
+            pack_value_lane(&mut leaves, lane, &values, &seg);
+            init.set_lane(lane, committed, true);
+            per_lane.push((values, seg, committed));
+        }
+        let mut scratch = SlicedCsppScratch::new();
+        let mut out = Vec::new();
+        scratch.segmented_exclusive_into(&leaves, &init, &mut out);
+        for (lane, (values, seg, committed)) in per_lane.iter().enumerate() {
+            let generic =
+                segmented_prefix_ring::<u64, First>(values, seg, SegPair::leaf(*committed, true));
+            for i in 0..n {
+                assert_eq!(
+                    out[i].lane_value(lane),
+                    generic[i].value,
+                    "lane {lane} station {i}"
+                );
+            }
+        }
+    }
+
+    /// A reused scratch gives the same answers across changing sizes
+    /// (exercises `ensure_shape` re-entry).
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        let mut state = 0x0DDB_A115_1234_00FFu64;
+        let mut scratch = SlicedCsppScratch::<8, 1>::new();
+        let mut out = Vec::new();
+        for &n in &[5usize, 5, 16, 3, 16, 5] {
+            let leaves: Vec<SlicedPair<8, 1>> = (0..n).map(|_| random_leaf(&mut state)).collect();
+            scratch.cspp_into(&leaves, &mut out);
+            assert_eq!(out, sliced_cspp_ring(&leaves), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CSPP ring must be non-empty")]
+    fn empty_ring_rejected() {
+        sliced_cspp_ring::<8, 1>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn lane_bounds_checked() {
+        let mut p = SlicedPair::<8, 1>::identity();
+        p.set_lane(64, 1, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "value wider than B bits")]
+    fn value_width_checked() {
+        let mut p = SlicedPair::<8, 1>::identity();
+        p.set_lane(0, 0x100, true);
+    }
+}

@@ -79,6 +79,7 @@ use ultrascalar_prefix::op::{SegOp, SegPair, Sum};
 use ultrascalar_prefix::packed::{
     AndWords, BitWords, PackedCsppScratch, PackedCsppScratchW, PackedPair, PackedPairW,
 };
+use ultrascalar_prefix::sliced::{SlicedCsppScratch, SlicedPair};
 
 #[test]
 fn substrate_steady_state_allocates_nothing() {
@@ -94,6 +95,23 @@ fn substrate_steady_state_allocates_nothing() {
     let leaves: Vec<SegPair<u32>> = (0..N as u32)
         .map(|i| SegPair::leaf(i * 7 + 1, i % 5 == 2))
         .collect();
+    let sliced_leaves: Vec<SlicedPair<32, 1>> = (0..N as u64)
+        .map(|i| {
+            let mut leaf = SlicedPair::identity();
+            for lane in 0..64 {
+                leaf.set_lane(
+                    lane,
+                    (i * 64 + lane as u64).wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF,
+                    (i + lane as u64).is_multiple_of(3),
+                );
+            }
+            leaf
+        })
+        .collect();
+    let mut sliced_init = SlicedPair::<32, 1>::identity();
+    for lane in 0..64 {
+        sliced_init.set_lane(lane, lane as u64 * 5 + 1, true);
+    }
 
     let mut packed = PackedCsppScratch::new();
     let mut packed_out = Vec::new();
@@ -103,6 +121,8 @@ fn substrate_steady_state_allocates_nothing() {
     let mut arena = ArenaScan::new();
     let mut arena_out = Vec::new();
     let mut bits = BitWords::new(N);
+    let mut sliced = SlicedCsppScratch::<32, 1>::new();
+    let mut sliced_out: Vec<SlicedPair<32, 1>> = Vec::new();
 
     let steady = |packed: &mut PackedCsppScratch,
                   packed_out: &mut Vec<PackedPair>,
@@ -111,7 +131,9 @@ fn substrate_steady_state_allocates_nothing() {
                   packed_w_out: &mut Vec<PackedPairW<4>>,
                   arena: &mut ArenaScan<SegPair<u32>>,
                   arena_out: &mut Vec<SegPair<u32>>,
-                  bits: &mut BitWords| {
+                  bits: &mut BitWords,
+                  sliced: &mut SlicedCsppScratch<32, 1>,
+                  sliced_out: &mut Vec<SlicedPair<32, 1>>| {
         packed.cspp_into::<AndWords>(&values, &seg, packed_out);
         packed.all_earlier_into(&values, 17, flags_out);
         packed_w.cspp_into::<AndWords>(&values_w, &seg_w, packed_w_out);
@@ -126,6 +148,11 @@ fn substrate_steady_state_allocates_nothing() {
             bits.set(i);
         }
         assert!(bits.any());
+        // Bit-sliced value network: both the ring form (tree +
+        // whole-ring fold) and the seeded register-file form must run
+        // out of the same retained scratch.
+        sliced.cspp_into(&sliced_leaves, sliced_out);
+        sliced.segmented_exclusive_into(&sliced_leaves, &sliced_init, sliced_out);
     };
 
     // Warm-up: sizes every retained buffer.
@@ -138,6 +165,8 @@ fn substrate_steady_state_allocates_nothing() {
         &mut arena,
         &mut arena_out,
         &mut bits,
+        &mut sliced,
+        &mut sliced_out,
     );
 
     let guard = ProbeGuard::arm();
@@ -152,6 +181,8 @@ fn substrate_steady_state_allocates_nothing() {
             &mut arena,
             &mut arena_out,
             &mut bits,
+            &mut sliced,
+            &mut sliced_out,
         );
     }
     let after = ALLOCS.load(Ordering::SeqCst);

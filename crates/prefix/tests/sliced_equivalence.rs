@@ -1,0 +1,238 @@
+//! Property tests pinning the bit-sliced value CSPP (`sliced` module)
+//! against a linear ring oracle and the generic per-lane reference —
+//! every ring size `n ∈ 1..=130`, mixed segment densities, wrap-only
+//! lanes and the seeded register-file form.
+//!
+//! Unlike the boolean packed forms, the value select operator has no
+//! left identity, so tree and ring both seed the whole-ring fold from
+//! leaf 0 and the comparison is **bit-for-bit exact**, wrap-around
+//! artefact lanes included.
+
+use proptest::prelude::*;
+use ultrascalar_prefix::cspp::{cspp_ring, segmented_prefix_ring};
+use ultrascalar_prefix::op::{First, SegPair};
+use ultrascalar_prefix::sliced::{
+    pack_value_lane, sliced_cspp_ring, unpack_value_lane, SlicedCsppScratch, SlicedPair,
+};
+
+/// Deterministic xorshift for the exhaustive sweeps.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn random_leaf<const B: usize, const W: usize>(
+    rng: &mut XorShift,
+    density: u32,
+) -> SlicedPair<B, W> {
+    let mut leaf = SlicedPair::identity();
+    for p in 0..B {
+        for j in 0..W {
+            leaf.planes[p][j] = rng.next();
+        }
+    }
+    for j in 0..W {
+        // AND together `density` random words: higher density value
+        // makes segment bits sparser, exercising longer propagation
+        // runs and more all-low wrap lanes.
+        let mut s = rng.next();
+        for _ in 1..density {
+            s &= rng.next();
+        }
+        leaf.seg[j] = s;
+    }
+    leaf
+}
+
+/// Tree vs linear ring oracle at **every** ring size `n ∈ 1..=130` —
+/// deterministic coverage of the word-boundary sizes 63/64/65/127/128/
+/// 129 and every non-power-of-two padding shape in between. One
+/// scratch is reused across all sizes and fills, so the sweep also
+/// exercises the shape-change path (`ensure_shape` re-padding between
+/// every size). Segment patterns are mixed per fill: dense, sparse and
+/// very sparse.
+fn sweep_tree_vs_ring<const B: usize, const W: usize>(seed: u64) {
+    let mut rng = XorShift(seed);
+    let mut scratch = SlicedCsppScratch::<B, W>::new();
+    let mut out = Vec::new();
+    for n in 1..=130usize {
+        for density in 1..=3u32 {
+            let leaves: Vec<SlicedPair<B, W>> =
+                (0..n).map(|_| random_leaf(&mut rng, density)).collect();
+            let ring = sliced_cspp_ring(&leaves);
+            scratch.cspp_into(&leaves, &mut out);
+            assert_eq!(out, ring, "B={B} W={W} n={n} density={density}");
+        }
+    }
+}
+
+#[test]
+fn ring_oracle_sweep_every_n_1_to_130() {
+    // The engine's shape (32-bit values, one lane word) plus a narrow
+    // and a multi-word width to cover the const-generic axes.
+    sweep_tree_vs_ring::<32, 1>(0x51CE_D001_1357_9BDF);
+    sweep_tree_vs_ring::<8, 2>(0xFACE_0FF5_2468_ACE0);
+    sweep_tree_vs_ring::<16, 4>(0x0DDB_A115_DEAD_BEEF);
+}
+
+/// The sliced ring against the generic `u64` ring under `First`, lane
+/// by lane at the word-boundary lanes — bit-for-bit, artefact lanes
+/// included (both forms fold from leaf 0).
+#[test]
+fn ring_oracle_sweep_boundary_lanes_vs_generic() {
+    let mut rng = XorShift(0xB16B_00B5_0000_1337);
+    for n in 1..=130usize {
+        let mut leaves = vec![SlicedPair::<32, 2>::identity(); n];
+        let mut lane_inputs = Vec::new();
+        for lane in [0usize, 1, 62, 63, 64, 65, 126, 127] {
+            let values: Vec<u64> = (0..n).map(|_| rng.next() & 0xFFFF_FFFF).collect();
+            let seg: Vec<bool> = (0..n)
+                .map(|_| rng.next() & rng.next() & rng.next() & 1 == 1)
+                .collect();
+            pack_value_lane(&mut leaves, lane, &values, &seg);
+            lane_inputs.push((lane, values, seg));
+        }
+        let out = sliced_cspp_ring(&leaves);
+        for (lane, values, seg) in &lane_inputs {
+            let generic = cspp_ring::<u64, First>(values, seg);
+            let got = unpack_value_lane(&out, *lane);
+            for i in 0..n {
+                assert_eq!(
+                    got[i], generic[i].value,
+                    "n={n} lane {lane} station {i}: value"
+                );
+                assert_eq!(
+                    out[i].lane_seg(*lane),
+                    generic[i].seg,
+                    "n={n} lane {lane} station {i}: seg"
+                );
+            }
+        }
+    }
+}
+
+/// The seeded exclusive form — the committed-register-file view — vs
+/// the generic serial reference at every `n ∈ 1..=130`. The seed
+/// carries each lane's committed value with its segment flag raised,
+/// so there are no wrap artefacts at all and every output value is
+/// contractual.
+#[test]
+fn seeded_register_view_sweep_every_n_1_to_130() {
+    let mut rng = XorShift(0xC0FF_EE00_DDEE_FF11);
+    let mut scratch = SlicedCsppScratch::<32, 1>::new();
+    let mut out = Vec::new();
+    for n in 1..=130usize {
+        let mut leaves = vec![SlicedPair::<32, 1>::identity(); n];
+        let mut init = SlicedPair::<32, 1>::identity();
+        let mut lane_inputs = Vec::new();
+        for lane in [0usize, 7, 31, 32, 33, 63] {
+            let values: Vec<u64> = (0..n).map(|_| rng.next() & 0xFFFF_FFFF).collect();
+            let seg: Vec<bool> = (0..n).map(|_| rng.next() & rng.next() & 1 == 1).collect();
+            let committed = rng.next() & 0xFFFF_FFFF;
+            pack_value_lane(&mut leaves, lane, &values, &seg);
+            init.set_lane(lane, committed, true);
+            lane_inputs.push((lane, values, seg, committed));
+        }
+        scratch.segmented_exclusive_into(&leaves, &init, &mut out);
+        for (lane, values, seg, committed) in &lane_inputs {
+            let generic =
+                segmented_prefix_ring::<u64, First>(values, seg, SegPair::leaf(*committed, true));
+            for i in 0..n {
+                assert_eq!(
+                    out[i].lane_value(*lane),
+                    generic[i].value,
+                    "n={n} lane {lane} station {i}"
+                );
+                assert!(out[i].lane_seg(*lane), "n={n} lane {lane} station {i}");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Log-depth sliced tree vs the linear ring oracle — exact
+    /// equality including wrap-around artefacts, on random widths with
+    /// random dense planes.
+    #[test]
+    fn sliced_tree_matches_sliced_ring(
+        raw in proptest::collection::vec(any::<u64>(), 9..=1170),
+    ) {
+        // 9 words per leaf: 8 value planes + 1 segment word (B=8, W=1).
+        let n = raw.len() / 9;
+        let leaves: Vec<SlicedPair<8, 1>> = (0..n)
+            .map(|i| {
+                let mut leaf = SlicedPair::identity();
+                for p in 0..8 {
+                    leaf.planes[p][0] = raw[9 * i + p];
+                }
+                // Thin the segment bits so propagation crosses leaves.
+                leaf.seg[0] = raw[9 * i + 8] & raw[9 * i];
+                leaf
+            })
+            .collect();
+        let mut scratch = SlicedCsppScratch::new();
+        let mut out = Vec::new();
+        scratch.cspp_into(&leaves, &mut out);
+        prop_assert_eq!(&out, &sliced_cspp_ring(&leaves));
+    }
+
+    /// Zero-segment inputs: every lane wraps. The sliced forms must
+    /// report seg = 0 everywhere and still agree with each other.
+    #[test]
+    fn sliced_zero_segment_inputs_wrap(
+        raw in proptest::collection::vec(any::<u64>(), 8..=512),
+    ) {
+        let n = raw.len() / 8;
+        let leaves: Vec<SlicedPair<8, 1>> = (0..n)
+            .map(|i| {
+                let mut leaf = SlicedPair::identity();
+                for p in 0..8 {
+                    leaf.planes[p][0] = raw[8 * i + p];
+                }
+                leaf
+            })
+            .collect();
+        let ring = sliced_cspp_ring(&leaves);
+        for (i, p) in ring.iter().enumerate() {
+            prop_assert_eq!(p.seg[0], 0, "station {}", i);
+        }
+        let mut scratch = SlicedCsppScratch::new();
+        let mut out = Vec::new();
+        scratch.cspp_into(&leaves, &mut out);
+        prop_assert_eq!(&out, &ring);
+    }
+
+    /// One random lane of a sliced ring vs the generic reference on
+    /// arbitrary values/segments (proptest chooses everything,
+    /// including lane position and ring size).
+    #[test]
+    fn sliced_lane_matches_generic_reference(
+        values in proptest::collection::vec(any::<u32>(), 1..=130),
+        segs in proptest::collection::vec(any::<bool>(), 1..=130),
+        lane_raw in any::<usize>(),
+    ) {
+        let n = values.len().min(segs.len());
+        let values: Vec<u64> = values[..n].iter().map(|&v| v as u64).collect();
+        let seg = &segs[..n];
+        let lane = lane_raw % 64;
+        let mut leaves = vec![SlicedPair::<32, 1>::identity(); n];
+        pack_value_lane(&mut leaves, lane, &values, seg);
+        let out = sliced_cspp_ring(&leaves);
+        let generic = cspp_ring::<u64, First>(&values, seg);
+        for i in 0..n {
+            prop_assert_eq!(
+                out[i].lane_value(lane), generic[i].value,
+                "lane {} station {}", lane, i
+            );
+            prop_assert_eq!(
+                out[i].lane_seg(lane), generic[i].seg,
+                "lane {} station {}", lane, i
+            );
+        }
+    }
+}
