@@ -97,12 +97,27 @@ const HELP: &str = "usim — Ultrascalar command-line driver
   usim asm  <file.asm> [--regs N] [--emit out.ubin]
                                     assemble; list encodings or write a .ubin
   usim serve [--socket PATH] [--program-cache N] [--engines N]
+             [--workers N] [--shards N]
                                     batch mode: newline-delimited JSON requests
                                     on stdin (or the socket), one JSON response
                                     per line; programs are cached and engines
                                     pooled so repeated requests are allocation-
                                     free
   usim run also accepts .ubin object files
+
+serve options:
+  --socket PATH            listen on a Unix socket (default: stdin→stdout);
+                           socket mode serves many clients at once, one
+                           serving thread per connection
+  --workers N              max simultaneous serving threads (default: the
+                           host's available parallelism)
+  --shards N               cache/pool shard count (default: one per worker);
+                           each shard has its own lock, so workers contend
+                           only on hash collisions
+  --program-cache N        assembled-program LRU capacity, total (default 64)
+  --engines N              warm-engine LRU capacity, total (default 8);
+                           consecutive same-config requests batch onto the
+                           worker's held engine without touching the pool
 
 run options:
   --arch usi|usii|hybrid   topology (default usi)

@@ -255,10 +255,20 @@ pub fn parse_asm(args: &[String]) -> Result<AsmOptions, String> {
 pub struct ServeOptions {
     /// Unix socket path to listen on; serve stdin→stdout when absent.
     pub socket: Option<String>,
-    /// Assembled-program cache capacity.
+    /// Assembled-program cache capacity (total across shards).
     pub program_cache: usize,
-    /// Warm-engine pool capacity.
+    /// Warm-engine pool capacity (total across shards).
     pub engines: usize,
+    /// Maximum simultaneous serving threads in socket mode.
+    pub workers: usize,
+    /// Cache/pool shard count; 0 means one shard per worker.
+    pub shards: usize,
+}
+
+/// The default `--workers`: the host's available parallelism (1 when
+/// the host won't say).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl Default for ServeOptions {
@@ -267,6 +277,8 @@ impl Default for ServeOptions {
             socket: None,
             program_cache: 64,
             engines: 8,
+            workers: default_workers(),
+            shards: 0,
         }
     }
 }
@@ -292,6 +304,22 @@ pub fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
                 o.engines = value(&mut it, "--engines")?
                     .parse()
                     .map_err(|_| "bad --engines".to_string())?
+            }
+            "--workers" => {
+                o.workers = value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_string())?;
+                if o.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--shards" => {
+                o.shards = value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?;
+                if o.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             extra => return Err(format!("unexpected positional argument `{extra}`")),
@@ -542,9 +570,15 @@ mod tests {
     fn parse_serve_defaults_and_flags() {
         let o = parse_serve(&args("")).unwrap();
         assert_eq!(o, ServeOptions::default());
-        let o = parse_serve(&args("--socket /tmp/u.sock --program-cache 4 --engines 2")).unwrap();
+        assert_eq!(o.workers, default_workers());
+        assert_eq!(o.shards, 0, "shards default to auto (per worker)");
+        let o = parse_serve(&args(
+            "--socket /tmp/u.sock --program-cache 4 --engines 2 --workers 3 --shards 2",
+        ))
+        .unwrap();
         assert_eq!(o.socket.as_deref(), Some("/tmp/u.sock"));
         assert_eq!((o.program_cache, o.engines), (4, 2));
+        assert_eq!((o.workers, o.shards), (3, 2));
     }
 
     #[test]
@@ -554,6 +588,10 @@ mod tests {
         assert!(parse_serve(&args("--program-cache 0")).is_err());
         assert!(parse_serve(&args("--engines 0")).is_err());
         assert!(parse_serve(&args("--engines x")).is_err());
+        assert!(parse_serve(&args("--workers 0")).is_err());
+        assert!(parse_serve(&args("--workers -1")).is_err());
+        assert!(parse_serve(&args("--shards 0")).is_err());
+        assert!(parse_serve(&args("--shards x")).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! `usim serve` — a long-running batch/server mode for simulation
-//! requests.
+//! `usim serve` — a long-running, *concurrent* batch/server mode for
+//! simulation requests.
 //!
 //! The serving loop reads newline-delimited JSON requests from stdin
 //! (or a Unix socket with `--socket PATH`) and writes one JSON response
@@ -11,39 +11,74 @@
 //! → {"ok":true,"arch":"usi","window":8,"cluster":1,"halted":true,...}
 //! ```
 //!
-//! Design-space exploration drives the same few programs through many
-//! configuration points, so the loop is built to make the repeated
-//! request the cheap one:
+//! # Scaling the request plane
 //!
-//! * assembled programs are cached in an [`ProgramCache`] keyed by
-//!   source content, so a repeated source skips the assembler;
-//! * engines are pooled in an [`EnginePool`] keyed by exact
-//!   [`ProcConfig`] equality and rewound in place
-//!   ([`Processor::run_reusing`]), so a repeated configuration skips
-//!   every per-run allocation;
-//! * requests parse into reused [`String`] buffers and responses
-//!   serialise into a reused line buffer, so the steady-state request
-//!   loop — parse, cache hit, pool hit, simulate, respond — performs
-//!   **zero heap allocations** (asserted by the counting-allocator
-//!   probe in `tests/serve_alloc_probe.rs`).
+//! Socket mode accepts many simultaneous clients: the accept loop
+//! spawns one serving thread per connection, bounded by `--workers N`
+//! (default: the host's available parallelism). The scaling problem is
+//! the one the source tradition understands well — shared-structure
+//! hot spots, not compute, bound throughput — so every shared
+//! structure is sharded and every lock is held for a scan, never for a
+//! simulation:
+//!
+//! * assembled programs live in a [`ShardedProgramCache`]: N
+//!   independent LRU shards selected by the FNV-1a content hash, each
+//!   behind its own mutex. A hit clones an `Arc` out of the shard and
+//!   releases the lock before the engine runs.
+//! * warm engines live in a [`ShardedEnginePool`] keyed by a
+//!   `ProcConfig` hash with the same discipline, accessed by
+//!   **checkout/checkin**: a checkout removes the engine from its
+//!   shard, the worker simulates with no lock held, and checkin
+//!   returns it (two workers on the same configuration simply hold
+//!   two engines).
+//! * **config-affinity batching**: a worker keeps its checked-out
+//!   engine across consecutive same-`ProcConfig` requests, so a
+//!   config-sorted request stream (the natural shape of a
+//!   design-space sweep) touches the pool only when the configuration
+//!   changes. Batched runs are counted separately
+//!   (`batched_runs` in `{"cmd":"stats"}`).
+//!
+//! Each worker keeps the zero-allocation warm path of the serial
+//! server: requests parse into worker-owned reused [`String`] buffers
+//! and responses serialise into a worker-owned reused line buffer, so
+//! the steady-state request loop — parse, cache hit, affinity/pool
+//! hit, simulate, respond — performs **zero heap allocations per
+//! worker**, under concurrency included (asserted by the
+//! counting-allocator probe in `tests/serve_alloc_probe.rs`).
+//!
+//! A client disconnect (EOF mid-line, broken pipe on write) closes
+//! only that connection and bumps the `disconnects` counter; it can
+//! never take the server down or poison a shard lock. A
+//! `{"cmd":"shutdown"}` from any client stops the accept loop, drains
+//! in-flight requests, unblocks idle readers, joins every worker, and
+//! the aggregate stderr summary prints exactly once.
 //!
 //! The JSON codec is hand-rolled like [`crate::sweep::JsonReport`]:
-//! this workspace takes no serde dependency.
-//!
-//! Identical requests produce byte-identical responses (per-request
-//! wall time is reported only when the request opts in with
-//! `"timing": true`); cache effectiveness is observable through the
-//! aggregate counters of a `{"cmd":"stats"}` request and the final
-//! summary printed on shutdown.
+//! this workspace takes no serde dependency. Identical requests
+//! produce byte-identical responses (per-request wall time is
+//! reported only when the request opts in with `"timing": true`);
+//! cache effectiveness and shard balance are observable through the
+//! counters of a `{"cmd":"stats"}` request and the final summary.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::cli::{self, RunOptions, ServeOptions};
-use ultrascalar::{EnginePool, ProcConfig, Processor, RunResult};
-use ultrascalar_isa::ProgramCache;
+use ultrascalar::{PoolStats, PooledEngine, ProcConfig, Processor, RunResult, ShardedEnginePool};
+use ultrascalar_isa::{CacheStats, ShardedProgramCache};
 use ultrascalar_memsys::NetworkKind;
+
+/// Lock recovering from poison: the guarded state is cache/registry
+/// bookkeeping whose invariants hold on every exit path, so one
+/// panicking worker must not wedge the rest of the server.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// What a request asks the server to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,7 +92,7 @@ enum Cmd {
     Shutdown,
 }
 
-/// One parsed request. Lives inside the [`Server`] and is rewound per
+/// One parsed request. Lives inside a [`Worker`] and is rewound per
 /// line so its string buffers are reused across requests.
 #[derive(Debug, Default)]
 struct Request {
@@ -91,8 +126,8 @@ impl Request {
     }
 }
 
-/// Aggregate serving counters, reported by `{"cmd":"stats"}` and in the
-/// final summary line.
+/// Aggregate serving counters, snapshotted by
+/// [`ServeShared::counters`].
 #[derive(Debug, Clone, Default)]
 pub struct ServeCounters {
     /// Request lines handled (including malformed ones).
@@ -101,69 +136,174 @@ pub struct ServeCounters {
     pub runs: u64,
     /// Requests answered with an error response.
     pub errors: u64,
+    /// Connections that ended abnormally (EOF mid-line, read error,
+    /// broken pipe on write).
+    pub disconnects: u64,
+    /// Runs served on the worker's already-held engine (config-affinity
+    /// batching; these never touched a pool shard).
+    pub batched_runs: u64,
     /// Total cycles simulated across all runs.
     pub cycles_simulated: u64,
     /// Total instructions committed across all runs.
     pub instructions_committed: u64,
     /// Runs in which the engine fell back to the scalar scan.
     pub packed_fallbacks: u64,
-    /// Wall time spent handling requests (parse + simulate + respond).
+    /// Wall time spent handling requests, summed across workers
+    /// (parse + simulate + respond).
     pub wall: Duration,
 }
 
-/// The serving state: program cache, engine pool, counters, and the
-/// reused request/response buffers.
+/// The serving state shared by every worker thread: sharded program
+/// cache, sharded engine pool, and atomic aggregate counters.
 #[derive(Debug)]
-pub struct Server {
-    programs: ProgramCache,
-    engines: EnginePool,
-    counters: ServeCounters,
+pub struct ServeShared {
+    programs: ShardedProgramCache,
+    engines: ShardedEnginePool,
+    workers: usize,
+    requests: AtomicU64,
+    runs: AtomicU64,
+    errors: AtomicU64,
+    disconnects: AtomicU64,
+    batched: AtomicU64,
+    engines_held: AtomicU64,
+    cycles_simulated: AtomicU64,
+    instructions_committed: AtomicU64,
+    packed_fallbacks: AtomicU64,
+    wall_nanos: AtomicU64,
+    worker_requests: Vec<AtomicU64>,
+    shutdown: AtomicBool,
+}
+
+impl ServeShared {
+    /// Build the shared serving state from parsed options. A `shards`
+    /// value of 0 resolves to one shard per worker.
+    ///
+    /// # Panics
+    /// Panics if a capacity or the worker count is zero (the CLI
+    /// parser rejects these first).
+    pub fn new(o: &ServeOptions) -> Self {
+        assert!(o.workers > 0, "serve needs at least one worker");
+        let shards = if o.shards == 0 { o.workers } else { o.shards };
+        ServeShared {
+            programs: ShardedProgramCache::new(o.program_cache, shards),
+            engines: ShardedEnginePool::new(o.engines, shards),
+            workers: o.workers,
+            requests: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            engines_held: AtomicU64::new(0),
+            cycles_simulated: AtomicU64::new(0),
+            instructions_committed: AtomicU64::new(0),
+            packed_fallbacks: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            worker_requests: (0..o.workers).map(|_| AtomicU64::new(0)).collect(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Worker-thread bound (`--workers`).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Has any client requested shutdown?
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown (as `{"cmd":"shutdown"}` would).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn counters(&self) -> ServeCounters {
+        ServeCounters {
+            requests: self.requests.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            batched_runs: self.batched.load(Ordering::Relaxed),
+            cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
+            instructions_committed: self.instructions_committed.load(Ordering::Relaxed),
+            packed_fallbacks: self.packed_fallbacks.load(Ordering::Relaxed),
+            wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Program-cache counters summed across shards.
+    pub fn program_stats(&self) -> CacheStats {
+        self.programs.stats()
+    }
+
+    /// Engine-pool counters summed across shards, folding in the
+    /// serving layer's view of warmth: a run served by the worker's
+    /// held engine (config-affinity batching) counts as a hit, and
+    /// held engines count as warm — `hits + misses == runs` and
+    /// `warm` is every live engine, pooled or held.
+    pub fn engine_stats(&self) -> PoolStats {
+        let mut s = self.engines.stats();
+        s.hits += self.batched.load(Ordering::Relaxed);
+        s.warm += self.engines_held.load(Ordering::Relaxed) as usize;
+        s
+    }
+
+    /// Requests handled per worker slot (shard-balance observability).
+    pub fn worker_request_counts(&self) -> Vec<u64> {
+        self.worker_requests
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// One serving worker: a handle on the shared state plus the reused
+/// request/response buffers and the config-affinity engine slot. Each
+/// connection (or the stdin stream) is driven by exactly one worker.
+#[derive(Debug)]
+pub struct Worker {
+    shared: Arc<ServeShared>,
+    slot: usize,
     req: Request,
     key: String,
     sval: String,
     file_src: String,
     line_out: String,
-    shutdown: bool,
+    held: Option<PooledEngine>,
 }
 
-impl Server {
-    /// Create a server with the given program-cache and engine-pool
-    /// capacities.
-    ///
-    /// # Panics
-    /// Panics if either capacity is zero.
-    pub fn new(program_cache: usize, engines: usize) -> Self {
-        Server {
-            programs: ProgramCache::new(program_cache),
-            engines: EnginePool::new(engines),
-            counters: ServeCounters::default(),
+impl Worker {
+    /// Create a worker bound to `slot` (an index below
+    /// [`ServeShared::workers`], used for the per-worker request
+    /// tally).
+    pub fn new(shared: Arc<ServeShared>, slot: usize) -> Self {
+        assert!(slot < shared.workers, "worker slot out of range");
+        Worker {
+            shared,
+            slot,
             req: Request::default(),
             key: String::new(),
             sval: String::new(),
             file_src: String::new(),
             line_out: String::new(),
-            shutdown: false,
+            held: None,
         }
     }
 
-    /// Aggregate counters so far.
-    pub fn counters(&self) -> &ServeCounters {
-        &self.counters
+    /// The shared serving state.
+    pub fn shared(&self) -> &Arc<ServeShared> {
+        &self.shared
     }
 
-    /// The program cache (for inspecting hit/miss counts).
-    pub fn programs(&self) -> &ProgramCache {
-        &self.programs
-    }
-
-    /// The engine pool (for inspecting hit/miss counts).
-    pub fn engines(&self) -> &EnginePool {
-        &self.engines
-    }
-
-    /// Has a shutdown request been handled?
-    pub fn shutdown_requested(&self) -> bool {
-        self.shutdown
+    /// Return the held engine (if any) to the pool. Call at the end of
+    /// a connection so the warm engine is available to other workers.
+    pub fn release(&mut self) {
+        if let Some(engine) = self.held.take() {
+            self.shared.engines_held.fetch_sub(1, Ordering::Relaxed);
+            self.shared.engines.checkin(engine);
+        }
     }
 
     /// Handle one request line and return the response line (no
@@ -171,9 +311,10 @@ impl Server {
     /// `{"ok":false,"error":…}` response.
     pub fn handle_line(&mut self, line: &str) -> &str {
         let started = Instant::now();
-        self.counters.requests += 1;
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.worker_requests[self.slot].fetch_add(1, Ordering::Relaxed);
         if let Err(e) = self.handle_inner(line) {
-            self.counters.errors += 1;
+            self.shared.errors.fetch_add(1, Ordering::Relaxed);
             self.line_out.clear();
             self.line_out.push_str("{\"ok\":false,");
             if self.req.has_id {
@@ -185,31 +326,32 @@ impl Server {
             escape_into(&mut self.line_out, &e);
             self.line_out.push_str("\"}");
         }
-        self.counters.wall += started.elapsed();
+        self.shared
+            .wall_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         &self.line_out
     }
 
     fn handle_inner(&mut self, line: &str) -> Result<(), String> {
-        let Server {
-            programs,
-            engines,
-            counters,
+        let Worker {
+            shared,
             req,
             key,
             sval,
             file_src,
             line_out,
-            shutdown,
+            held,
+            ..
         } = self;
         parse_request(line, req, key, sval)?;
         match req.cmd {
             Cmd::Stats => {
                 line_out.clear();
-                write_stats(line_out, counters, programs, engines);
+                write_stats(line_out, shared);
                 Ok(())
             }
             Cmd::Shutdown => {
-                *shutdown = true;
+                shared.request_shutdown();
                 line_out.clear();
                 line_out.push_str("{\"ok\":true,\"shutdown\":true}");
                 Ok(())
@@ -232,17 +374,40 @@ impl Server {
                     return Err("request needs a `program` or `program_path`".into());
                 };
                 let cfg = cli::build_config(&req.opts)?;
-                let program = programs
+                let program = shared
+                    .programs
                     .get_or_assemble(src, req.opts.regs)
                     .map_err(|e| e.to_string())?;
-                let pooled = engines.acquire(&cfg);
+                // Config-affinity batching: consecutive same-config
+                // requests stay on the held engine; the pool shard is
+                // touched only when the configuration changes.
+                match held {
+                    Some(h) if h.engine.config() == &cfg => {
+                        shared.batched.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        if let Some(prev) = held.take() {
+                            shared.engines_held.fetch_sub(1, Ordering::Relaxed);
+                            shared.engines.checkin(prev);
+                        }
+                        *held = Some(shared.engines.checkout(&cfg));
+                        shared.engines_held.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let pooled = held.as_mut().expect("engine held for this config");
                 let run_started = Instant::now();
-                pooled.engine.run_reusing(program, &mut pooled.result);
+                pooled.engine.run_reusing(&program, &mut pooled.result);
                 let run_wall = run_started.elapsed();
-                counters.runs += 1;
-                counters.cycles_simulated += pooled.result.cycles;
-                counters.instructions_committed += pooled.result.stats.committed;
-                counters.packed_fallbacks += pooled.result.stats.packed_fallbacks;
+                shared.runs.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .cycles_simulated
+                    .fetch_add(pooled.result.cycles, Ordering::Relaxed);
+                shared
+                    .instructions_committed
+                    .fetch_add(pooled.result.stats.committed, Ordering::Relaxed);
+                shared
+                    .packed_fallbacks
+                    .fetch_add(pooled.result.stats.packed_fallbacks, Ordering::Relaxed);
                 line_out.clear();
                 let wall_us = req.timing.then_some(run_wall.as_micros() as u64);
                 write_run(line_out, req, &cfg, &pooled.result, wall_us);
@@ -250,27 +415,115 @@ impl Server {
             }
         }
     }
+}
+
+/// The single-threaded serving facade: one [`Worker`] over its own
+/// shared state (one shard each). Drives stdin mode and serves as the
+/// serial baseline the concurrent path is pinned byte-identical
+/// against.
+#[derive(Debug)]
+pub struct Server {
+    worker: Worker,
+}
+
+impl Server {
+    /// Create a single-worker server with the given program-cache and
+    /// engine-pool capacities.
+    ///
+    /// # Panics
+    /// Panics if either capacity is zero.
+    pub fn new(program_cache: usize, engines: usize) -> Self {
+        let o = ServeOptions {
+            socket: None,
+            program_cache,
+            engines,
+            workers: 1,
+            shards: 1,
+        };
+        Server::from_shared(Arc::new(ServeShared::new(&o)))
+    }
+
+    /// Create the stdin-mode server over externally built shared state
+    /// (slot 0).
+    pub fn from_shared(shared: Arc<ServeShared>) -> Self {
+        Server {
+            worker: Worker::new(shared, 0),
+        }
+    }
+
+    /// The shared serving state (counters, cache/pool stats).
+    pub fn shared(&self) -> &Arc<ServeShared> {
+        &self.worker.shared
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn counters(&self) -> ServeCounters {
+        self.worker.shared.counters()
+    }
+
+    /// Program-cache counters (hits/misses/evictions/entries).
+    pub fn program_stats(&self) -> CacheStats {
+        self.worker.shared.program_stats()
+    }
+
+    /// Engine-pool counters; affinity-batched runs count as hits and
+    /// the held engine counts as warm (see
+    /// [`ServeShared::engine_stats`]).
+    pub fn engine_stats(&self) -> PoolStats {
+        self.worker.shared.engine_stats()
+    }
+
+    /// Has a shutdown request been handled?
+    pub fn shutdown_requested(&self) -> bool {
+        self.worker.shared.is_shutdown()
+    }
+
+    /// Handle one request line and return the response line (no
+    /// trailing newline). Never fails: malformed requests produce an
+    /// `{"ok":false,"error":…}` response.
+    pub fn handle_line(&mut self, line: &str) -> &str {
+        self.worker.handle_line(line)
+    }
+
+    /// Return the held engine (if any) to the pool.
+    pub fn release(&mut self) {
+        self.worker.release()
+    }
 
     /// The one-line human-readable summary printed on shutdown/EOF.
     pub fn final_stats_line(&self) -> String {
-        let c = &self.counters;
-        format!(
-            "usim serve: {} requests ({} runs, {} errors), program cache {} hits / {} misses, \
-             engine pool {} hits / {} misses, {} cycles simulated, {} instructions committed, \
-             {} packed fallbacks, {:.3} s",
-            c.requests,
-            c.runs,
-            c.errors,
-            self.programs.hits(),
-            self.programs.misses(),
-            self.engines.hits(),
-            self.engines.misses(),
-            c.cycles_simulated,
-            c.instructions_committed,
-            c.packed_fallbacks,
-            c.wall.as_secs_f64(),
-        )
+        final_summary(&self.worker.shared)
     }
+}
+
+/// The one-line human-readable summary printed to stderr exactly once
+/// when the serving loop exits.
+pub fn final_summary(shared: &ServeShared) -> String {
+    let c = shared.counters();
+    let pc = shared.program_stats();
+    let ep = shared.engine_stats();
+    format!(
+        "usim serve: {} requests ({} runs, {} errors, {} disconnects), \
+         program cache {} hits / {} misses / {} evictions, \
+         engine pool {} hits / {} misses / {} evictions ({} batched), \
+         {} cycles simulated, {} instructions committed, \
+         {} packed fallbacks, {:.3} s busy",
+        c.requests,
+        c.runs,
+        c.errors,
+        c.disconnects,
+        pc.hits,
+        pc.misses,
+        pc.evictions,
+        ep.hits,
+        ep.misses,
+        ep.evictions,
+        c.batched_runs,
+        c.cycles_simulated,
+        c.instructions_committed,
+        c.packed_fallbacks,
+        c.wall.as_secs_f64(),
+    )
 }
 
 /// Serialise a run response. Identical requests must produce
@@ -333,28 +586,63 @@ fn write_run(
     out.push('}');
 }
 
-fn write_stats(out: &mut String, c: &ServeCounters, programs: &ProgramCache, engines: &EnginePool) {
+fn write_stats(out: &mut String, shared: &ServeShared) {
+    let c = shared.counters();
+    let pc = shared.program_stats();
+    let ep = shared.engine_stats();
     let _ = write!(
         out,
         "{{\"ok\":true,\"stats\":{{\"requests\":{},\"runs\":{},\"errors\":{},\
-         \"program_cache_hits\":{},\"program_cache_misses\":{},\"programs_cached\":{},\
-         \"engine_pool_hits\":{},\"engine_pool_misses\":{},\"engines_warm\":{},\
+         \"disconnects\":{},\"batched_runs\":{},\
+         \"program_cache_hits\":{},\"program_cache_misses\":{},\
+         \"program_cache_evictions\":{},\"programs_cached\":{},\
+         \"engine_pool_hits\":{},\"engine_pool_misses\":{},\
+         \"engine_pool_evictions\":{},\"engines_warm\":{},\
          \"cycles_simulated\":{},\"instructions_committed\":{},\"packed_fallbacks\":{},\
-         \"wall_s\":{:.6}}}}}",
+         \"wall_s\":{:.6},\"workers\":{},\"cache_shards\":{},\"pool_shards\":{}",
         c.requests,
         c.runs,
         c.errors,
-        programs.hits(),
-        programs.misses(),
-        programs.len(),
-        engines.hits(),
-        engines.misses(),
-        engines.len(),
+        c.disconnects,
+        c.batched_runs,
+        pc.hits,
+        pc.misses,
+        pc.evictions,
+        pc.entries,
+        ep.hits,
+        ep.misses,
+        ep.evictions,
+        ep.warm,
         c.cycles_simulated,
         c.instructions_committed,
         c.packed_fallbacks,
         c.wall.as_secs_f64(),
+        shared.workers,
+        shared.programs.num_shards(),
+        shared.engines.num_shards(),
     );
+    out.push_str(",\"worker_requests\":[");
+    for (i, w) in shared.worker_requests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", w.load(Ordering::Relaxed));
+    }
+    out.push_str("],\"cache_shard_requests\":[");
+    for (i, s) in shared.programs.shard_stats().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", s.hits + s.misses);
+    }
+    out.push_str("],\"pool_shard_requests\":[");
+    for (i, s) in shared.engines.shard_stats().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", s.hits + s.misses);
+    }
+    out.push_str("]}}");
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -669,70 +957,191 @@ fn parse_options(
     p.eat(b'}')
 }
 
-/// Run the serving loop for `reader`/`writer` until EOF or a shutdown
-/// request.
-pub fn serve_stream<R: BufRead, W: Write>(
-    server: &mut Server,
-    mut reader: R,
-    mut writer: W,
-) -> Result<(), String> {
+/// Drive one worker over one request stream until EOF, a write
+/// failure, or shutdown. Abnormal ends (EOF mid-line, read error,
+/// broken pipe) bump the `disconnects` counter and close only this
+/// stream — the shared state and every other connection stay healthy.
+fn stream_loop<R: BufRead, W: Write>(worker: &mut Worker, mut reader: R, mut writer: W) {
     let mut line = String::new();
     loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => return Err(format!("read error: {e}")),
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // The client vanished mid-line: a partial request
+                    // is never processed, only counted.
+                    if !line.trim().is_empty() {
+                        worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+            Err(_) => {
+                worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let resp = server.handle_line(trimmed);
-        if writeln!(writer, "{resp}").is_err() {
-            // Downstream closed the pipe; stop quietly like `usim run |
-            // head` does.
-            return Ok(());
+        worker.handle_line(trimmed);
+        worker.line_out.push('\n');
+        if writer.write_all(worker.line_out.as_bytes()).is_err() || writer.flush().is_err() {
+            // Downstream closed the pipe; count it and stop quietly
+            // like `usim run | head` does.
+            worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+            break;
         }
-        if writer.flush().is_err() {
-            return Ok(());
-        }
-        if server.shutdown_requested() {
+        if worker.shared.is_shutdown() {
             break;
         }
     }
+}
+
+/// Run the serving loop for `reader`/`writer` until EOF or a shutdown
+/// request (the stdin mode of `usim serve`, and the serial baseline
+/// for tests).
+pub fn serve_stream<R: BufRead, W: Write>(server: &mut Server, reader: R, writer: W) {
+    stream_loop(&mut server.worker, reader, writer);
+}
+
+/// The concurrent socket accept loop: one serving thread per client
+/// connection, bounded by [`ServeShared::workers`] slots. Returns once
+/// a shutdown request has been served and every worker has drained and
+/// joined.
+pub fn serve_socket(shared: &Arc<ServeShared>, path: &str) -> Result<(), String> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("cannot bind {path}: {e}"))?;
+    let workers = shared.workers;
+    // Free worker slots (a stack) plus the condvar the acceptor waits
+    // on when every slot is busy — this is the `--workers N` bound.
+    let free: Arc<(Mutex<Vec<usize>>, Condvar)> =
+        Arc::new((Mutex::new((0..workers).rev().collect()), Condvar::new()));
+    // One registered read-half per live connection so shutdown can
+    // unblock workers parked in `read_line`.
+    let conns: Arc<Mutex<Vec<Option<UnixStream>>>> =
+        Arc::new(Mutex::new((0..workers).map(|_| None).collect()));
+    let mut slot_handles: Vec<Option<std::thread::JoinHandle<()>>> =
+        (0..workers).map(|_| None).collect();
+    for conn in listener.incoming() {
+        if shared.is_shutdown() {
+            break;
+        }
+        let conn = conn.map_err(|e| format!("accept failed: {e}"))?;
+        if shared.is_shutdown() {
+            // The wake-up connection a shutting-down worker makes to
+            // unblock this accept loop lands here; drop it.
+            break;
+        }
+        // Wait for a free worker slot (connections beyond the bound
+        // queue in the listen backlog).
+        let slot = {
+            let (slots, cv) = &*free;
+            let mut avail = lock(slots);
+            loop {
+                if shared.is_shutdown() {
+                    break None;
+                }
+                if let Some(s) = avail.pop() {
+                    break Some(s);
+                }
+                avail = cv
+                    .wait(avail)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let Some(slot) = slot else { break };
+        // A freed slot means its previous thread is done; reap it.
+        if let Some(h) = slot_handles[slot].take() {
+            let _ = h.join();
+        }
+        let Ok(read_half) = conn.try_clone() else {
+            shared.disconnects.fetch_add(1, Ordering::Relaxed);
+            let (slots, cv) = &*free;
+            lock(slots).push(slot);
+            cv.notify_one();
+            continue;
+        };
+        lock(&conns)[slot] = Some(read_half);
+        let shared = Arc::clone(shared);
+        let free = Arc::clone(&free);
+        let conns = Arc::clone(&conns);
+        let path = path.to_string();
+        slot_handles[slot] = Some(std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut worker = Worker::new(Arc::clone(&shared), slot);
+                match conn.try_clone() {
+                    Ok(rd) => {
+                        stream_loop(&mut worker, std::io::BufReader::new(rd), &conn);
+                    }
+                    Err(_) => {
+                        shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                worker.release();
+            }));
+            if result.is_err() {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            lock(&conns)[slot] = None;
+            if shared.is_shutdown() {
+                // Drain: unblock every worker parked in read_line and
+                // wake the acceptor so it can stop and join.
+                for c in lock(&conns).iter().flatten() {
+                    let _ = c.shutdown(Shutdown::Both);
+                }
+                let _ = UnixStream::connect(&path);
+            }
+            let (slots, cv) = &*free;
+            lock(slots).push(slot);
+            cv.notify_all();
+        }));
+    }
+    // Stop accepting; drain whoever is still connected and join every
+    // worker before the (single) summary prints.
+    for c in lock(&conns).iter_mut() {
+        if let Some(c) = c.take() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+    }
+    for h in slot_handles.iter_mut().filter_map(Option::take) {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(path);
     Ok(())
 }
 
 /// Entry point for `usim serve`: dispatch on stdin/stdout or a Unix
-/// socket, and print the final counter summary to stderr on exit.
+/// socket, and print the final counter summary to stderr exactly once
+/// on exit.
 pub fn serve(o: &ServeOptions) -> Result<(), String> {
-    let mut server = Server::new(o.program_cache, o.engines);
+    let shared = Arc::new(ServeShared::new(o));
     match &o.socket {
         None => {
+            // stdin is one stream: a single worker serves it.
+            let mut server = Server::from_shared(Arc::clone(&shared));
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_stream(&mut server, stdin.lock(), stdout.lock())?;
+            serve_stream(&mut server, stdin.lock(), stdout.lock());
+            server.release();
         }
         Some(path) => {
-            let _ = std::fs::remove_file(path);
-            let listener = std::os::unix::net::UnixListener::bind(path)
-                .map_err(|e| format!("cannot bind {path}: {e}"))?;
-            eprintln!("usim serve: listening on {path}");
-            for conn in listener.incoming() {
-                let conn = conn.map_err(|e| format!("accept failed: {e}"))?;
-                let reader = std::io::BufReader::new(
-                    conn.try_clone()
-                        .map_err(|e| format!("socket clone failed: {e}"))?,
-                );
-                serve_stream(&mut server, reader, &conn)?;
-                if server.shutdown_requested() {
-                    break;
-                }
-            }
-            let _ = std::fs::remove_file(path);
+            eprintln!(
+                "usim serve: listening on {path} ({} worker{}, {} cache shard{})",
+                shared.workers,
+                if shared.workers == 1 { "" } else { "s" },
+                shared.programs.num_shards(),
+                if shared.programs.num_shards() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+            serve_socket(&shared, path)?;
         }
     }
-    eprintln!("{}", server.final_stats_line());
+    eprintln!("{}", final_summary(&shared));
     Ok(())
 }

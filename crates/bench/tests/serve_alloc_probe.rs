@@ -10,23 +10,30 @@
 //! configurations to show the steady state survives a working set
 //! larger than one.
 //!
-//! Counting is gated on a const-initialised thread-local so only the
-//! probe thread's allocations register (the libtest harness thread
-//! lazily initialises channel state mid-run otherwise).
+//! Two probes: the serial request loop, and four workers hammering the
+//! *shared* sharded caches concurrently — the warm path must stay
+//! allocation-free per worker under contention (shard mutexes, `Arc`
+//! program handles and pool checkout/checkin allocate nothing).
 //!
-//! Single `#[test]` on purpose: the counter is process-global and the
-//! default test harness runs tests concurrently.
+//! Counting is gated on a const-initialised thread-local so only armed
+//! threads' allocations register (the libtest harness thread lazily
+//! initialises channel state mid-run otherwise). The tests serialise
+//! on a static mutex because the counter itself is process-global.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
 struct Counting;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+/// Serialises the probes: both read the process-global counter.
+static GATE: Mutex<()> = Mutex::new(());
+
 thread_local! {
-    /// Raised only on the probe thread, only around the measured loop.
+    /// Raised only on probe threads, only around the measured loop.
     static PROBING: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -72,7 +79,8 @@ unsafe impl GlobalAlloc for Counting {
 #[global_allocator]
 static A: Counting = Counting;
 
-use ultrascalar_bench::serve::Server;
+use ultrascalar_bench::cli::ServeOptions;
+use ultrascalar_bench::serve::{ServeShared, Server, Worker};
 
 /// A loop-carrying kernel: branches, loads and stores keep the
 /// predictor, memory system and window reset paths all on the
@@ -96,6 +104,7 @@ const REQ_FAN: &str = r#"{"program":"li r1, 3\naddi r1, r1, 1\nadd r2, r2, r1\na
 
 #[test]
 fn serve_request_loop_allocates_nothing_in_steady_state() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let mut server = Server::new(8, 4);
 
     let steady = |server: &mut Server| {
@@ -127,6 +136,96 @@ fn serve_request_loop_allocates_nothing_in_steady_state() {
     // Every probed request was a cache/pool hit (the fan shares the
     // loop kernel's configuration, so it is a third program but not a
     // third engine).
-    assert_eq!(server.programs().misses(), 3);
-    assert_eq!(server.engines().misses(), 2);
+    assert_eq!(server.program_stats().misses, 3);
+    assert_eq!(server.engine_stats().misses, 2);
+}
+
+#[test]
+fn concurrent_workers_allocate_nothing_in_steady_state() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 50;
+    let shared = Arc::new(ServeShared::new(&ServeOptions {
+        socket: None,
+        program_cache: 32,
+        engines: 32,
+        workers: WORKERS,
+        shards: WORKERS,
+    }));
+    // Each worker gets its own two programs and two configurations
+    // (a worker-specific predictor size), so warm-up deterministically
+    // builds exactly two engines per worker — no cross-thread
+    // hand-off, no eviction — while every request still goes through
+    // the *shared* shard locks.
+    let requests_for = |w: usize| -> Vec<String> {
+        let k = 64usize << w;
+        vec![
+            format!(
+                r#"{{"program":"li r9, {w}\nli r1, 0\nli r2, 8\nli r3, 0\nloop:\nsw r1, (r1)\nlw r4, (r1)\nadd r3, r3, r4\naddi r1, r1, 1\nblt r1, r2, loop\nhalt\n","options":{{"arch":"usi","window":8,"predictor":"bimodal:{k}"}}}}"#
+            ),
+            format!(
+                r#"{{"program":"li r9, {w}\nli r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n","options":{{"arch":"hybrid","window":8,"cluster":4,"predictor":"bimodal:{k}","renaming":true}}}}"#
+            ),
+        ]
+    };
+    // Workers warm up, then everyone meets at `start` before arming
+    // and at `done` after disarming; the counter is read outside that
+    // window, when no thread is armed.
+    let start = Arc::new(Barrier::new(WORKERS + 1));
+    let done = Arc::new(Barrier::new(WORKERS + 1));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            let start = Arc::clone(&start);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let reqs = requests_for(w);
+                let mut worker = Worker::new(shared, w);
+                for _ in 0..2 {
+                    for req in &reqs {
+                        let resp = worker.handle_line(req);
+                        assert!(resp.starts_with("{\"ok\":true,"), "{resp}");
+                    }
+                }
+                start.wait();
+                {
+                    let _guard = ProbeGuard::arm();
+                    for _ in 0..ROUNDS {
+                        for req in &reqs {
+                            let resp = worker.handle_line(req);
+                            assert!(resp.starts_with("{\"ok\":true,"), "{resp}");
+                        }
+                    }
+                }
+                done.wait();
+                worker.release();
+            })
+        })
+        .collect();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    start.wait();
+    done.wait();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    assert_eq!(
+        after - before,
+        0,
+        "concurrent serve workers allocated in steady state"
+    );
+    let c = shared.counters();
+    assert_eq!(c.runs, (WORKERS * 2 * (2 + ROUNDS)) as u64);
+    assert_eq!(c.errors, 0);
+    // Warm-up built exactly two programs and two engines per worker;
+    // every probed request was a cache hit plus an affinity or pool
+    // hit.
+    assert_eq!(shared.program_stats().misses, (WORKERS * 2) as u64);
+    assert_eq!(shared.engine_stats().misses, (WORKERS * 2) as u64);
+    assert_eq!(shared.engine_stats().evictions, 0);
+    let tallies = shared.worker_request_counts();
+    assert_eq!(tallies.len(), WORKERS);
+    for (w, t) in tallies.iter().enumerate() {
+        assert_eq!(*t, (2 * (2 + ROUNDS)) as u64, "worker {w} tally");
+    }
 }

@@ -14,14 +14,17 @@ fn repeated_request_is_byte_identical_and_hits_caches() {
     assert!(first.starts_with("{\"ok\":true,"), "{first}");
     assert!(first.contains("\"halted\":true"), "{first}");
     assert!(first.contains("\"instructions\":4"), "{first}");
-    assert_eq!((s.programs().hits(), s.programs().misses()), (0, 1));
-    assert_eq!((s.engines().hits(), s.engines().misses()), (0, 1));
+    assert_eq!((s.program_stats().hits, s.program_stats().misses), (0, 1));
+    assert_eq!((s.engine_stats().hits, s.engine_stats().misses), (0, 1));
     for _ in 0..3 {
         let again = s.handle_line(PROG).to_string();
         assert_eq!(again, first, "identical request, identical response");
     }
-    assert_eq!((s.programs().hits(), s.programs().misses()), (3, 1));
-    assert_eq!((s.engines().hits(), s.engines().misses()), (3, 1));
+    assert_eq!((s.program_stats().hits, s.program_stats().misses), (3, 1));
+    // Consecutive same-config requests batch onto the held engine;
+    // they count as warm hits.
+    assert_eq!((s.engine_stats().hits, s.engine_stats().misses), (3, 1));
+    assert_eq!(s.counters().batched_runs, 3);
     assert_eq!(s.counters().runs, 4);
     assert_eq!(s.counters().errors, 0);
 }
@@ -58,7 +61,9 @@ fn options_map_to_the_configured_engine() {
         .handle_line(r#"{"program":"li r1, 1\nhalt\n","options":{"arch":"usii","window":8}}"#)
         .to_string();
     assert!(usii.contains("\"arch\":\"usii\""), "{usii}");
-    assert_eq!(s.engines().len(), 2, "two distinct configs warmed");
+    // One engine went back to the pool on the config switch, the other
+    // is still held by the worker: both are warm.
+    assert_eq!(s.engine_stats().warm, 2, "two distinct configs warmed");
 }
 
 #[test]
@@ -102,9 +107,9 @@ fn errors_are_reported_not_fatal() {
 fn failed_assembly_is_not_cached() {
     let mut s = Server::new(8, 4);
     s.handle_line(r#"{"program":"frobnicate r1\n"}"#);
-    assert_eq!(s.programs().len(), 0);
+    assert_eq!(s.program_stats().entries, 0);
     s.handle_line(r#"{"program":"frobnicate r1\n"}"#);
-    assert_eq!(s.programs().misses(), 2, "errors re-assemble every time");
+    assert_eq!(s.program_stats().misses, 2, "errors re-assemble every time");
 }
 
 #[test]
@@ -117,13 +122,24 @@ fn stats_and_shutdown_commands() {
     assert!(stats.contains("\"runs\":2"), "{stats}");
     assert!(stats.contains("\"program_cache_hits\":1"), "{stats}");
     assert!(stats.contains("\"engine_pool_hits\":1"), "{stats}");
+    assert!(stats.contains("\"program_cache_evictions\":0"), "{stats}");
+    assert!(stats.contains("\"engine_pool_evictions\":0"), "{stats}");
+    assert!(stats.contains("\"batched_runs\":1"), "{stats}");
+    assert!(stats.contains("\"disconnects\":0"), "{stats}");
+    assert!(stats.contains("\"workers\":1"), "{stats}");
+    assert!(stats.contains("\"cache_shards\":1"), "{stats}");
+    assert!(stats.contains("\"pool_shards\":1"), "{stats}");
+    assert!(stats.contains("\"worker_requests\":[3]"), "{stats}");
     assert!(stats.contains("\"cycles_simulated\":"), "{stats}");
     assert!(!s.shutdown_requested());
     let bye = s.handle_line(r#"{"cmd":"shutdown"}"#).to_string();
     assert_eq!(bye, "{\"ok\":true,\"shutdown\":true}");
     assert!(s.shutdown_requested());
     let line = s.final_stats_line();
-    assert!(line.contains("4 requests (2 runs, 0 errors)"), "{line}");
+    assert!(
+        line.contains("4 requests (2 runs, 0 errors, 0 disconnects)"),
+        "{line}"
+    );
 }
 
 #[test]
@@ -147,11 +163,47 @@ fn stream_driver_answers_each_line_and_stops_on_shutdown() {
     let mut s = Server::new(8, 4);
     let input = format!("{PROG}\n\n{PROG}\n{{\"cmd\":\"shutdown\"}}\n{PROG}\n");
     let mut out: Vec<u8> = Vec::new();
-    serve_stream(&mut s, input.as_bytes(), &mut out).expect("stream serves");
+    serve_stream(&mut s, input.as_bytes(), &mut out);
     let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
     // Blank line skipped; the request after shutdown never runs.
     assert_eq!(lines.len(), 3, "{lines:?}");
     assert_eq!(lines[0], lines[1]);
     assert_eq!(lines[2], "{\"ok\":true,\"shutdown\":true}");
     assert_eq!(s.counters().runs, 2);
+}
+
+#[test]
+fn partial_final_line_counts_as_disconnect_and_is_not_run() {
+    let mut s = Server::new(8, 4);
+    // The stream ends mid-request: no trailing newline on the second
+    // line. The complete first request is served; the fragment is not.
+    let input = format!("{PROG}\n{{\"program\":\"li r1, 1");
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(&mut s, input.as_bytes(), &mut out);
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].starts_with("{\"ok\":true,"));
+    assert_eq!(s.counters().runs, 1);
+    assert_eq!(s.counters().errors, 0, "a disconnect is not an error");
+    assert_eq!(s.counters().disconnects, 1);
+}
+
+#[test]
+fn broken_pipe_on_write_counts_as_disconnect() {
+    struct BrokenPipe;
+    impl std::io::Write for BrokenPipe {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut s = Server::new(8, 4);
+    let input = format!("{PROG}\n{PROG}\n");
+    serve_stream(&mut s, input.as_bytes(), BrokenPipe);
+    // The first response hit the broken pipe and the stream stopped;
+    // the second request was never read.
+    assert_eq!(s.counters().runs, 1);
+    assert_eq!(s.counters().disconnects, 1);
 }

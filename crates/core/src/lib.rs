@@ -64,7 +64,7 @@ pub use baseline::BaselineOoO;
 pub use config::{ForwardModel, ProcConfig};
 pub use engine::Ultrascalar;
 pub use latency::LatencyModel;
-pub use pool::{EnginePool, PooledEngine};
+pub use pool::{config_shard_hash, EnginePool, PoolStats, PooledEngine, ShardedEnginePool};
 pub use predict::PredictorKind;
 pub use processor::{Processor, RunResult};
 pub use stats::ProcStats;

@@ -9,14 +9,30 @@
 //! zero allocations in steady state. Each pooled engine carries its own
 //! [`RunResult`] buffer for the same reason.
 //!
-//! The pool is a small linear-scan LRU: request streams alternate
+//! Each pool is a small linear-scan LRU: request streams alternate
 //! between a handful of configurations, so an exact `ProcConfig`
 //! comparison over a few entries beats any hashing scheme — and a
 //! config compare allocates nothing.
+//!
+//! Two access disciplines are provided:
+//!
+//! * [`EnginePool::acquire`] — borrow a warm engine in place. The
+//!   single-threaded discipline: the caller runs while the pool is
+//!   mutably borrowed.
+//! * [`EnginePool::try_take`] / [`EnginePool::put`] and the
+//!   multi-shard [`ShardedEnginePool::checkout`] /
+//!   [`ShardedEnginePool::checkin`] — *remove* a warm engine from the
+//!   pool, run it with no lock held, and return it afterwards. The
+//!   concurrent serving loop's discipline: a shard mutex is held only
+//!   for the linear scan, never for a simulation, so worker threads
+//!   contend for nanoseconds, not for run times. Two workers
+//!   simulating the same configuration simply hold two engines; both
+//!   go back at check-in (evicting LRU entries past capacity).
 
 use crate::config::ProcConfig;
 use crate::engine::Ultrascalar;
 use crate::processor::{Processor, RunResult};
+use std::sync::{Mutex, MutexGuard};
 
 /// A warm engine with its reusable result buffer.
 #[derive(Debug)]
@@ -29,12 +45,38 @@ pub struct PooledEngine {
 }
 
 impl PooledEngine {
+    /// Build a cold engine for `cfg` (the checkout-miss path).
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid (as [`Ultrascalar::new`] would).
+    pub fn new(cfg: &ProcConfig) -> Self {
+        PooledEngine {
+            engine: Ultrascalar::new(cfg.clone()),
+            result: RunResult::default(),
+        }
+    }
+
     /// Run `program` on the warm engine into the pooled result buffer
     /// and return a reference to it.
     pub fn run(&mut self, program: &ultrascalar_isa::Program) -> &RunResult {
         self.engine.run_reusing(program, &mut self.result);
         &self.result
     }
+}
+
+/// Roll-up of pool counters (one shard's, or the whole sharded
+/// pool's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions/checkouts served by an already-warm engine.
+    pub hits: u64,
+    /// Acquisitions/checkouts that had to build an engine.
+    pub misses: u64,
+    /// Warm engines dropped to make room at capacity.
+    pub evictions: u64,
+    /// Engines currently pooled (checked-out engines are not counted
+    /// until they come back).
+    pub warm: usize,
 }
 
 /// LRU pool of warm engines keyed by exact [`ProcConfig`] equality.
@@ -45,6 +87,7 @@ pub struct EnginePool {
     stamp: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl EnginePool {
@@ -55,11 +98,12 @@ impl EnginePool {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "engine pool needs capacity");
         EnginePool {
-            entries: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity + 1),
             capacity,
             stamp: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -84,26 +128,59 @@ impl EnginePool {
             None => {
                 self.misses += 1;
                 if self.entries.len() == self.capacity {
-                    let lru = self
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, (stamp, _))| *stamp)
-                        .map(|(i, _)| i)
-                        .expect("pool non-empty at capacity");
-                    self.entries.swap_remove(lru);
+                    self.evict_lru();
                 }
-                self.entries.push((
-                    self.stamp,
-                    PooledEngine {
-                        engine: Ultrascalar::new(cfg.clone()),
-                        result: RunResult::default(),
-                    },
-                ));
+                self.entries.push((self.stamp, PooledEngine::new(cfg)));
                 self.entries.len() - 1
             }
         };
         &mut self.entries[idx].1
+    }
+
+    /// Remove and return the warm engine for `cfg` if one is pooled
+    /// (counted as a hit; `None` is counted as a miss and the caller
+    /// builds its own). A hit performs no allocation — the entry is
+    /// `swap_remove`d out of the scan vector.
+    pub fn try_take(&mut self, cfg: &ProcConfig) -> Option<PooledEngine> {
+        self.stamp += 1;
+        let found = self
+            .entries
+            .iter()
+            .position(|(_, p)| p.engine.config() == cfg);
+        match found {
+            Some(i) => {
+                self.hits += 1;
+                Some(self.entries.swap_remove(i).1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Return a checked-out (or freshly built) engine to the pool,
+    /// evicting the least recently used entry if the pool is over
+    /// capacity. Within capacity this performs no allocation: the
+    /// entry vector's slack is reserved up front.
+    pub fn put(&mut self, engine: PooledEngine) {
+        self.stamp += 1;
+        self.entries.push((self.stamp, engine));
+        while self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let lru = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(i, _)| i)
+            .expect("pool non-empty at capacity");
+        self.entries.swap_remove(lru);
+        self.evictions += 1;
     }
 
     /// Engines currently pooled.
@@ -125,6 +202,148 @@ impl EnginePool {
     /// engine.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Warm engines dropped to make room at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            warm: self.entries.len(),
+        }
+    }
+}
+
+/// A stable shard-selection hash over the configuration fields that
+/// distinguish engines in practice. Collisions are harmless (two
+/// configs land in the same shard and the exact `ProcConfig` equality
+/// scan still separates them); what matters is that *equal* configs
+/// always hash equal, and that the hash allocates nothing.
+pub fn config_shard_hash(cfg: &ProcConfig) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = mix(h, cfg.window as u64);
+    h = mix(h, cfg.cluster as u64);
+    h = mix(h, cfg.mem.n_leaves as u64);
+    h = mix(h, cfg.mem.banks as u64);
+    h = mix(h, cfg.mem.hop_latency);
+    h = mix(h, cfg.mem.network as u64);
+    h = mix(h, cfg.mem.cluster_cache.is_some() as u64);
+    h = mix(h, cfg.alus.map_or(0, |k| k as u64 + 1));
+    h = mix(h, cfg.memory_renaming as u64);
+    h = mix(h, cfg.fetch_width.map_or(0, |f| f as u64 + 1));
+    h = mix(
+        h,
+        match cfg.forward {
+            crate::config::ForwardModel::SingleCycle => 0,
+            crate::config::ForwardModel::Pipelined { per_hop } => per_hop + 1,
+        },
+    );
+    h = mix(
+        h,
+        match cfg.predictor {
+            crate::predict::PredictorKind::Perfect => 1,
+            crate::predict::PredictorKind::NotTaken => 2,
+            crate::predict::PredictorKind::Taken => 3,
+            crate::predict::PredictorKind::Btfn => 4,
+            crate::predict::PredictorKind::Bimodal(k) => 8 + k as u64,
+        },
+    );
+    h
+}
+
+/// Lock a shard, recovering from poison: shard state is a plain LRU
+/// whose invariants hold on every exit path, so one panicking thread
+/// must not wedge every other worker.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// N independent [`EnginePool`] shards, each behind its own mutex,
+/// selected by [`config_shard_hash`] — the concurrent serving loop's
+/// shared engine pool.
+///
+/// The access discipline is checkout/checkin: a checkout *removes* the
+/// warm engine (or builds one on a miss, outside any lock), the worker
+/// simulates with no lock held, and checkin returns the engine to its
+/// shard. Shard mutexes are therefore held only for the linear scans.
+#[derive(Debug)]
+pub struct ShardedEnginePool {
+    shards: Vec<Mutex<EnginePool>>,
+}
+
+impl ShardedEnginePool {
+    /// Create a sharded pool with `shards` shards holding at most
+    /// `total_capacity` warm engines between them (each shard gets
+    /// `ceil(total/shards)`, at least one).
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(total_capacity: usize, shards: usize) -> Self {
+        assert!(total_capacity > 0, "engine pool needs capacity");
+        assert!(shards > 0, "engine pool needs at least one shard");
+        let per_shard = total_capacity.div_ceil(shards).max(1);
+        ShardedEnginePool {
+            shards: (0..shards)
+                .map(|_| Mutex::new(EnginePool::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, cfg: &ProcConfig) -> &Mutex<EnginePool> {
+        &self.shards[(config_shard_hash(cfg) % self.shards.len() as u64) as usize]
+    }
+
+    /// Check out a warm engine for `cfg`, building a cold one (outside
+    /// the shard lock) on a miss. The engine is *owned* by the caller
+    /// until [`ShardedEnginePool::checkin`]; a hit performs no
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid (as [`Ultrascalar::new`] would).
+    pub fn checkout(&self, cfg: &ProcConfig) -> PooledEngine {
+        let warm = lock(self.shard(cfg)).try_take(cfg);
+        warm.unwrap_or_else(|| PooledEngine::new(cfg))
+    }
+
+    /// Return a checked-out engine to its shard (evicting that shard's
+    /// LRU entry if it is at capacity). Within capacity this performs
+    /// no allocation.
+    pub fn checkin(&self, engine: PooledEngine) {
+        let shard = self.shard(engine.engine.config());
+        lock(shard).put(engine);
+    }
+
+    /// Counters summed across all shards.
+    pub fn stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for shard in &self.shards {
+            let s = lock(shard).stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.warm += s.warm;
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots (for shard-balance observability).
+    pub fn shard_stats(&self) -> Vec<PoolStats> {
+        self.shards.iter().map(|s| lock(s).stats()).collect()
     }
 }
 
@@ -157,6 +376,7 @@ mod tests {
         pool.acquire(&a); // refresh a: b is now LRU
         pool.acquire(&c); // evicts b
         assert_eq!(pool.len(), 2);
+        assert_eq!(pool.evictions(), 1);
         let before = pool.misses();
         pool.acquire(&a);
         assert_eq!(pool.misses(), before, "a must still be warm");
@@ -174,5 +394,95 @@ mod tests {
             assert_eq!(warm.cycles, fresh.cycles, "{name}");
             assert_eq!(warm.regs, fresh.regs, "{name}");
         }
+    }
+
+    #[test]
+    fn take_put_round_trip() {
+        let mut pool = EnginePool::new(2);
+        let a = ProcConfig::ultrascalar_i(4);
+        assert!(pool.try_take(&a).is_none());
+        assert_eq!((pool.hits(), pool.misses()), (0, 1));
+        pool.put(PooledEngine::new(&a));
+        let taken = pool.try_take(&a).expect("warm engine comes back");
+        assert_eq!((pool.hits(), pool.misses(), pool.len()), (1, 1, 0));
+        pool.put(taken);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.evictions(), 0);
+    }
+
+    #[test]
+    fn put_past_capacity_evicts() {
+        let mut pool = EnginePool::new(1);
+        let a = ProcConfig::ultrascalar_i(4);
+        let b = ProcConfig::ultrascalar_i(8);
+        pool.put(PooledEngine::new(&a));
+        pool.put(PooledEngine::new(&b));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.evictions(), 1);
+        // The later put (b) survives; a was the LRU.
+        assert!(pool.try_take(&b).is_some());
+    }
+
+    #[test]
+    fn shard_hash_stable_and_separates() {
+        let a = ProcConfig::ultrascalar_i(8);
+        assert_eq!(
+            config_shard_hash(&a),
+            config_shard_hash(&a.clone()),
+            "equal configs hash equal"
+        );
+        let b = ProcConfig::ultrascalar_ii(8);
+        assert_ne!(config_shard_hash(&a), config_shard_hash(&b));
+        assert_ne!(
+            config_shard_hash(&a),
+            config_shard_hash(&ProcConfig::ultrascalar_i(16))
+        );
+    }
+
+    #[test]
+    fn sharded_checkout_checkin() {
+        let pool = ShardedEnginePool::new(4, 2);
+        let cfg = ProcConfig::ultrascalar_i(8);
+        let mut e = pool.checkout(&cfg);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().warm, 0, "checked-out engine is owned");
+        let prog = ultrascalar_isa::assemble("li r1, 5\nhalt\n", 32).unwrap();
+        assert_eq!(e.run(&prog).regs[1], 5);
+        pool.checkin(e);
+        assert_eq!(pool.stats().warm, 1);
+        let _e2 = pool.checkout(&cfg);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.warm), (1, 1, 0));
+    }
+
+    #[test]
+    fn sharded_pool_concurrent_contention_counts_evictions() {
+        let pool = std::sync::Arc::new(ShardedEnginePool::new(2, 2));
+        let configs: Vec<ProcConfig> = (0..4).map(|i| ProcConfig::ultrascalar_i(4 << i)).collect();
+        let prog = std::sync::Arc::new(ultrascalar_isa::assemble("li r1, 9\nhalt\n", 32).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let pool = std::sync::Arc::clone(&pool);
+            let configs = configs.clone();
+            let prog = std::sync::Arc::clone(&prog);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16 {
+                    let cfg = &configs[(t + i) % configs.len()];
+                    let mut e = pool.checkout(cfg);
+                    assert_eq!(e.run(&prog).regs[1], 9);
+                    pool.checkin(e);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 4 * 16);
+        assert!(s.warm <= 2, "per-shard capacity respected: {}", s.warm);
+        assert!(
+            s.evictions > 0,
+            "4 configs over capacity 2 must evict under contention"
+        );
     }
 }

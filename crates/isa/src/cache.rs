@@ -7,11 +7,25 @@
 //! register-file width; because hashes can collide, every entry also
 //! keeps its source and a hit requires an exact match — a cache hit
 //! can never return the wrong program, and the hit path allocates
-//! nothing (hashing and comparison both run over borrowed bytes).
+//! nothing (hashing and comparison both run over borrowed bytes, and
+//! the cached program is shared out as an [`Arc`] clone, a refcount
+//! bump).
 //!
-//! The cache is a small linear-scan LRU, like the engine pool in the
-//! core crate: request streams cycle through a handful of programs, so
-//! scanning a few entries beats maintaining a map.
+//! Two forms are provided:
+//!
+//! * [`ProgramCache`] — a single small linear-scan LRU, like the engine
+//!   pool in the core crate: request streams cycle through a handful of
+//!   programs, so scanning a few entries beats maintaining a map.
+//! * [`ShardedProgramCache`] — N independent [`ProgramCache`] shards,
+//!   each behind its own lock, selected by the same content hash. The
+//!   concurrent serving loop's worker threads hash straight to their
+//!   shard, so two workers assembling different programs never contend
+//!   on one LRU mutex (the NYU Ultracomputer lesson: shared-structure
+//!   hot spots, not compute, bound scalable throughput). Per-shard
+//!   hit/miss/eviction counters roll up through
+//!   [`ShardedProgramCache::stats`].
+
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::asm::{assemble, AsmError};
 use crate::program::Program;
@@ -27,12 +41,26 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Roll-up of cache counters (one shard's, or the whole sharded
+/// cache's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served without running the assembler.
+    pub hits: u64,
+    /// Lookups that ran the assembler (including failed assemblies).
+    pub misses: u64,
+    /// Entries dropped to make room at capacity.
+    pub evictions: u64,
+    /// Programs currently cached.
+    pub entries: usize,
+}
+
 #[derive(Debug)]
 struct CacheEntry {
     hash: u64,
     num_regs: usize,
     source: String,
-    program: Program,
+    program: Arc<Program>,
     last_used: u64,
 }
 
@@ -45,6 +73,7 @@ pub struct ProgramCache {
     stamp: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ProgramCache {
@@ -60,6 +89,7 @@ impl ProgramCache {
             stamp: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -68,21 +98,39 @@ impl ProgramCache {
     /// errors are returned and cached nowhere — a later corrected
     /// request with the same hash cannot be poisoned.
     pub fn get_or_assemble(&mut self, src: &str, num_regs: usize) -> Result<&Program, AsmError> {
+        let idx = self.lookup_index(src, num_regs)?;
+        Ok(&self.entries[idx].program)
+    }
+
+    /// Like [`ProgramCache::get_or_assemble`], but hand out a shared
+    /// handle: the concurrent serving loop clones the `Arc` (a
+    /// refcount bump, no allocation) so the program can be simulated
+    /// after the shard lock is released.
+    pub fn get_or_assemble_shared(
+        &mut self,
+        src: &str,
+        num_regs: usize,
+    ) -> Result<Arc<Program>, AsmError> {
+        let idx = self.lookup_index(src, num_regs)?;
+        Ok(Arc::clone(&self.entries[idx].program))
+    }
+
+    fn lookup_index(&mut self, src: &str, num_regs: usize) -> Result<usize, AsmError> {
         self.stamp += 1;
         let hash = fnv1a(src.as_bytes());
         let found = self
             .entries
             .iter()
             .position(|e| e.hash == hash && e.num_regs == num_regs && e.source == src);
-        let idx = match found {
+        match found {
             Some(i) => {
                 self.hits += 1;
                 self.entries[i].last_used = self.stamp;
-                i
+                Ok(i)
             }
             None => {
                 self.misses += 1;
-                let program = assemble(src, num_regs)?;
+                let program = Arc::new(assemble(src, num_regs)?);
                 if self.entries.len() == self.capacity {
                     let lru = self
                         .entries
@@ -92,6 +140,7 @@ impl ProgramCache {
                         .map(|(i, _)| i)
                         .expect("cache non-empty at capacity");
                     self.entries.swap_remove(lru);
+                    self.evictions += 1;
                 }
                 self.entries.push(CacheEntry {
                     hash,
@@ -100,10 +149,9 @@ impl ProgramCache {
                     program,
                     last_used: self.stamp,
                 });
-                self.entries.len() - 1
+                Ok(self.entries.len() - 1)
             }
-        };
-        Ok(&self.entries[idx].program)
+        }
     }
 
     /// Programs currently cached.
@@ -125,6 +173,88 @@ impl ProgramCache {
     /// failed).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries dropped to make room at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+/// Lock a shard, recovering from poison: a shard holds only cache
+/// state whose invariants every exit path maintains, so a panic in
+/// some unrelated code on a thread holding the lock must not wedge the
+/// whole server.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// N independent [`ProgramCache`] shards, each behind its own mutex,
+/// selected by the FNV-1a content hash — the concurrent serving
+/// loop's shared program cache.
+#[derive(Debug)]
+pub struct ShardedProgramCache {
+    shards: Vec<Mutex<ProgramCache>>,
+}
+
+impl ShardedProgramCache {
+    /// Create a sharded cache with `shards` shards holding at most
+    /// `total_capacity` programs between them (each shard gets
+    /// `ceil(total/shards)`, at least one).
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(total_capacity: usize, shards: usize) -> Self {
+        assert!(total_capacity > 0, "program cache needs capacity");
+        assert!(shards > 0, "program cache needs at least one shard");
+        let per_shard = total_capacity.div_ceil(shards).max(1);
+        ShardedProgramCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ProgramCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Return the assembled program for `src`, locking only the shard
+    /// the content hash selects. The returned `Arc` is usable after
+    /// the shard lock is released; a hit performs no allocation.
+    pub fn get_or_assemble(&self, src: &str, num_regs: usize) -> Result<Arc<Program>, AsmError> {
+        let hash = fnv1a(src.as_bytes());
+        let shard = &self.shards[(hash % self.shards.len() as u64) as usize];
+        lock(shard).get_or_assemble_shared(src, num_regs)
+    }
+
+    /// Counters summed across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = lock(shard).stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots (for shard-balance observability).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| lock(s).stats()).collect()
     }
 }
 
@@ -162,7 +292,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_lru() {
+    fn capacity_evicts_lru_and_counts() {
         let mut c = ProgramCache::new(2);
         let a = "li r1, 1\nhalt\n";
         let b = "li r1, 2\nhalt\n";
@@ -170,13 +300,27 @@ mod tests {
         c.get_or_assemble(a, 32).expect("assembles");
         c.get_or_assemble(b, 32).expect("assembles");
         c.get_or_assemble(a, 32).expect("assembles"); // refresh a
+        assert_eq!(c.evictions(), 0);
         c.get_or_assemble(d, 32).expect("assembles"); // evicts b
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
         let misses = c.misses();
         c.get_or_assemble(a, 32).expect("assembles");
         assert_eq!(c.misses(), misses, "a still cached");
         c.get_or_assemble(b, 32).expect("assembles");
         assert_eq!(c.misses(), misses + 1, "b was evicted");
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn shared_handle_survives_eviction() {
+        let mut c = ProgramCache::new(1);
+        let a = c.get_or_assemble_shared(PROG, 32).expect("assembles");
+        c.get_or_assemble("li r1, 1\nhalt\n", 32).expect("evicts");
+        assert_eq!(c.evictions(), 1);
+        // The evicted program is still alive through the Arc.
+        assert_eq!(a.num_regs, 32);
     }
 
     #[test]
@@ -184,5 +328,45 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
         assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn sharded_cache_serves_and_rolls_up() {
+        let c = ShardedProgramCache::new(8, 4);
+        assert_eq!(c.num_shards(), 4);
+        let p1 = c.get_or_assemble(PROG, 32).expect("assembles");
+        let p2 = c.get_or_assemble(PROG, 32).expect("assembles");
+        assert_eq!(p1, p2);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // Exactly one shard saw the traffic.
+        let busy: Vec<_> = c
+            .shard_stats()
+            .into_iter()
+            .filter(|s| s.hits + s.misses > 0)
+            .collect();
+        assert_eq!(busy.len(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(ShardedProgramCache::new(4, 2));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..32 {
+                    let src = format!("li r1, {}\nhalt\n", (t + i) % 6);
+                    let p = c.get_or_assemble(&src, 32).expect("assembles");
+                    assert_eq!(p.num_regs, 32);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 4 * 32);
+        assert!(s.entries <= 4, "capacity respected: {}", s.entries);
     }
 }

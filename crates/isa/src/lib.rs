@@ -44,7 +44,7 @@ pub mod workload;
 
 pub use asm::{assemble, disassemble, AsmError};
 pub use binary::{read_binary, write_binary, BinaryError};
-pub use cache::ProgramCache;
+pub use cache::{CacheStats, ProgramCache, ShardedProgramCache};
 pub use encode::{decode, encode, DecodeError};
 pub use instr::{AluOp, BranchCond, Instr, Reg};
 pub use interp::{ExecRecord, Interp, RunOutcome};
