@@ -1,0 +1,156 @@
+//! Lanes-vs-serial throughput: the lane-parallel batch engine against
+//! serial warm-engine runs, over batch sizes {1, 8, 16, 32, 64}.
+//!
+//! Each cell times the same population of programs — one seeded kernel
+//! vectorized over `b` lanes with per-lane initial registers — both
+//! ways: `b` serial `run_reusing` passes on a warm scalar engine, and
+//! one `LaneBatchEngine::run_batch` (leader engine pass + bit-sliced
+//! lock-step for the rest). Both sides are measured in interleaved
+//! rounds with the order rotated per round, per-round ratios, median
+//! over rounds — the step_ab drift-cancelling protocol.
+//!
+//! Usage: `lanes_ab [--json] [--quick]`. `--json` writes
+//! `BENCH_lanes.json` with per-cell throughput points and
+//! `speedup/...` summary rows; `--quick` trims rounds and kernel sizes
+//! for CI smoke runs.
+
+use std::time::Instant;
+use ultrascalar::{LaneBatchEngine, ProcConfig, Processor, RunResult, Ultrascalar};
+use ultrascalar_bench::kernels::{div_chain_seeded, forward_fan_seeded, wide_div_chain_seeded};
+use ultrascalar_bench::sweep::{geomean, json_flag_set};
+use ultrascalar_bench::{JsonReport, Table};
+use ultrascalar_isa::{workload, Program};
+
+/// Median of a small unsorted sample (averages the middle pair when
+/// the length is even).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let m = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[m]
+    } else {
+        (xs[m - 1] + xs[m]) / 2.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let rounds = if quick { 3 } else { 7 };
+    let iters = if quick { 16 } else { 48 };
+    let batch_sizes: &[usize] = &[1, 8, 16, 32, 64];
+
+    println!("== lane-parallel batch vs serial engine runs ==\n");
+    println!("{rounds} interleaved rounds per cell; per-round ratio, median over rounds.\n");
+
+    let kernels: Vec<(&str, Program)> = vec![
+        ("div_chain", div_chain_seeded(iters)),
+        ("wide_div_chain_r128", wide_div_chain_seeded(iters)),
+        ("forward_fan", forward_fan_seeded(iters)),
+    ];
+    let archs: Vec<(&str, ProcConfig)> = vec![
+        ("usi", ProcConfig::ultrascalar_i(64)),
+        ("usii", ProcConfig::ultrascalar_ii(64)),
+    ];
+
+    let mut t = Table::new(vec![
+        "arch",
+        "kernel",
+        "batch",
+        "serial ms",
+        "lanes ms",
+        "speedup",
+        "peels",
+    ]);
+    let mut report = JsonReport::new("lanes_ab");
+    let mut speedups_at_full: Vec<f64> = Vec::new();
+
+    for (arch, cfg) in &archs {
+        for (kernel, prog) in &kernels {
+            for &b in batch_sizes {
+                let programs = workload::lane_variants(prog, b, 0x1A17E5);
+                let refs: Vec<&Program> = programs.iter().collect();
+
+                // Warm both sides outside the measurement.
+                let mut serial_engine = Ultrascalar::new(cfg.clone());
+                let mut serial_out = RunResult::default();
+                let mut lane_engine = LaneBatchEngine::new(cfg.clone());
+                let mut lane_out = vec![RunResult::default(); b];
+                for p in &refs {
+                    serial_engine.run_reusing(p, &mut serial_out);
+                }
+                lane_engine.run_batch(&refs, &mut lane_out);
+                let steps = b as u64 * serial_out.stats.committed;
+
+                let mut ts: Vec<f64> = Vec::with_capacity(rounds);
+                let mut tl: Vec<f64> = Vec::with_capacity(rounds);
+                let mut ratio: Vec<f64> = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let mut s = 0.0;
+                    let mut l = 0.0;
+                    for which in if round % 2 == 0 { [0, 1] } else { [1, 0] } {
+                        if which == 0 {
+                            let start = Instant::now();
+                            for p in &refs {
+                                serial_engine.run_reusing(p, &mut serial_out);
+                            }
+                            s = start.elapsed().as_secs_f64();
+                        } else {
+                            let start = Instant::now();
+                            lane_engine.run_batch(&refs, &mut lane_out);
+                            l = start.elapsed().as_secs_f64();
+                        }
+                    }
+                    ts.push(s);
+                    tl.push(l);
+                    ratio.push(s / l);
+                }
+                let (ms, ml) = (median(&mut ts), median(&mut tl));
+                let mr = median(&mut ratio);
+                let stats = *lane_engine.lane_stats();
+                if b >= 2 && stats.batches == 0 {
+                    eprintln!(
+                        "warning: {arch}/{kernel}/b={b} never lane-batched \
+                         (fallbacks {})",
+                        stats.fallbacks
+                    );
+                }
+                if b == 64 {
+                    speedups_at_full.push(mr);
+                }
+                t.row(vec![
+                    arch.to_string(),
+                    kernel.to_string(),
+                    b.to_string(),
+                    format!("{:.3}", ms * 1e3),
+                    format!("{:.3}", ml * 1e3),
+                    format!("{mr:.3}x"),
+                    stats.peels.to_string(),
+                ]);
+                report.point(
+                    &format!("serial/{arch}/{kernel}/b={b}"),
+                    std::time::Duration::from_secs_f64(ms),
+                    Some(steps),
+                );
+                report.point_with_lanes(
+                    &format!("lanes/{arch}/{kernel}/b={b}"),
+                    std::time::Duration::from_secs_f64(ml),
+                    Some(steps),
+                    b as u64,
+                );
+                report.summary(&format!("speedup/{arch}/{kernel}/b={b}"), mr);
+            }
+        }
+    }
+
+    println!("{t}");
+    let geo = geomean(&speedups_at_full);
+    println!("geometric-mean speedup at batch 64: {geo:.3}x");
+    report.summary("geomean_speedup_b64", geo);
+
+    if json_flag_set(&args) {
+        report
+            .write_to("BENCH_lanes.json")
+            .expect("write BENCH_lanes.json");
+    }
+}

@@ -18,87 +18,11 @@
 
 use std::time::Instant;
 use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_bench::sweep::json_flag_set;
+use ultrascalar_bench::kernels::{div_chain, forward_fan, wide_div_chain};
+use ultrascalar_bench::sweep::{geomean, json_flag_set};
 use ultrascalar_bench::{JsonReport, Table};
 use ultrascalar_isa::{workload, Program};
 use ultrascalar_memsys::MemConfig;
-
-/// Dependent `div` chains in a loop — the blocked-station-heavy regime
-/// where the packed unready-word gate replaces per-source operand
-/// resolution for every stalled station on every scanned cycle.
-fn div_chain(iters: u32) -> Program {
-    let src = format!(
-        r"
-            li   r2, 3
-            li   r3, {iters}
-            li   r7, 0
-            li   r1, 1000000007
-        loop:
-            div  r4, r1, r2
-            div  r4, r4, r2
-            div  r4, r4, r2
-            div  r1, r4, r2     ; loop-carried: serial at any window size
-            subi r3, r3, 1
-            bne  r3, r7, loop
-            halt
-        "
-    );
-    ultrascalar_isa::asm::assemble(&src, 8).expect("div_chain kernel assembles")
-}
-
-/// The same blocked-heavy regime spread across the upper half of a
-/// 128-entry register file: every live operand sits past lane word 0,
-/// so the engine's multi-word unready mask does real work (before the
-/// lanes went multi-word this kernel fell back to the scalar scan).
-fn wide_div_chain(iters: u32) -> Program {
-    let src = format!(
-        r"
-            li   r66, 3
-            li   r67, {iters}
-            li   r71, 0
-            li   r65, 1000000007
-        loop:
-            div  r100, r65, r66
-            div  r101, r100, r66
-            div  r102, r101, r66
-            div  r65, r102, r66     ; loop-carried: serial at any window size
-            subi r67, r67, 1
-            bne  r67, r71, loop
-            halt
-        "
-    );
-    ultrascalar_isa::asm::assemble(&src, 128).expect("wide_div_chain kernel assembles")
-}
-
-/// Forwarding-heavy fan: a hub register rewritten twice per loop
-/// round, each rewrite feeding a fan of dependent accumulator adds.
-/// Nearly every operand read in the window resolves against an
-/// in-flight writer, so this is the regime where the packed *value*
-/// snapshot (`ProcConfig::packed_values`) replaces the scalar
-/// last-writer walk on the hottest path — and where the per-cycle
-/// last-writer map reset it removes is widest relative to work done.
-fn forward_fan(iters: u32) -> Program {
-    let src = format!(
-        r"
-            li   r1, 3
-            li   r9, {iters}
-            li   r10, 0
-        loop:
-            addi r1, r1, 1
-            add  r2, r2, r1
-            add  r3, r3, r1
-            add  r4, r4, r1
-            addi r1, r1, 2
-            add  r5, r5, r1
-            add  r6, r6, r1
-            add  r7, r7, r1
-            subi r9, r9, 1
-            bne  r9, r10, loop
-            halt
-        "
-    );
-    ultrascalar_isa::asm::assemble(&src, 16).expect("forward_fan kernel assembles")
-}
 
 /// Wall time of `batch` complete runs, in seconds.
 fn time_batch(cfg: &ProcConfig, prog: &Program, batch: usize) -> f64 {
@@ -160,6 +84,7 @@ fn main() {
     let mut report = JsonReport::new("step_ab");
     let mut ratios_all: Vec<f64> = Vec::new();
     let mut ratios_values: Vec<f64> = Vec::new();
+    let mut ratios_by_kernel: Vec<(&str, Vec<f64>)> = Vec::new();
 
     for &n in sizes {
         let archs: Vec<(String, ProcConfig)> = vec![
@@ -222,6 +147,10 @@ fn main() {
                 let (mr, mrv) = (median(&mut ratio), median(&mut ratio_v));
                 ratios_all.push(mr);
                 ratios_values.push(mrv);
+                match ratios_by_kernel.iter_mut().find(|(k, _)| k == kernel) {
+                    Some((_, rs)) => rs.push(mr),
+                    None => ratios_by_kernel.push((kernel, vec![mr])),
+                }
                 t.row(vec![
                     arch.clone(),
                     kernel.to_string(),
@@ -252,16 +181,20 @@ fn main() {
     }
 
     println!("{t}");
-    let geo = ratios_all.iter().map(|r| r.ln()).sum::<f64>() / ratios_all.len() as f64;
-    println!(
-        "geometric-mean speedup (packed over scalar): {:.3}x",
-        geo.exp()
-    );
-    let geo_v = ratios_values.iter().map(|r| r.ln()).sum::<f64>() / ratios_values.len() as f64;
-    println!(
-        "geometric-mean speedup (value snapshot over flags-only): {:.3}x",
-        geo_v.exp()
-    );
+    let geo = geomean(&ratios_all);
+    println!("geometric-mean speedup (packed over scalar): {geo:.3}x");
+    let geo_v = geomean(&ratios_values);
+    println!("geometric-mean speedup (value snapshot over flags-only): {geo_v:.3}x");
+
+    // Summary rows ride inside the report, so readers of
+    // BENCH_step_ab.json no longer recompute the aggregates from the
+    // raw points: one packed-over-scalar geomean per kernel (across
+    // arches and sizes) plus the two overall geomeans printed above.
+    for (kernel, rs) in &ratios_by_kernel {
+        report.summary(&format!("geomean_packed_over_scalar/{kernel}"), geomean(rs));
+    }
+    report.summary("geomean_packed_over_scalar", geo);
+    report.summary("geomean_values_over_flags_only", geo_v);
 
     if json_flag_set(&args) {
         report

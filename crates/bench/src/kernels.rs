@@ -1,0 +1,214 @@
+//! The A/B benchmark kernels, shared by `step_ab` and `lanes_ab`.
+//!
+//! Each kernel pins one engine regime (blocked-station-heavy,
+//! forwarding-heavy, …). The `*_seeded` variants read their working
+//! value from a register they never initialise — the seed arrives via
+//! `Program::init_regs` — so a lane population built with
+//! [`ultrascalar_isa::workload::lane_variants`] computes genuinely
+//! different values per lane while taking identical branch paths and
+//! touching no memory: the lockstep-friendly shape the lane-parallel
+//! batch engine is measured on.
+
+use ultrascalar_isa::Program;
+
+/// Dependent `div` chains in a loop — the blocked-station-heavy regime
+/// where the packed unready-word gate replaces per-source operand
+/// resolution for every stalled station on every scanned cycle.
+pub fn div_chain(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r2, 3
+            li   r3, {iters}
+            li   r7, 0
+            li   r1, 1000000007
+        loop:
+            div  r4, r1, r2
+            div  r4, r4, r2
+            div  r4, r4, r2
+            div  r1, r4, r2     ; loop-carried: serial at any window size
+            subi r3, r3, 1
+            bne  r3, r7, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 8).expect("div_chain kernel assembles")
+}
+
+/// [`div_chain`] with the chain value seeded from `r1`'s *initial
+/// register* instead of an `li`, and the per-lane seed in `r5`
+/// re-injected every iteration (a pure `div` chain collapses any seed
+/// to 0 within a few iterations of `/81`): per-lane values forever,
+/// identical control flow (the loop counter is still
+/// immediate-driven).
+pub fn div_chain_seeded(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r2, 3
+            li   r3, {iters}
+            li   r7, 0
+        loop:
+            div  r4, r1, r2
+            div  r4, r4, r2
+            div  r4, r4, r2
+            div  r1, r4, r2     ; loop-carried: serial at any window size
+            add  r1, r1, r5     ; fold the lane seed back in
+            subi r3, r3, 1
+            bne  r3, r7, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 8).expect("div_chain_seeded kernel assembles")
+}
+
+/// The same blocked-heavy regime spread across the upper half of a
+/// 128-entry register file: every live operand sits past lane word 0,
+/// so the engine's multi-word unready mask does real work (before the
+/// lanes went multi-word this kernel fell back to the scalar scan).
+pub fn wide_div_chain(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r66, 3
+            li   r67, {iters}
+            li   r71, 0
+            li   r65, 1000000007
+        loop:
+            div  r100, r65, r66
+            div  r101, r100, r66
+            div  r102, r101, r66
+            div  r65, r102, r66     ; loop-carried: serial at any window size
+            subi r67, r67, 1
+            bne  r67, r71, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 128).expect("wide_div_chain kernel assembles")
+}
+
+/// [`wide_div_chain`] seeded from `r65`'s initial register, with the
+/// lane seed in `r103` re-injected every iteration (same collapse
+/// avoidance as [`div_chain_seeded`]).
+pub fn wide_div_chain_seeded(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r66, 3
+            li   r67, {iters}
+            li   r71, 0
+        loop:
+            div  r100, r65, r66
+            div  r101, r100, r66
+            div  r102, r101, r66
+            div  r65, r102, r66     ; loop-carried: serial at any window size
+            add  r65, r65, r103     ; fold the lane seed back in
+            subi r67, r67, 1
+            bne  r67, r71, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 128).expect("wide_div_chain_seeded kernel assembles")
+}
+
+/// Forwarding-heavy fan: a hub register rewritten twice per loop
+/// round, each rewrite feeding a fan of dependent accumulator adds.
+/// Nearly every operand read in the window resolves against an
+/// in-flight writer, so this is the regime where the packed *value*
+/// snapshot (`ProcConfig::packed_values`) replaces the scalar
+/// last-writer walk on the hottest path — and where the per-cycle
+/// last-writer map reset it removes is widest relative to work done.
+pub fn forward_fan(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r1, 3
+            li   r9, {iters}
+            li   r10, 0
+        loop:
+            addi r1, r1, 1
+            add  r2, r2, r1
+            add  r3, r3, r1
+            add  r4, r4, r1
+            addi r1, r1, 2
+            add  r5, r5, r1
+            add  r6, r6, r1
+            add  r7, r7, r1
+            subi r9, r9, 1
+            bne  r9, r10, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("forward_fan kernel assembles")
+}
+
+/// [`forward_fan`] with the hub seeded from `r1`'s initial register
+/// (accumulators already ride init_regs, so lanes fan genuinely
+/// different values).
+pub fn forward_fan_seeded(iters: u32) -> Program {
+    let src = format!(
+        r"
+            li   r9, {iters}
+            li   r10, 0
+        loop:
+            addi r1, r1, 1
+            add  r2, r2, r1
+            add  r3, r3, r1
+            add  r4, r4, r1
+            addi r1, r1, 2
+            add  r5, r5, r1
+            add  r6, r6, r1
+            add  r7, r7, r1
+            subi r9, r9, 1
+            bne  r9, r10, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("forward_fan_seeded kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultrascalar_isa::{workload, Interp};
+
+    fn final_reg(p: &Program, r: usize) -> u32 {
+        let mut m = Interp::new(p, 1 << 12);
+        assert!(m.run(1_000_000).halted(), "kernel must halt");
+        m.regs[r]
+    }
+
+    #[test]
+    fn seeded_variants_are_seed_sensitive_and_control_uniform() {
+        for (name, prog, reg) in [
+            ("div_chain", div_chain_seeded(8), 1),
+            ("wide_div_chain", wide_div_chain_seeded(8), 65),
+            ("forward_fan", forward_fan_seeded(8), 2),
+        ] {
+            let pop = workload::lane_variants(&prog, 4, 0xBEEF);
+            let outs: Vec<u32> = pop.iter().map(|p| final_reg(p, reg)).collect();
+            assert!(
+                outs.windows(2).any(|w| w[0] != w[1]),
+                "{name}: lanes must compute different values"
+            );
+            // Identical dynamic step counts: control flow is
+            // seed-independent, the property lane batching relies on.
+            let steps: Vec<usize> = pop
+                .iter()
+                .map(|p| {
+                    let mut m = Interp::new(p, 1 << 12);
+                    let out = m.run(1_000_000);
+                    assert!(out.halted());
+                    out.steps()
+                })
+                .collect();
+            assert!(
+                steps.windows(2).all(|w| w[0] == w[1]),
+                "{name}: lockstep-friendly control flow"
+            );
+        }
+    }
+
+    #[test]
+    fn unseeded_kernels_halt() {
+        for p in [div_chain(4), wide_div_chain(4), forward_fan(4)] {
+            let mut m = Interp::new(&p, 1 << 12);
+            assert!(m.run(1_000_000).halted());
+        }
+    }
+}

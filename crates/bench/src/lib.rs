@@ -10,6 +10,7 @@
 
 pub mod cli;
 pub mod fig11;
+pub mod kernels;
 pub mod serve;
 pub mod sweep;
 pub mod table;

@@ -37,6 +37,18 @@
 //!   design-space sweep) touches the pool only when the configuration
 //!   changes. Batched runs are counted separately
 //!   (`batched_runs` in `{"cmd":"stats"}`).
+//! * **lane batching**: when a client pipelines — several complete
+//!   request lines already sit in the read buffer — consecutive run
+//!   requests for the same configuration and program are grouped (up
+//!   to [`ultrascalar::MAX_LANES`]) and submitted as one
+//!   [`ultrascalar::LaneBatcher`] batch: one engine pass whose
+//!   schedule is shared across every converged lane, responses
+//!   byte-identical to serving the lines one at a time. A
+//!   request/response client never has a second line buffered, so it
+//!   is served exactly as before; grouping only engages when the
+//!   stream is ahead of the server. Lock-step-delivered results and
+//!   divergence peels are counted separately (`lane_batched_runs` /
+//!   `lane_divergence_peels` in `{"cmd":"stats"}`).
 //!
 //! Each worker keeps the zero-allocation warm path of the serial
 //! server: requests parse into worker-owned reused [`String`] buffers
@@ -69,8 +81,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::cli::{self, RunOptions, ServeOptions};
-use ultrascalar::{PoolStats, PooledEngine, ProcConfig, Processor, RunResult, ShardedEnginePool};
-use ultrascalar_isa::{CacheStats, ShardedProgramCache};
+use ultrascalar::{
+    LaneBatcher, PoolStats, PooledEngine, ProcConfig, Processor, RunResult, ShardedEnginePool,
+    MAX_LANES,
+};
+use ultrascalar_isa::{CacheStats, Program, ShardedProgramCache};
 use ultrascalar_memsys::NetworkKind;
 
 /// Lock recovering from poison: the guarded state is cache/registry
@@ -142,6 +157,12 @@ pub struct ServeCounters {
     /// Runs served on the worker's already-held engine (config-affinity
     /// batching; these never touched a pool shard).
     pub batched_runs: u64,
+    /// Runs whose result was delivered by a lane-batch lock-step pass
+    /// (leader included) rather than its own engine pass.
+    pub lane_batched_runs: u64,
+    /// Lanes peeled back to a serial engine run after diverging from
+    /// their batch leader.
+    pub lane_divergence_peels: u64,
     /// Total cycles simulated across all runs.
     pub cycles_simulated: u64,
     /// Total instructions committed across all runs.
@@ -165,6 +186,8 @@ pub struct ServeShared {
     errors: AtomicU64,
     disconnects: AtomicU64,
     batched: AtomicU64,
+    lane_batched: AtomicU64,
+    lane_peels: AtomicU64,
     engines_held: AtomicU64,
     cycles_simulated: AtomicU64,
     instructions_committed: AtomicU64,
@@ -193,6 +216,8 @@ impl ServeShared {
             errors: AtomicU64::new(0),
             disconnects: AtomicU64::new(0),
             batched: AtomicU64::new(0),
+            lane_batched: AtomicU64::new(0),
+            lane_peels: AtomicU64::new(0),
             engines_held: AtomicU64::new(0),
             cycles_simulated: AtomicU64::new(0),
             instructions_committed: AtomicU64::new(0),
@@ -226,6 +251,8 @@ impl ServeShared {
             errors: self.errors.load(Ordering::Relaxed),
             disconnects: self.disconnects.load(Ordering::Relaxed),
             batched_runs: self.batched.load(Ordering::Relaxed),
+            lane_batched_runs: self.lane_batched.load(Ordering::Relaxed),
+            lane_divergence_peels: self.lane_peels.load(Ordering::Relaxed),
             cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
             instructions_committed: self.instructions_committed.load(Ordering::Relaxed),
             packed_fallbacks: self.packed_fallbacks.load(Ordering::Relaxed),
@@ -260,8 +287,9 @@ impl ServeShared {
 }
 
 /// One serving worker: a handle on the shared state plus the reused
-/// request/response buffers and the config-affinity engine slot. Each
-/// connection (or the stdin stream) is driven by exactly one worker.
+/// request/response buffers, the config-affinity engine slot, and the
+/// lane-batch group scratch. Each connection (or the stdin stream) is
+/// driven by exactly one worker.
 #[derive(Debug)]
 pub struct Worker {
     shared: Arc<ServeShared>,
@@ -272,6 +300,15 @@ pub struct Worker {
     file_src: String,
     line_out: String,
     held: Option<PooledEngine>,
+    batcher: LaneBatcher,
+    /// Parsed requests of the group being collected (slots reused).
+    group: Vec<Request>,
+    /// The group's resolved configuration (leader's, shared by all).
+    group_cfg: Option<ProcConfig>,
+    /// One cache handle per group member (cleared between groups).
+    group_programs: Vec<Arc<Program>>,
+    /// One reused result slot per lane.
+    group_results: Vec<RunResult>,
 }
 
 impl Worker {
@@ -289,6 +326,11 @@ impl Worker {
             file_src: String::new(),
             line_out: String::new(),
             held: None,
+            batcher: LaneBatcher::new(),
+            group: Vec::new(),
+            group_cfg: None,
+            group_programs: Vec::with_capacity(MAX_LANES),
+            group_results: Vec::new(),
         }
     }
 
@@ -315,16 +357,7 @@ impl Worker {
         self.shared.worker_requests[self.slot].fetch_add(1, Ordering::Relaxed);
         if let Err(e) = self.handle_inner(line) {
             self.shared.errors.fetch_add(1, Ordering::Relaxed);
-            self.line_out.clear();
-            self.line_out.push_str("{\"ok\":false,");
-            if self.req.has_id {
-                self.line_out.push_str("\"id\":\"");
-                escape_into(&mut self.line_out, &self.req.id);
-                self.line_out.push_str("\",");
-            }
-            self.line_out.push_str("\"error\":\"");
-            escape_into(&mut self.line_out, &e);
-            self.line_out.push_str("\"}");
+            write_error_line(&mut self.line_out, &self.req, &e);
         }
         self.shared
             .wall_nanos
@@ -378,36 +411,11 @@ impl Worker {
                     .programs
                     .get_or_assemble(src, req.opts.regs)
                     .map_err(|e| e.to_string())?;
-                // Config-affinity batching: consecutive same-config
-                // requests stay on the held engine; the pool shard is
-                // touched only when the configuration changes.
-                match held {
-                    Some(h) if h.engine.config() == &cfg => {
-                        shared.batched.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {
-                        if let Some(prev) = held.take() {
-                            shared.engines_held.fetch_sub(1, Ordering::Relaxed);
-                            shared.engines.checkin(prev);
-                        }
-                        *held = Some(shared.engines.checkout(&cfg));
-                        shared.engines_held.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                let pooled = held.as_mut().expect("engine held for this config");
+                let pooled = affinity_checkout(shared, held, &cfg);
                 let run_started = Instant::now();
                 pooled.engine.run_reusing(&program, &mut pooled.result);
                 let run_wall = run_started.elapsed();
-                shared.runs.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .cycles_simulated
-                    .fetch_add(pooled.result.cycles, Ordering::Relaxed);
-                shared
-                    .instructions_committed
-                    .fetch_add(pooled.result.stats.committed, Ordering::Relaxed);
-                shared
-                    .packed_fallbacks
-                    .fetch_add(pooled.result.stats.packed_fallbacks, Ordering::Relaxed);
+                count_run(shared, &pooled.result);
                 line_out.clear();
                 let wall_us = req.timing.then_some(run_wall.as_micros() as u64);
                 write_run(line_out, req, &cfg, &pooled.result, wall_us);
@@ -415,6 +423,244 @@ impl Worker {
             }
         }
     }
+
+    /// Parse `line` into group slot 0 and decide whether it can lead a
+    /// lane-batch group: a well-formed run request carrying an inline
+    /// program. Anything else goes through the serial path untouched.
+    fn parse_group_leader(&mut self, line: &str) -> bool {
+        let Worker {
+            group, key, sval, ..
+        } = self;
+        if group.is_empty() {
+            group.push(Request::default());
+        }
+        let slot = &mut group[0];
+        parse_request(line, slot, key, sval).is_ok()
+            && slot.cmd == Cmd::Run
+            && slot.has_program
+            && !slot.has_program_path
+    }
+
+    /// Resolve the group leader's configuration and program. The two
+    /// failure modes differ in what they already counted: an invalid
+    /// configuration touched nothing (the caller can replay the line
+    /// through `handle_line` and get the identical error for free),
+    /// while a failed assembly has already been charged one
+    /// program-cache miss, so the caller must emit the error response
+    /// itself rather than replay the lookup.
+    fn resolve_group_leader(&mut self) -> Result<(), GroupLeaderError> {
+        let req = &self.group[0];
+        let cfg = cli::build_config(&req.opts).map_err(|_| GroupLeaderError::Config)?;
+        let program = self
+            .shared
+            .programs
+            .get_or_assemble(&req.program, req.opts.regs)
+            .map_err(|e| GroupLeaderError::Assemble(e.to_string()))?;
+        self.group_cfg = Some(cfg);
+        self.group_programs.clear();
+        self.group_programs.push(program);
+        Ok(())
+    }
+
+    /// Try to admit `line` into the group as lane `n`. Admission
+    /// requires a run request with the same configuration, program
+    /// text, and register count as the leader; anything else is a
+    /// group breaker the caller reprocesses on its own. An admitted
+    /// member's cache lookup is a guaranteed hit on the entry the
+    /// leader just resolved, so the accounting matches serving the
+    /// line by itself.
+    fn try_join_group(&mut self, n: usize, line: &str) -> bool {
+        let Worker {
+            shared,
+            group,
+            key,
+            sval,
+            group_cfg,
+            group_programs,
+            ..
+        } = self;
+        while group.len() <= n {
+            group.push(Request::default());
+        }
+        let (lead, tail) = group.split_at_mut(n);
+        let leader = &lead[0];
+        let slot = &mut tail[0];
+        if parse_request(line, slot, key, sval).is_err()
+            || slot.cmd != Cmd::Run
+            || !slot.has_program
+            || slot.has_program_path
+            || slot.opts.regs != leader.opts.regs
+            || slot.program != leader.program
+        {
+            return false;
+        }
+        let Ok(cfg) = cli::build_config(&slot.opts) else {
+            return false;
+        };
+        if Some(&cfg) != group_cfg.as_ref() {
+            return false;
+        }
+        match shared
+            .programs
+            .get_or_assemble(&slot.program, slot.opts.regs)
+        {
+            Ok(program) => {
+                group_programs.push(program);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Execute the collected group of `n` resolved same-config,
+    /// same-program run requests — one lane batch for `n >= 2`, the
+    /// plain serial run for a group of one — and serialise every
+    /// response, in request order and newline-terminated, into
+    /// `line_out`. Counter accounting is exactly what serving the
+    /// lines one at a time would have produced; the lane counters
+    /// additionally record how many results the lock-step pass
+    /// delivered and how many lanes peeled.
+    fn execute_group(&mut self, n: usize) {
+        let started = Instant::now();
+        let Worker {
+            shared,
+            slot,
+            group,
+            group_cfg,
+            group_programs,
+            group_results,
+            batcher,
+            line_out,
+            held,
+            ..
+        } = self;
+        let cfg = group_cfg.take().expect("group leader resolved");
+        shared.requests.fetch_add(n as u64, Ordering::Relaxed);
+        shared.worker_requests[*slot].fetch_add(n as u64, Ordering::Relaxed);
+        let pooled = affinity_checkout(shared, held, &cfg);
+        line_out.clear();
+        if n == 1 {
+            let run_started = Instant::now();
+            pooled
+                .engine
+                .run_reusing(&group_programs[0], &mut pooled.result);
+            let wall_us = group[0]
+                .timing
+                .then_some(run_started.elapsed().as_micros() as u64);
+            count_run(shared, &pooled.result);
+            write_run(line_out, &group[0], &cfg, &pooled.result, wall_us);
+            line_out.push('\n');
+        } else {
+            // The members after the leader ride the held engine, just
+            // as they would have one line at a time.
+            shared.batched.fetch_add(n as u64 - 1, Ordering::Relaxed);
+            while group_results.len() < n {
+                group_results.push(RunResult::default());
+            }
+            let before = *batcher.stats();
+            let run_started = Instant::now();
+            batcher.run_batch(
+                &mut pooled.engine,
+                &group_programs[..n],
+                &mut group_results[..n],
+            );
+            let share = run_started.elapsed() / n as u32;
+            let after = *batcher.stats();
+            shared
+                .lane_batched
+                .fetch_add(after.lane_runs - before.lane_runs, Ordering::Relaxed);
+            shared
+                .lane_peels
+                .fetch_add(after.peels - before.peels, Ordering::Relaxed);
+            for (req, r) in group[..n].iter().zip(group_results.iter()) {
+                count_run(shared, r);
+                let wall_us = req.timing.then_some(share.as_micros() as u64);
+                write_run(line_out, req, &cfg, r, wall_us);
+                line_out.push('\n');
+            }
+        }
+        shared
+            .wall_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The group leader failed to assemble after its cache lookup was
+    /// already counted: emit the error response (newline-terminated,
+    /// into `line_out`) with the same counter effects `handle_line`
+    /// would have had.
+    fn group_leader_error(&mut self, err: &str) {
+        let started = Instant::now();
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.worker_requests[self.slot].fetch_add(1, Ordering::Relaxed);
+        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        write_error_line(&mut self.line_out, &self.group[0], err);
+        self.line_out.push('\n');
+        self.shared
+            .wall_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Why a would-be group leader could not be resolved.
+enum GroupLeaderError {
+    /// `build_config` rejected the options (no shared state touched).
+    Config,
+    /// Assembly failed (the program-cache miss is already counted).
+    Assemble(String),
+}
+
+/// Config-affinity engine selection, shared by the serial path and the
+/// lane-batch group path: reuse the held engine when its configuration
+/// matches (counted as a batched run), otherwise swap it through the
+/// pool.
+fn affinity_checkout<'a>(
+    shared: &ServeShared,
+    held: &'a mut Option<PooledEngine>,
+    cfg: &ProcConfig,
+) -> &'a mut PooledEngine {
+    match held {
+        Some(h) if h.engine.config() == cfg => {
+            shared.batched.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            if let Some(prev) = held.take() {
+                shared.engines_held.fetch_sub(1, Ordering::Relaxed);
+                shared.engines.checkin(prev);
+            }
+            *held = Some(shared.engines.checkout(cfg));
+            shared.engines_held.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    held.as_mut().expect("engine held for this config")
+}
+
+/// Post-run counter roll-up, shared by the serial and group paths.
+fn count_run(shared: &ServeShared, r: &RunResult) {
+    shared.runs.fetch_add(1, Ordering::Relaxed);
+    shared
+        .cycles_simulated
+        .fetch_add(r.cycles, Ordering::Relaxed);
+    shared
+        .instructions_committed
+        .fetch_add(r.stats.committed, Ordering::Relaxed);
+    shared
+        .packed_fallbacks
+        .fetch_add(r.stats.packed_fallbacks, Ordering::Relaxed);
+}
+
+/// The `{"ok":false,…}` error response, shared by `handle_line` and
+/// the group leader's resolution-failure path.
+fn write_error_line(out: &mut String, req: &Request, err: &str) {
+    out.clear();
+    out.push_str("{\"ok\":false,");
+    if req.has_id {
+        out.push_str("\"id\":\"");
+        escape_into(out, &req.id);
+        out.push_str("\",");
+    }
+    out.push_str("\"error\":\"");
+    escape_into(out, err);
+    out.push_str("\"}");
 }
 
 /// The single-threaded serving facade: one [`Worker`] over its own
@@ -506,6 +752,7 @@ pub fn final_summary(shared: &ServeShared) -> String {
         "usim serve: {} requests ({} runs, {} errors, {} disconnects), \
          program cache {} hits / {} misses / {} evictions, \
          engine pool {} hits / {} misses / {} evictions ({} batched), \
+         {} lane-batched runs ({} divergence peels), \
          {} cycles simulated, {} instructions committed, \
          {} packed fallbacks, {:.3} s busy",
         c.requests,
@@ -519,6 +766,8 @@ pub fn final_summary(shared: &ServeShared) -> String {
         ep.misses,
         ep.evictions,
         c.batched_runs,
+        c.lane_batched_runs,
+        c.lane_divergence_peels,
         c.cycles_simulated,
         c.instructions_committed,
         c.packed_fallbacks,
@@ -594,6 +843,7 @@ fn write_stats(out: &mut String, shared: &ServeShared) {
         out,
         "{{\"ok\":true,\"stats\":{{\"requests\":{},\"runs\":{},\"errors\":{},\
          \"disconnects\":{},\"batched_runs\":{},\
+         \"lane_batched_runs\":{},\"lane_divergence_peels\":{},\
          \"program_cache_hits\":{},\"program_cache_misses\":{},\
          \"program_cache_evictions\":{},\"programs_cached\":{},\
          \"engine_pool_hits\":{},\"engine_pool_misses\":{},\
@@ -605,6 +855,8 @@ fn write_stats(out: &mut String, shared: &ServeShared) {
         c.errors,
         c.disconnects,
         c.batched_runs,
+        c.lane_batched_runs,
+        c.lane_divergence_peels,
         pc.hits,
         pc.misses,
         pc.evictions,
@@ -957,41 +1209,203 @@ fn parse_options(
     p.eat(b'}')
 }
 
+/// How one blocking raw-line read ended.
+enum LineRead {
+    /// A complete newline-terminated line, plus how many bytes were
+    /// left sitting in the reader's internal buffer after it — the
+    /// lane-batch grouping signal (0 means "nothing known buffered").
+    Line { rest: usize },
+    /// Clean EOF on a line boundary.
+    Eof,
+    /// EOF mid-line: the partial bytes are in the buffer, unprocessed.
+    PartialEof,
+    /// Read error.
+    Failed,
+}
+
+/// Read one line (through its `\n`) into `buf` via `fill_buf` /
+/// `consume`, so the bytes already buffered behind it stay observable.
+fn read_raw_line<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> LineRead {
+    buf.clear();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::PartialEof
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&chunk[..=pos]);
+                let rest = chunk.len() - (pos + 1);
+                reader.consume(pos + 1);
+                return LineRead::Line { rest };
+            }
+            None => {
+                buf.extend_from_slice(chunk);
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Pull the next complete line out of the reader's internal buffer
+/// without risking a blocking read: when `rest > 0` the buffer is
+/// non-empty, so `fill_buf` returns what is already there without
+/// touching the underlying stream. A line that is only partially
+/// buffered is left in place (`rest` drops to 0 and the next blocking
+/// read picks it up).
+fn buffered_line<R: BufRead>(reader: &mut R, rest: &mut usize, buf: &mut Vec<u8>) -> bool {
+    buf.clear();
+    if *rest == 0 {
+        return false;
+    }
+    let Ok(chunk) = reader.fill_buf() else {
+        *rest = 0;
+        return false;
+    };
+    match chunk.iter().position(|&b| b == b'\n') {
+        Some(pos) => {
+            buf.extend_from_slice(&chunk[..=pos]);
+            *rest = chunk.len() - (pos + 1);
+            reader.consume(pos + 1);
+            true
+        }
+        None => {
+            *rest = 0;
+            false
+        }
+    }
+}
+
 /// Drive one worker over one request stream until EOF, a write
 /// failure, or shutdown. Abnormal ends (EOF mid-line, read error,
 /// broken pipe) bump the `disconnects` counter and close only this
 /// stream — the shared state and every other connection stay healthy.
+///
+/// When the client pipelines, consecutive already-buffered run
+/// requests for one configuration and program are served as a single
+/// lane batch (see the module docs); every response is byte-identical
+/// to serving the lines one at a time, and a group's responses are
+/// written and flushed together. A line that breaks a group (different
+/// request, malformed, a `stats`/`shutdown` command) is stashed and
+/// served next, in order. A request/response client never has a second
+/// line buffered, so it is served exactly as before.
 fn stream_loop<R: BufRead, W: Write>(worker: &mut Worker, mut reader: R, mut writer: W) {
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    let mut stash: Vec<u8> = Vec::new();
+    let mut have_stash = false;
+    let mut rest = 0usize;
+    let disconnect = |worker: &Worker| {
+        worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+    };
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                if !line.ends_with('\n') {
+        if have_stash {
+            std::mem::swap(&mut line, &mut stash);
+            have_stash = false;
+        } else {
+            match read_raw_line(&mut reader, &mut line) {
+                LineRead::Line { rest: r } => rest = r,
+                LineRead::Eof => break,
+                LineRead::PartialEof => {
                     // The client vanished mid-line: a partial request
                     // is never processed, only counted.
-                    if !line.trim().is_empty() {
-                        worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                    let blank = std::str::from_utf8(&line).is_ok_and(|t| t.trim().is_empty());
+                    if !blank {
+                        disconnect(worker);
                     }
                     break;
                 }
-            }
-            Err(_) => {
-                worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
-                break;
+                LineRead::Failed => {
+                    disconnect(worker);
+                    break;
+                }
             }
         }
-        let trimmed = line.trim();
+        let Ok(text) = std::str::from_utf8(&line) else {
+            // `read_line` would have failed with InvalidData here.
+            disconnect(worker);
+            break;
+        };
+        let trimmed = text.trim();
         if trimmed.is_empty() {
             continue;
         }
+
+        // Lane-batch grouping: engages only when at least one more
+        // complete line is already buffered behind the leader.
+        if rest > 0 && worker.parse_group_leader(trimmed) {
+            match worker.resolve_group_leader() {
+                Ok(()) => {
+                    let mut n = 1;
+                    let mut poisoned = false;
+                    while n < MAX_LANES {
+                        if !buffered_line(&mut reader, &mut rest, &mut stash) {
+                            break;
+                        }
+                        let Ok(mtext) = std::str::from_utf8(&stash) else {
+                            // Serve the group, then fail the stream
+                            // exactly as the serial loop would have on
+                            // reaching this line.
+                            poisoned = true;
+                            break;
+                        };
+                        let mtrim = mtext.trim();
+                        if mtrim.is_empty() {
+                            continue;
+                        }
+                        if worker.try_join_group(n, mtrim) {
+                            n += 1;
+                        } else {
+                            have_stash = true;
+                            break;
+                        }
+                    }
+                    worker.execute_group(n);
+                    if writer.write_all(worker.line_out.as_bytes()).is_err()
+                        || writer.flush().is_err()
+                    {
+                        disconnect(worker);
+                        break;
+                    }
+                    if poisoned {
+                        disconnect(worker);
+                        break;
+                    }
+                    if worker.shared.is_shutdown() {
+                        break;
+                    }
+                    continue;
+                }
+                Err(GroupLeaderError::Assemble(e)) => {
+                    worker.group_leader_error(&e);
+                    if writer.write_all(worker.line_out.as_bytes()).is_err()
+                        || writer.flush().is_err()
+                    {
+                        disconnect(worker);
+                        break;
+                    }
+                    continue;
+                }
+                // An invalid configuration touched no shared state:
+                // the serial path below re-derives the same error.
+                Err(GroupLeaderError::Config) => {}
+            }
+        }
+
         worker.handle_line(trimmed);
         worker.line_out.push('\n');
         if writer.write_all(worker.line_out.as_bytes()).is_err() || writer.flush().is_err() {
             // Downstream closed the pipe; count it and stop quietly
             // like `usim run | head` does.
-            worker.shared.disconnects.fetch_add(1, Ordering::Relaxed);
+            disconnect(worker);
             break;
         }
         if worker.shared.is_shutdown() {

@@ -145,6 +145,7 @@ impl JsonPoint {
 pub struct JsonReport {
     experiment: String,
     points: Vec<JsonPoint>,
+    summaries: Vec<(String, f64)>,
 }
 
 impl JsonReport {
@@ -153,6 +154,7 @@ impl JsonReport {
         JsonReport {
             experiment: experiment.to_string(),
             points: Vec::new(),
+            summaries: Vec::new(),
         }
     }
 
@@ -182,6 +184,15 @@ impl JsonReport {
             steps,
             lanes: Some(lanes),
         });
+        self
+    }
+
+    /// Append one named summary scalar (a per-kernel or overall
+    /// aggregate, e.g. a geomean speedup), emitted in a dedicated
+    /// `"summary"` object so report readers no longer recompute
+    /// aggregates from the raw points.
+    pub fn summary(&mut self, name: &str, value: f64) -> &mut Self {
+        self.summaries.push((name.to_string(), value));
         self
     }
 
@@ -226,7 +237,19 @@ impl JsonReport {
             }
             out.push('\n');
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !self.summaries.is_empty() {
+            out.push_str(",\n  \"summary\": {\n");
+            for (i, (name, value)) in self.summaries.iter().enumerate() {
+                out.push_str(&format!("    \"{}\": {:.6}", escape(name), value));
+                if i + 1 < self.summaries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str("  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -248,6 +271,16 @@ impl JsonReport {
 /// Did the command line ask for the JSON report?
 pub fn json_flag_set(args: &[String]) -> bool {
     args.iter().any(|a| a == "--json")
+}
+
+/// Geometric mean of a set of positive ratios (1.0 for an empty set —
+/// the multiplicative identity, so absent families don't skew
+/// aggregates).
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
 }
 
 fn escape(s: &str) -> String {
@@ -319,6 +352,29 @@ mod tests {
         assert!(s.contains("\"steps\": 1000000"));
         assert!(s.contains("\"steps_per_sec\": 4000000.0"));
         assert!(!s.lines().last().unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn json_summary_rows() {
+        let mut rep = JsonReport::new("summaries");
+        rep.point("a", Duration::from_millis(1), None);
+        rep.summary("geomean_speedup", 1.25);
+        rep.summary("kernel/div_chain", 8.5);
+        let s = rep.render();
+        assert!(s.contains("\"summary\": {"));
+        assert!(s.contains("\"geomean_speedup\": 1.250000,"));
+        assert!(s.contains("\"kernel/div_chain\": 8.500000\n"));
+        // Still a well-formed document: braces balance and no summary
+        // block appears when none are recorded.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(!JsonReport::new("x").render().contains("summary"));
+    }
+
+    #[test]
+    fn geomean_aggregates() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Differential suite for the lane-parallel batch engine over the A/B
+//! benchmark kernels: every batch result must be byte-identical to the
+//! same programs run serially on a fresh scalar engine — across both
+//! reference architectures, the perfect predictor (which passes the
+//! schedule-share gate) and a bimodal predictor (which demotes every
+//! group to serial inside the batcher), seeded and unseeded kernels,
+//! and small and full batch widths.
+
+use ultrascalar::{LaneBatchEngine, PredictorKind, ProcConfig, Processor, RunResult, Ultrascalar};
+use ultrascalar_bench::kernels::{
+    div_chain, div_chain_seeded, forward_fan, forward_fan_seeded, wide_div_chain,
+    wide_div_chain_seeded,
+};
+use ultrascalar_isa::{workload, Program};
+
+/// Serial ground truth: each program on a fresh engine of `cfg`.
+fn serial_runs(cfg: &ProcConfig, programs: &[&Program]) -> Vec<RunResult> {
+    programs
+        .iter()
+        .map(|p| {
+            let mut r = RunResult::default();
+            Ultrascalar::new(cfg.clone()).run_reusing(p, &mut r);
+            r
+        })
+        .collect()
+}
+
+fn assert_identical(label: &str, lane: &RunResult, serial: &RunResult, l: usize) {
+    assert_eq!(lane.halted, serial.halted, "{label}: lane {l} halted");
+    assert_eq!(lane.cycles, serial.cycles, "{label}: lane {l} cycles");
+    assert_eq!(lane.regs, serial.regs, "{label}: lane {l} registers");
+    assert_eq!(lane.mem, serial.mem, "{label}: lane {l} memory");
+    assert_eq!(lane.stats, serial.stats, "{label}: lane {l} stats");
+    assert_eq!(lane.timings, serial.timings, "{label}: lane {l} timings");
+}
+
+#[test]
+fn lane_batches_match_serial_over_the_kernel_suite() {
+    // Small iteration counts keep the full matrix fast; the regimes
+    // (blocked-heavy, wide register file, forwarding-heavy) are what
+    // matter, not the run length.
+    let kernels: Vec<(&str, Program)> = vec![
+        ("div_chain", div_chain(4)),
+        ("div_chain_seeded", div_chain_seeded(4)),
+        ("wide_div_chain", wide_div_chain(4)),
+        ("wide_div_chain_seeded", wide_div_chain_seeded(4)),
+        ("forward_fan", forward_fan(4)),
+        ("forward_fan_seeded", forward_fan_seeded(4)),
+    ];
+    let configs: Vec<(String, ProcConfig)> = ["usi", "usii"]
+        .iter()
+        .flat_map(|arch| {
+            let base = match *arch {
+                "usi" => ProcConfig::ultrascalar_i(64),
+                _ => ProcConfig::ultrascalar_ii(64),
+            };
+            [
+                (format!("{arch}/perfect"), base.clone()),
+                (
+                    format!("{arch}/bimodal"),
+                    base.with_predictor(PredictorKind::Bimodal(64)),
+                ),
+            ]
+        })
+        .collect();
+
+    for (cname, cfg) in &configs {
+        for (kname, prog) in &kernels {
+            for &b in &[3usize, 64] {
+                let label = format!("{cname}/{kname}/b={b}");
+                let population = workload::lane_variants(prog, b, 0xFEED ^ b as u64);
+                let refs: Vec<&Program> = population.iter().collect();
+                let expect = serial_runs(cfg, &refs);
+                let mut engine = LaneBatchEngine::new(cfg.clone());
+                let mut got = vec![RunResult::default(); b];
+                engine.run_batch(&refs, &mut got);
+                for (l, (g, e)) in got.iter().zip(&expect).enumerate() {
+                    assert_identical(&label, g, e, l);
+                }
+                // And again on the warm engine: reuse must not change
+                // results either.
+                engine.run_batch(&refs, &mut got);
+                for (l, (g, e)) in got.iter().zip(&expect).enumerate() {
+                    assert_identical(&label, g, e, l);
+                }
+            }
+        }
+    }
+}

@@ -202,8 +202,126 @@ fn broken_pipe_on_write_counts_as_disconnect() {
     let mut s = Server::new(8, 4);
     let input = format!("{PROG}\n{PROG}\n");
     serve_stream(&mut s, input.as_bytes(), BrokenPipe);
-    // The first response hit the broken pipe and the stream stopped;
-    // the second request was never read.
-    assert_eq!(s.counters().runs, 1);
+    // Both requests arrived pipelined, so they run as one lane-batch
+    // group before the first write hits the broken pipe and the stream
+    // stops.
+    assert_eq!(s.counters().runs, 2);
     assert_eq!(s.counters().disconnects, 1);
+}
+
+/// A branchy countdown loop that lane-batches only under the perfect
+/// predictor (the schedule-share gate needs a misprediction-free
+/// leader run).
+const LOOP_PERFECT: &str = r#"{"program":"li r1, 5\nli r2, 0\nli r3, 0\nloop:\nadd r3, r3, r1\nsubi r1, r1, 1\nbne r1, r2, loop\nhalt\n","options":{"window":8,"predictor":"perfect"}}"#;
+
+/// The same loop under the default bimodal predictor: the leader
+/// mispredicts, so every group demotes to serial runs.
+const LOOP_BIMODAL: &str = r#"{"program":"li r1, 5\nli r2, 0\nli r3, 0\nloop:\nadd r3, r3, r1\nsubi r1, r1, 1\nbne r1, r2, loop\nhalt\n","options":{"window":8}}"#;
+
+#[test]
+fn pipelined_identical_requests_lane_batch_byte_identically() {
+    // Serial baseline: one request at a time, grouping never engages.
+    let mut serial = Server::new(8, 4);
+    let baseline = serial.handle_line(LOOP_PERFECT).to_string();
+    assert!(baseline.starts_with("{\"ok\":true,"), "{baseline}");
+
+    let mut s = Server::new(8, 4);
+    let input = format!("{LOOP_PERFECT}\n").repeat(4);
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(&mut s, input.as_bytes(), &mut out);
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    for l in &lines {
+        assert_eq!(*l, baseline, "lane-batched response must be byte-identical");
+    }
+    let c = s.counters();
+    assert_eq!(c.requests, 4);
+    assert_eq!(c.runs, 4);
+    assert_eq!(c.errors, 0);
+    assert_eq!(c.lane_batched_runs, 4, "all four lanes rode one batch");
+    assert_eq!(c.lane_divergence_peels, 0);
+    assert_eq!(c.batched_runs, 3, "members batch onto the held engine");
+    assert_eq!(
+        (s.program_stats().hits, s.program_stats().misses),
+        (3, 1),
+        "members hit the leader's cache entry"
+    );
+}
+
+#[test]
+fn bimodal_gate_demotes_group_to_serial_byte_identically() {
+    // Baseline: the same three requests one line at a time on an
+    // equally warm server (the bimodal tables ride the pooled engine
+    // either way).
+    let mut serial = Server::new(8, 4);
+    let expect: Vec<String> = (0..3)
+        .map(|_| serial.handle_line(LOOP_BIMODAL).to_string())
+        .collect();
+
+    let mut s = Server::new(8, 4);
+    let input = format!("{LOOP_BIMODAL}\n").repeat(3);
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(&mut s, input.as_bytes(), &mut out);
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    for (l, e) in lines.iter().zip(&expect) {
+        assert_eq!(*l, e, "serial demotion must match line-at-a-time serving");
+    }
+    let c = s.counters();
+    assert_eq!(c.runs, 3);
+    assert_eq!(
+        c.lane_batched_runs, 0,
+        "mispredicting leader blocks the gate"
+    );
+    assert_eq!(c.lane_divergence_peels, 0);
+}
+
+#[test]
+fn group_breakers_are_served_in_order() {
+    let input = format!(
+        "{LOOP_PERFECT}\n{LOOP_PERFECT}\n{{\"cmd\":\"stats\"}}\n{LOOP_PERFECT}\n\
+         nonsense\n{LOOP_PERFECT}\n{{\"cmd\":\"shutdown\"}}\n"
+    );
+    let mut s = Server::new(8, 4);
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(&mut s, input.as_bytes(), &mut out);
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 7, "{lines:?}");
+    // The four run responses are identical whether a line rode a lane
+    // batch (the first two) or ran serially after a breaker.
+    assert_eq!(lines[0], lines[1]);
+    assert_eq!(lines[0], lines[3]);
+    assert_eq!(lines[0], lines[5]);
+    // Breakers answer in stream order: stats after the first group,
+    // the malformed line's error, then shutdown.
+    assert!(lines[2].contains("\"requests\":3"), "{}", lines[2]);
+    assert!(lines[2].contains("\"lane_batched_runs\":2"), "{}", lines[2]);
+    assert!(lines[4].starts_with("{\"ok\":false,"), "{}", lines[4]);
+    assert_eq!(lines[6], "{\"ok\":true,\"shutdown\":true}");
+    let c = s.counters();
+    assert_eq!(c.runs, 4);
+    assert_eq!(c.errors, 1);
+    assert_eq!(c.lane_batched_runs, 2, "only the unbroken pair batched");
+}
+
+#[test]
+fn alternating_configs_never_group() {
+    let a = PROG;
+    let b = r#"{"program":"li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt\n","options":{"window":16}}"#;
+    let mut s = Server::new(8, 4);
+    let input = format!("{a}\n{b}\n{a}\n{b}\n");
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(&mut s, input.as_bytes(), &mut out);
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    assert_eq!(lines[0], lines[2]);
+    assert_eq!(lines[1], lines[3]);
+    assert!(lines[0].contains("\"window\":8"), "{}", lines[0]);
+    assert!(lines[1].contains("\"window\":16"), "{}", lines[1]);
+    let c = s.counters();
+    assert_eq!(c.runs, 4);
+    assert_eq!(
+        c.lane_batched_runs, 0,
+        "config changes break every would-be group"
+    );
 }

@@ -1,0 +1,497 @@
+//! Lane-parallel batch execution: up to 64 independent simulations of
+//! the same program advance in lock-step through one engine pass.
+//!
+//! # The schedule-sharing observation
+//!
+//! The cycle-accurate engine's *timing* is value-independent except
+//! through three channels: branch outcomes (which instructions are
+//! fetched), memory addresses (bank conflicts, store→load forwarding),
+//! and — under mispredictions — wrong-path execution (wrong-path loads
+//! issue real memory requests at value-dependent addresses, and the
+//! predictor trains on value-dependent wrong-path branch outcomes). So
+//! for a group of runs of the **same program** that (a) take identical
+//! branch directions, (b) touch identical memory addresses, and
+//! (c) suffer **zero** mispredictions and flushes, the cycle-by-cycle
+//! schedule — cycles, stats, per-instruction timings — is *identical
+//! across the whole group*, even though every register and memory
+//! **value** differs per run.
+//!
+//! [`LaneBatcher`] exploits exactly that: lane 0 (the *leader*) runs
+//! through the real engine once; the other lanes advance through a
+//! bit-sliced architectural lock-step pass over the
+//! [`ultrascalar_prefix::lanes`] substrate — one [`LaneValue`]
+//! (a `SlicedPair<32, 1>`, 32 bit-planes × 64 lanes) per architectural
+//! register, one word op advancing all lanes at once. Lanes that stay
+//! converged with the leader inherit the leader's timing verbatim and
+//! keep their own architectural state from the bit-planes. The default
+//! configs' `Perfect` predictor satisfies (c) by construction, so on
+//! lockstep-friendly kernels the whole batch costs one engine pass
+//! plus one architectural sweep.
+//!
+//! # Divergence peel and rejoin
+//!
+//! The moment a lane disagrees with the leader — a branch evaluates
+//! differently, or a load/store resolves to a different effective
+//! address — it is *peeled*: dropped from the active mask and re-run
+//! from its initial state on the retained scalar engine
+//! ([`crate::Processor::run_reusing`]), which is trivially
+//! byte-identical to a serial run. Peeled lanes rejoin at the batch
+//! barrier (the next [`LaneBatcher::run_batch`] call); there is no
+//! mid-run re-admission, so a peel costs exactly one serial run and
+//! nothing else.
+//!
+//! # Self-verification
+//!
+//! The lock-step pass mirrors the golden interpreter's semantics, and
+//! lane 0 runs through **both** paths. Before any shared result is
+//! handed out, lane 0's lock-step registers, memory, halt flag and
+//! step count are compared against the engine's; any mismatch (or a
+//! leader run that mispredicted, flushed, or ran out of cycle budget)
+//! demotes the whole group to serial scalar runs. Correctness never
+//! depends on the lock-step pass being right — only throughput does.
+//! Batch-level accounting lives in [`LaneBatchStats`], *outside*
+//! [`crate::ProcStats`], so every per-lane result stays bit-for-bit
+//! identical to its serial twin (a lane counter inside `ProcStats`
+//! would break exactly the differential guarantee this mode is pinned
+//! by).
+
+use std::borrow::Borrow;
+
+use crate::config::ProcConfig;
+use crate::engine::Ultrascalar;
+use crate::processor::{Processor, RunResult};
+use ultrascalar_isa::{AluOp, BranchCond, Instr, Program};
+use ultrascalar_prefix::lanes::{self, LaneValue, LANES};
+
+/// Maximum lanes per batch: one simulation per bit of the plane word.
+pub const MAX_LANES: usize = LANES;
+
+/// Batch-level counters for lane-parallel execution. Kept separate
+/// from [`crate::ProcStats`] so per-lane results remain byte-identical
+/// to serial runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneBatchStats {
+    /// Groups that ran the lock-step pass to completion and shared the
+    /// leader's schedule.
+    pub batches: u64,
+    /// Lanes whose results were delivered by a lock-step pass (leader
+    /// included).
+    pub lane_runs: u64,
+    /// Lanes peeled to the scalar engine after diverging from the
+    /// leader (different branch direction or memory address).
+    pub peels: u64,
+    /// Eligible groups (size ≥ 2) demoted entirely to serial runs:
+    /// incompatible programs, a leader run that mispredicted / flushed
+    /// / exhausted its cycle budget, or a lock-step self-verification
+    /// failure.
+    pub fallbacks: u64,
+}
+
+/// Retained scratch + counters for lane-parallel batch runs. One
+/// instance serves any number of batches over any engine; all working
+/// buffers are reused, so a warm batch allocates nothing.
+#[derive(Debug, Default)]
+pub struct LaneBatcher {
+    /// One 64-lane bundle per architectural register.
+    regs: Vec<LaneValue>,
+    /// Per-lane data memory (entry `l` valid while lane `l` is active).
+    mems: Vec<Vec<u32>>,
+    stats: LaneBatchStats,
+}
+
+/// What the lock-step pass concluded for a compatible group.
+struct Lockstep {
+    /// Lanes still converged with the leader at halt.
+    active: u64,
+}
+
+impl LaneBatcher {
+    /// A batcher with empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batch-level counters accumulated so far.
+    pub fn stats(&self) -> &LaneBatchStats {
+        &self.stats
+    }
+
+    /// Run `programs[i]` into `out[i]` for every `i`, byte-identically
+    /// to calling `engine.run_reusing` on each in turn — but sharing
+    /// one engine pass across every lane that stays converged with
+    /// lane 0. Programs may be given by reference or behind an `Arc`
+    /// (anything that borrows as [`Program`]), so pooled callers like
+    /// `usim serve` batch straight from their cache handles.
+    ///
+    /// # Panics
+    /// Panics if `programs` and `out` differ in length, are empty, or
+    /// exceed [`MAX_LANES`].
+    pub fn run_batch<P: Borrow<Program>>(
+        &mut self,
+        engine: &mut Ultrascalar,
+        programs: &[P],
+        out: &mut [RunResult],
+    ) {
+        assert_eq!(programs.len(), out.len(), "one result slot per lane");
+        let n = programs.len();
+        assert!((1..=MAX_LANES).contains(&n), "batch size must be in 1..=64");
+        if n == 1 {
+            engine.run_reusing(programs[0].borrow(), &mut out[0]);
+            return;
+        }
+        let Some(words) = compatible_words(engine.config(), programs) else {
+            self.stats.fallbacks += 1;
+            run_serial(engine, programs, out);
+            return;
+        };
+
+        // Leader pass through the real engine.
+        engine.run_reusing(programs[0].borrow(), &mut out[0]);
+        let (leader, rest) = out.split_first_mut().expect("n >= 2");
+
+        // Schedule-sharing gate: the leader's timing transfers to a
+        // converged lane only if no wrong-path work ran (see module
+        // docs) and the run actually completed.
+        let clean = leader.halted && leader.stats.mispredictions == 0 && leader.stats.flushed == 0;
+        if !clean {
+            self.stats.fallbacks += 1;
+            run_serial(engine, &programs[1..], rest);
+            return;
+        }
+
+        match self.lockstep(programs, words, leader) {
+            Some(pass) if self.verify_leader(programs[0].borrow().num_regs, leader) => {
+                self.stats.batches += 1;
+                self.stats.lane_runs += pass.active.count_ones() as u64;
+                self.stats.peels += (lanes::mask_lo(n) & !pass.active).count_ones() as u64;
+                self.assemble(engine, programs, leader, rest, pass.active);
+            }
+            _ => {
+                self.stats.fallbacks += 1;
+                run_serial(engine, &programs[1..], rest);
+            }
+        }
+    }
+
+    /// The bit-sliced architectural lock-step pass: a mirror of the
+    /// golden interpreter's step semantics over all lanes at once,
+    /// peeling lanes that diverge from lane 0. Returns `None` if the
+    /// pass disagrees with the leader's halt/step count (which demotes
+    /// the group to serial).
+    fn lockstep<P: Borrow<Program>>(
+        &mut self,
+        programs: &[P],
+        words: usize,
+        leader: &RunResult,
+    ) -> Option<Lockstep> {
+        let n = programs.len();
+        let p0 = programs[0].borrow();
+        let num_regs = p0.num_regs;
+        let target_steps = leader.stats.committed as usize;
+
+        // Per-register lane bundles from each lane's initial registers.
+        self.regs.clear();
+        self.regs.resize(num_regs, LaneValue::identity());
+        let mut vals = [0u32; LANES];
+        for (r, bundle) in self.regs.iter_mut().enumerate() {
+            vals = [0u32; LANES];
+            for (l, p) in programs.iter().enumerate() {
+                vals[l] = p.borrow().init_regs[r];
+            }
+            *bundle = lanes::deposit(&vals);
+        }
+
+        // Per-lane memory images.
+        if self.mems.len() < n {
+            self.mems.resize_with(n, Vec::new);
+        }
+        for (l, p) in programs.iter().enumerate() {
+            let p = p.borrow();
+            let m = &mut self.mems[l];
+            m.clear();
+            m.resize(words, 0);
+            m[..p.init_mem.len()].copy_from_slice(&p.init_mem);
+        }
+
+        let instrs = &p0.instrs;
+        let mut active = lanes::mask_lo(n);
+        let mut pc = 0usize;
+        let mut steps = 0usize;
+        let mut halted = false;
+        while !halted {
+            let Some(&instr) = instrs.get(pc) else {
+                // Fell off the end: implicit halt, no commit.
+                break;
+            };
+            if steps == target_steps {
+                // About to outrun the leader's committed count.
+                return None;
+            }
+            let mut next_pc = pc + 1;
+            match instr {
+                Instr::Nop => {}
+                Instr::Halt => halted = true,
+                Instr::Jump { target } => next_pc = target as usize,
+                Instr::LoadImm { rd, imm } => {
+                    self.regs[rd.index()] = lanes::broadcast(imm as u32);
+                }
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let v = eval_alu(op, &self.regs[rs1.index()], &self.regs[rs2.index()], active);
+                    self.regs[rd.index()] = v;
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let v = eval_alu_imm(op, &self.regs[rs1.index()], imm as u32);
+                    self.regs[rd.index()] = v;
+                }
+                Instr::Load { rd, base, offset } => {
+                    lanes::extract(&self.regs[base.index()], &mut vals);
+                    let addr = peel_divergent_addrs(&vals, offset, words, &mut active);
+                    let mut loaded = [0u32; LANES];
+                    let mut act = active;
+                    while act != 0 {
+                        let l = act.trailing_zeros() as usize;
+                        act &= act - 1;
+                        loaded[l] = self.mems[l][addr];
+                    }
+                    self.regs[rd.index()] = lanes::deposit(&loaded);
+                }
+                Instr::Store { src, base, offset } => {
+                    lanes::extract(&self.regs[base.index()], &mut vals);
+                    let addr = peel_divergent_addrs(&vals, offset, words, &mut active);
+                    lanes::extract(&self.regs[src.index()], &mut vals);
+                    let mut act = active;
+                    while act != 0 {
+                        let l = act.trailing_zeros() as usize;
+                        act &= act - 1;
+                        self.mems[l][addr] = vals[l];
+                    }
+                }
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let m = branch_mask(cond, &self.regs[rs1.index()], &self.regs[rs2.index()]);
+                    let taken = m & 1 == 1; // leader's direction
+                    let follow = if taken { m } else { !m };
+                    active &= follow; // peel lanes that went the other way
+                    if taken {
+                        next_pc = target as usize;
+                    }
+                }
+            }
+            if next_pc >= instrs.len() {
+                halted = true;
+            }
+            pc = next_pc;
+            steps += 1;
+        }
+        if steps != target_steps {
+            return None;
+        }
+        Some(Lockstep { active })
+    }
+
+    /// Cross-check lane 0's lock-step state against the engine's
+    /// result. Lane 0 ran both paths; if they disagree, the lock-step
+    /// pass is wrong and the group must not share its results.
+    fn verify_leader(&self, num_regs: usize, leader: &RunResult) -> bool {
+        if self.mems[0] != leader.mem {
+            return false;
+        }
+        let mut vals = [0u32; LANES];
+        for r in 0..num_regs {
+            lanes::extract(&self.regs[r], &mut vals);
+            if vals[0] != leader.regs[r] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Hand out results: converged lanes inherit the leader's schedule
+    /// (cycles, stats, timings) with their own registers and memory
+    /// from the lane substrate; peeled lanes re-run serially.
+    fn assemble<P: Borrow<Program>>(
+        &mut self,
+        engine: &mut Ultrascalar,
+        programs: &[P],
+        leader: &RunResult,
+        rest: &mut [RunResult],
+        active: u64,
+    ) {
+        let num_regs = programs[0].borrow().num_regs;
+        let mut vals = [0u32; LANES];
+        // Registers first, one extraction per architectural register
+        // covering every converged lane at once.
+        for (i, slot) in rest.iter_mut().enumerate() {
+            if active >> (i + 1) & 1 == 1 {
+                slot.regs.clear();
+                slot.regs.resize(num_regs, 0);
+            }
+        }
+        for r in 0..num_regs {
+            lanes::extract(&self.regs[r], &mut vals);
+            for (i, slot) in rest.iter_mut().enumerate() {
+                if active >> (i + 1) & 1 == 1 {
+                    slot.regs[r] = vals[i + 1];
+                }
+            }
+        }
+        for (i, slot) in rest.iter_mut().enumerate() {
+            let l = i + 1;
+            if active >> l & 1 == 1 {
+                slot.halted = true;
+                slot.cycles = leader.cycles;
+                slot.stats.clone_from(&leader.stats);
+                slot.timings.clone_from(&leader.timings);
+                std::mem::swap(&mut slot.mem, &mut self.mems[l]);
+            } else {
+                engine.run_reusing(programs[l].borrow(), slot);
+            }
+        }
+    }
+}
+
+/// Serial scalar runs for a whole group (the always-correct path).
+fn run_serial<P: Borrow<Program>>(engine: &mut Ultrascalar, programs: &[P], out: &mut [RunResult]) {
+    for (p, o) in programs.iter().zip(out.iter_mut()) {
+        engine.run_reusing(p.borrow(), o);
+    }
+}
+
+/// The effective memory size every lane must agree on (the engine and
+/// interpreter both size memory as
+/// `max(cfg.mem.words, init_mem.len(), 1)`), or `None` if the group is
+/// not lane-batchable: instruction streams, register-file sizes, or
+/// effective memory sizes differ.
+fn compatible_words<P: Borrow<Program>>(cfg: &ProcConfig, programs: &[P]) -> Option<usize> {
+    let p0 = programs[0].borrow();
+    let words = cfg.mem.words.max(p0.init_mem.len()).max(1);
+    for p in &programs[1..] {
+        let p = p.borrow();
+        if p.instrs != p0.instrs
+            || p.num_regs != p0.num_regs
+            || cfg.mem.words.max(p.init_mem.len()).max(1) != words
+        {
+            return None;
+        }
+    }
+    Some(words)
+}
+
+/// Per-lane effective addresses from extracted base values; peels
+/// (clears from `active`) every non-leader lane whose address differs
+/// from lane 0's, and returns the leader's address.
+#[inline]
+fn peel_divergent_addrs(
+    bases: &[u32; LANES],
+    offset: i32,
+    words: usize,
+    active: &mut u64,
+) -> usize {
+    let addr0 = (bases[0].wrapping_add(offset as u32) as usize) % words;
+    let mut act = *active & !1;
+    while act != 0 {
+        let l = act.trailing_zeros() as usize;
+        act &= act - 1;
+        if (bases[l].wrapping_add(offset as u32) as usize) % words != addr0 {
+            *active &= !(1u64 << l);
+        }
+    }
+    addr0
+}
+
+/// One ALU op over all lanes. Shifts by a lane-uniform amount (over
+/// the active lanes) relabel planes; everything without a cheap plane
+/// form goes through the transpose escape hatch.
+fn eval_alu(op: AluOp, a: &LaneValue, b: &LaneValue, active: u64) -> LaneValue {
+    match op {
+        AluOp::Add => lanes::add(a, b),
+        AluOp::Sub => lanes::sub(a, b),
+        AluOp::And => lanes::and(a, b),
+        AluOp::Or => lanes::or(a, b),
+        AluOp::Xor => lanes::xor(a, b),
+        AluOp::Slt => lanes::mask_value(lanes::lt_mask(a, b)),
+        AluOp::Sltu => lanes::mask_value(lanes::ltu_mask(a, b)),
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => match lanes::uniform_value(b, active) {
+            Some(sh) => eval_shift(op, a, sh),
+            None => lanes::map2(a, b, |x, y| op.apply(x, y)),
+        },
+        AluOp::Mul | AluOp::Div | AluOp::Rem => lanes::map2(a, b, |x, y| op.apply(x, y)),
+    }
+}
+
+/// The register–immediate forms: the second operand is lane-uniform by
+/// construction, so shifts always take the plane-relabelling path.
+fn eval_alu_imm(op: AluOp, a: &LaneValue, imm: u32) -> LaneValue {
+    match op {
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => eval_shift(op, a, imm),
+        _ => eval_alu(op, a, &lanes::broadcast(imm), u64::MAX),
+    }
+}
+
+/// Lane-uniform shift (amount masked mod 32, as `AluOp::apply` does).
+#[inline]
+fn eval_shift(op: AluOp, a: &LaneValue, amount: u32) -> LaneValue {
+    let sh = amount & 31;
+    match op {
+        AluOp::Sll => lanes::sll_uniform(a, sh),
+        AluOp::Srl => lanes::srl_uniform(a, sh),
+        AluOp::Sra => lanes::sra_uniform(a, sh),
+        _ => unreachable!("eval_shift is only called for shift ops"),
+    }
+}
+
+/// Per-lane branch condition mask (bit `l` set iff lane `l` takes).
+fn branch_mask(cond: BranchCond, a: &LaneValue, b: &LaneValue) -> u64 {
+    match cond {
+        BranchCond::Eq => lanes::eq_mask(a, b),
+        BranchCond::Ne => !lanes::eq_mask(a, b),
+        BranchCond::Lt => lanes::lt_mask(a, b),
+        BranchCond::Ge => !lanes::lt_mask(a, b),
+        BranchCond::Ltu => lanes::ltu_mask(a, b),
+        BranchCond::Geu => !lanes::ltu_mask(a, b),
+    }
+}
+
+/// The ISSUE-facing convenience wrapper: an engine plus its lane
+/// batcher as one unit, for callers that own their engine (benches,
+/// tests). `usim serve` composes [`LaneBatcher`] with pooled engines
+/// directly instead.
+#[derive(Debug)]
+pub struct LaneBatchEngine {
+    engine: Ultrascalar,
+    batcher: LaneBatcher,
+}
+
+impl LaneBatchEngine {
+    /// An engine + batcher for the given configuration.
+    pub fn new(cfg: ProcConfig) -> Self {
+        LaneBatchEngine {
+            engine: Ultrascalar::new(cfg),
+            batcher: LaneBatcher::new(),
+        }
+    }
+
+    /// The wrapped engine's configuration.
+    pub fn config(&self) -> &ProcConfig {
+        self.engine.config()
+    }
+
+    /// Batch-level lane counters.
+    pub fn lane_stats(&self) -> &LaneBatchStats {
+        self.batcher.stats()
+    }
+
+    /// Run a batch; see [`LaneBatcher::run_batch`].
+    pub fn run_batch<P: Borrow<Program>>(&mut self, programs: &[P], out: &mut [RunResult]) {
+        self.batcher.run_batch(&mut self.engine, programs, out);
+    }
+
+    /// Direct scalar access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut Ultrascalar {
+        &mut self.engine
+    }
+}

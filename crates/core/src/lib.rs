@@ -52,6 +52,7 @@ pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod fetch;
+pub mod lane;
 pub mod latency;
 pub mod pool;
 pub mod predict;
@@ -63,6 +64,7 @@ pub mod timing;
 pub use baseline::BaselineOoO;
 pub use config::{ForwardModel, ProcConfig};
 pub use engine::Ultrascalar;
+pub use lane::{LaneBatchEngine, LaneBatchStats, LaneBatcher, MAX_LANES};
 pub use latency::LatencyModel;
 pub use pool::{config_shard_hash, EnginePool, PoolStats, PooledEngine, ShardedEnginePool};
 pub use predict::PredictorKind;

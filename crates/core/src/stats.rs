@@ -3,7 +3,7 @@
 use ultrascalar_memsys::MemStats;
 
 /// Aggregate statistics of one run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// Cycles simulated (until the halt committed).
     pub cycles: u64,
@@ -48,6 +48,50 @@ pub struct ProcStats {
     pub packed_fallbacks: u64,
     /// Memory-system counters.
     pub mem: MemStats,
+}
+
+impl Clone for ProcStats {
+    fn clone(&self) -> Self {
+        let mut out = ProcStats::default();
+        out.clone_from(self);
+        out
+    }
+
+    /// Hand-written so `clone_from` reuses the histogram allocations —
+    /// the lane-batch engine clones one leader's stats into up to 63
+    /// retained result slots per batch, which must not touch the
+    /// allocator once warm. Exhaustive destructuring keeps this in sync
+    /// with the struct by construction.
+    fn clone_from(&mut self, source: &Self) {
+        let ProcStats {
+            cycles,
+            committed,
+            branches,
+            mispredictions,
+            flushed,
+            occupancy_sum,
+            forward_dist,
+            regfile_reads,
+            issue_hist,
+            store_forwards,
+            alu_stalls,
+            packed_fallbacks,
+            mem,
+        } = self;
+        *cycles = source.cycles;
+        *committed = source.committed;
+        *branches = source.branches;
+        *mispredictions = source.mispredictions;
+        *flushed = source.flushed;
+        *occupancy_sum = source.occupancy_sum;
+        forward_dist.clone_from(&source.forward_dist);
+        *regfile_reads = source.regfile_reads;
+        issue_hist.clone_from(&source.issue_hist);
+        *store_forwards = source.store_forwards;
+        *alu_stalls = source.alu_stalls;
+        *packed_fallbacks = source.packed_fallbacks;
+        *mem = source.mem;
+    }
 }
 
 impl ProcStats {

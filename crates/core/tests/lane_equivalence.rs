@@ -1,0 +1,271 @@
+//! Differential tests for lane-parallel batch execution: a batch of up
+//! to 64 programs through [`LaneBatcher::run_batch`] must be
+//! **byte-identical** — halted flag, cycles, registers, memory, stats,
+//! per-instruction timings — to running each program serially through
+//! a scalar engine. That is the mode's entire contract: lane batching
+//! is a throughput optimisation, never an observable one.
+//!
+//! The forced-divergence sweep is the adversarial half: random
+//! programs with branches and register-indirect memory operands, over
+//! lanes seeded with independent random initial registers, so lanes
+//! peel off at random steps (different branch directions, different
+//! effective addresses). Every peeled lane's result must still match
+//! its serial twin bit-for-bit — divergence must be contained, never
+//! silently approximated.
+
+use ultrascalar::{
+    LaneBatcher, PredictorKind, ProcConfig, Processor, RunResult, Ultrascalar, MAX_LANES,
+};
+use ultrascalar_isa::{workload, AluOp, BranchCond, Instr, Program, Reg};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Random terminating program in the packed_equivalence style, with
+/// the operand mix skewed toward the divergence sources: branches on
+/// arbitrary registers and register-indirect loads/stores.
+fn random_program(rng: &mut Rng, nregs: usize) -> Program {
+    let len = 12 + rng.below(20) as usize;
+    let mut instrs = Vec::new();
+    for i in 0..len {
+        let r = |rng: &mut Rng| Reg(rng.below(nregs as u64) as u8);
+        match rng.below(10) {
+            0..=1 => instrs.push(Instr::AluImm {
+                op: [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Srl][rng.below(4) as usize],
+                rd: r(rng),
+                rs1: r(rng),
+                imm: rng.below(32) as i32,
+            }),
+            2..=3 => instrs.push(Instr::Alu {
+                op: [
+                    AluOp::Add,
+                    AluOp::Mul,
+                    AluOp::And,
+                    AluOp::Div,
+                    AluOp::Sll,
+                    AluOp::Sltu,
+                ][rng.below(6) as usize],
+                rd: r(rng),
+                rs1: r(rng),
+                rs2: r(rng),
+            }),
+            4..=5 => instrs.push(Instr::Load {
+                rd: r(rng),
+                base: r(rng),
+                offset: rng.below(16) as i32,
+            }),
+            6 => instrs.push(Instr::Store {
+                src: r(rng),
+                base: r(rng),
+                offset: rng.below(16) as i32,
+            }),
+            7 => instrs.push(Instr::LoadImm {
+                rd: r(rng),
+                imm: rng.below(64) as i32,
+            }),
+            8..=9 => {
+                // Forward branch only (termination guaranteed).
+                let tgt = (i as u64 + 1 + rng.below(4)).min(len as u64) as u32;
+                instrs.push(Instr::Branch {
+                    cond: [
+                        BranchCond::Eq,
+                        BranchCond::Ne,
+                        BranchCond::Lt,
+                        BranchCond::Geu,
+                    ][rng.below(4) as usize],
+                    rs1: r(rng),
+                    rs2: r(rng),
+                    target: tgt,
+                });
+            }
+            _ => instrs.push(Instr::Nop),
+        }
+    }
+    instrs.push(Instr::Halt);
+    Program {
+        instrs,
+        num_regs: nregs,
+        init_regs: vec![0; nregs],
+        init_mem: (0..32).map(|x| x as u32 * 7 + 2).collect(),
+    }
+}
+
+/// Serial ground truth: each program through a fresh scalar engine.
+fn serial_runs(cfg: &ProcConfig, programs: &[Program]) -> Vec<RunResult> {
+    programs
+        .iter()
+        .map(|p| Ultrascalar::new(cfg.clone()).run(p))
+        .collect()
+}
+
+fn assert_identical(got: &RunResult, want: &RunResult, ctx: &str) {
+    assert_eq!(got.halted, want.halted, "{ctx}: halted");
+    assert_eq!(got.cycles, want.cycles, "{ctx}: cycles");
+    assert_eq!(got.regs, want.regs, "{ctx}: registers");
+    assert_eq!(got.mem, want.mem, "{ctx}: memory");
+    assert_eq!(got.stats, want.stats, "{ctx}: stats");
+    assert_eq!(got.timings, want.timings, "{ctx}: timings");
+}
+
+/// Run one group both ways and compare every lane.
+fn check_batch(batcher: &mut LaneBatcher, cfg: &ProcConfig, programs: &[Program], ctx: &str) {
+    let golden = serial_runs(cfg, programs);
+    let refs: Vec<&Program> = programs.iter().collect();
+    let mut out = vec![RunResult::default(); programs.len()];
+    let mut engine = Ultrascalar::new(cfg.clone());
+    batcher.run_batch(&mut engine, &refs, &mut out);
+    for (l, (got, want)) in out.iter().zip(golden.iter()).enumerate() {
+        assert_identical(got, want, &format!("{ctx} lane {l}"));
+    }
+}
+
+#[test]
+fn standard_kernel_suite_matches_serial() {
+    // Every named kernel, vectorized over lanes with independent
+    // random initial registers, across the three paper architectures.
+    let configs = [
+        ("usi", ProcConfig::ultrascalar_i(16)),
+        ("usii", ProcConfig::ultrascalar_ii(16)),
+        ("hybrid", ProcConfig::hybrid(16, 4)),
+    ];
+    for (name, cfg) in &configs {
+        let mut batcher = LaneBatcher::new();
+        for (kernel, prog) in workload::standard_suite(7) {
+            let programs = workload::lane_variants(&prog, 6, 0x1A5E5);
+            check_batch(&mut batcher, cfg, &programs, &format!("{name}/{kernel}"));
+        }
+    }
+}
+
+#[test]
+fn full_width_batch_matches_serial() {
+    // All 64 lanes at once on a seed-sensitive serial chain.
+    let cfg = ProcConfig::ultrascalar_i(16);
+    let programs = workload::lane_variants(&workload::fibonacci(12), MAX_LANES, 99);
+    let mut batcher = LaneBatcher::new();
+    check_batch(&mut batcher, &cfg, &programs, "fib64");
+    let stats = *batcher.stats();
+    assert_eq!(stats.batches, 1, "group must lane-batch");
+    assert_eq!(
+        stats.lane_runs + stats.peels,
+        MAX_LANES as u64,
+        "every lane accounted for"
+    );
+}
+
+#[test]
+fn forced_divergence_random_sweep_is_bit_exact() {
+    // The adversarial sweep: random programs, random per-lane seeds,
+    // so lanes diverge (branch directions, effective addresses) at
+    // random steps. Byte-identical results required regardless of how
+    // many lanes peel. Includes a Bimodal config where the leader run
+    // usually mispredicts, exercising the serial-fallback gate.
+    let mut rng = Rng(0xD17E5 ^ 0xFFFF_0000_0000);
+    let configs = [
+        ("usi-perfect", ProcConfig::ultrascalar_i(8)),
+        (
+            "usi-bimodal",
+            ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::Bimodal(16)),
+        ),
+        ("hybrid-perfect", ProcConfig::hybrid(16, 4)),
+    ];
+    let mut batchers: Vec<LaneBatcher> = configs.iter().map(|_| LaneBatcher::new()).collect();
+    for iter in 0..60 {
+        let prog = random_program(&mut rng, 6);
+        if prog.validate().is_err() {
+            continue;
+        }
+        let n = [2, 3, 9, 31][iter % 4];
+        let programs = workload::lane_variants(&prog, n, rng.next());
+        for ((name, cfg), batcher) in configs.iter().zip(batchers.iter_mut()) {
+            check_batch(
+                batcher,
+                cfg,
+                &programs,
+                &format!("iter {iter} {name} n={n}"),
+            );
+        }
+    }
+    // The sweep must actually have exercised both the lock-step path
+    // and divergence peeling, or it is testing nothing.
+    let perfect = batchers[0].stats();
+    assert!(perfect.batches > 0, "no group ever lane-batched");
+    assert!(perfect.peels > 0, "no lane ever peeled");
+}
+
+#[test]
+fn identical_lanes_fully_converge() {
+    // The serve smoke-test shape: N identical requests. No lane can
+    // peel, and every lane's result equals the leader's.
+    let cfg = ProcConfig::ultrascalar_i(8);
+    let prog = workload::dot_product(24);
+    let programs: Vec<Program> = (0..5).map(|_| prog.clone()).collect();
+    let mut batcher = LaneBatcher::new();
+    check_batch(&mut batcher, &cfg, &programs, "identical");
+    let stats = *batcher.stats();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.lane_runs, 5);
+    assert_eq!(stats.peels, 0);
+    assert_eq!(stats.fallbacks, 0);
+}
+
+#[test]
+fn incompatible_groups_fall_back_serially() {
+    // Different instruction streams cannot share a pass; the group
+    // must fall back to serial runs with the fallback counted — and
+    // still be byte-identical.
+    let cfg = ProcConfig::ultrascalar_i(8);
+    let a = workload::fibonacci(10);
+    let b = workload::dot_product(16);
+    let programs = vec![a.clone(), b, a];
+    let mut batcher = LaneBatcher::new();
+    check_batch(&mut batcher, &cfg, &programs, "mixed");
+    let stats = *batcher.stats();
+    assert_eq!(stats.batches, 0);
+    assert_eq!(stats.fallbacks, 1);
+    assert_eq!(stats.lane_runs, 0);
+}
+
+#[test]
+fn batch_of_one_short_circuits() {
+    let cfg = ProcConfig::ultrascalar_i(8);
+    let programs = vec![workload::fibonacci(10)];
+    let mut batcher = LaneBatcher::new();
+    check_batch(&mut batcher, &cfg, &programs, "single");
+    assert_eq!(*batcher.stats(), Default::default(), "no counters move");
+}
+
+#[test]
+fn warm_batcher_reruns_are_identical() {
+    // The same batcher across many groups (the serve usage pattern):
+    // scratch reuse must never leak state between batches.
+    let cfg = ProcConfig::ultrascalar_i(16);
+    let mut batcher = LaneBatcher::new();
+    let mut engine = Ultrascalar::new(cfg.clone());
+    let programs = workload::lane_variants(&workload::memcpy(16), 8, 5);
+    let refs: Vec<&Program> = programs.iter().collect();
+    let golden = serial_runs(&cfg, &programs);
+    let mut out = vec![RunResult::default(); programs.len()];
+    for round in 0..3 {
+        // Interleave an unrelated group so scratch is dirty.
+        let other = workload::lane_variants(&workload::sieve(20), 3, round as u64);
+        let other_refs: Vec<&Program> = other.iter().collect();
+        let mut other_out = vec![RunResult::default(); other.len()];
+        batcher.run_batch(&mut engine, &other_refs, &mut other_out);
+        batcher.run_batch(&mut engine, &refs, &mut out);
+        for (l, (got, want)) in out.iter().zip(golden.iter()).enumerate() {
+            assert_identical(got, want, &format!("round {round} lane {l}"));
+        }
+    }
+}

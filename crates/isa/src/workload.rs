@@ -714,6 +714,47 @@ pub fn standard_suite(seed: u64) -> Vec<(&'static str, Program)> {
     ]
 }
 
+/// SplitMix64 — the tiny deterministic generator used to spread lane
+/// seeds (self-contained so lane populations are reproducible across
+/// harnesses without threading an `Rng`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-lane initial registers: lane `lane` of a batch
+/// population seeded with `seed`. Register 0 is left at zero (many
+/// kernels use a low register as a hard-wired zero/base); the rest get
+/// independent pseudo-random values.
+pub fn lane_init_regs(num_regs: usize, seed: u64, lane: usize) -> Vec<u32> {
+    let mut state = seed ^ (lane as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut regs = vec![0u32; num_regs];
+    for r in regs.iter_mut().skip(1) {
+        *r = splitmix64(&mut state) as u32;
+    }
+    regs
+}
+
+/// Vectorize a program over `n` lanes: `n` copies sharing the same
+/// instruction stream and memory image but each with its own
+/// pseudo-random initial registers (lane 0's derived from `seed`, lane
+/// `l`'s from `seed` ⊕ a lane spread). This is the input shape the
+/// lane-parallel batch engine consumes: *same program, different
+/// inputs*. Registers the program initializes itself (`li` before
+/// first read) are unaffected by construction; seed-sensitive kernels
+/// should read their inputs from registers they do not write first.
+pub fn lane_variants(base: &Program, n: usize, seed: u64) -> Vec<Program> {
+    (0..n)
+        .map(|lane| {
+            base.clone()
+                .with_init_regs(lane_init_regs(base.num_regs, seed, lane))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +765,24 @@ mod tests {
         let out = m.run(2_000_000);
         assert!(out.halted(), "kernel must halt");
         m
+    }
+
+    #[test]
+    fn lane_variants_share_code_and_differ_in_inputs() {
+        let base = fibonacci(8);
+        let pop = lane_variants(&base, 16, 42);
+        assert_eq!(pop.len(), 16);
+        for p in &pop {
+            assert_eq!(p.instrs, base.instrs);
+            assert_eq!(p.num_regs, base.num_regs);
+            assert_eq!(p.init_mem, base.init_mem);
+            assert_eq!(p.init_regs[0], 0, "r0 stays a hard-wired zero");
+            p.validate().expect("variants stay valid");
+        }
+        assert_ne!(pop[0].init_regs, pop[1].init_regs);
+        // Deterministic: same seed reproduces the same population.
+        assert_eq!(lane_variants(&base, 16, 42), pop);
+        assert_ne!(lane_variants(&base, 16, 43)[1].init_regs, pop[1].init_regs);
     }
 
     #[test]

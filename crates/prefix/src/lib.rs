@@ -32,6 +32,12 @@
 //!   files with up to 256 logical registers), and the
 //!   [`packed::BitWords`] bitset backs packed per-cycle state
 //!   elsewhere in the workspace,
+//! * [`lanes`] — the lane-parallel *simulation* view of the same
+//!   substrate: bit `l` of every plane belongs to independent
+//!   simulation `l`, so [`lanes::LaneValue`] (a [`SlicedPair<32, 1>`])
+//!   advances one architectural register of 64 machines per word op —
+//!   planewise ALU/compare forms, lane-uniform shift relabelling, and
+//!   a transpose-based extract/compute/deposit escape hatch,
 //! * [`sliced`] — bit-sliced *value* CSPP: whole `B`-bit register
 //!   values stored as `B` bit-planes per node, so one tree sweep
 //!   forwards the last-writer **value** for `64·W` registers at once
@@ -51,6 +57,7 @@
 
 pub mod arena;
 pub mod cspp;
+pub mod lanes;
 pub mod op;
 pub mod packed;
 pub mod scan;
@@ -60,6 +67,7 @@ pub mod tree;
 
 pub use arena::{cspp_heap_with, ArenaScan};
 pub use cspp::{cspp_ring, cspp_tree, segmented_prefix_ring, segmented_prefix_tree};
+pub use lanes::LaneValue;
 pub use op::{BoolAnd, BoolOr, First, Last, Max, Min, PrefixOp, SegPair, Sum};
 pub use packed::{
     pack_lane, pack_lane_w, packed_cspp_ring, packed_cspp_ring_w, unpack_lane, unpack_lane_w,
