@@ -48,9 +48,17 @@ fn main() {
         ("wide_div_chain_r128", wide_div_chain_seeded(iters)),
         ("forward_fan", forward_fan_seeded(iters)),
     ];
+    // The pipelined row exercises lane batching over the hop-banded
+    // packed readiness path (distance-dependent forwarding used to
+    // block the packed substrate entirely).
     let archs: Vec<(&str, ProcConfig)> = vec![
         ("usi", ProcConfig::ultrascalar_i(64)),
         ("usii", ProcConfig::ultrascalar_ii(64)),
+        (
+            "usi_pipelined",
+            ProcConfig::ultrascalar_i(64)
+                .with_forwarding(ultrascalar::ForwardModel::Pipelined { per_hop: 1 }),
+        ),
     ];
 
     let mut t = Table::new(vec![

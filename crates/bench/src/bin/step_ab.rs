@@ -17,7 +17,7 @@
 //! `BENCH_step_ab.json`; `--quick` trims sizes for smoke runs.
 
 use std::time::Instant;
-use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar::{ForwardModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
 use ultrascalar_bench::kernels::{div_chain, forward_fan, wide_div_chain};
 use ultrascalar_bench::sweep::{geomean, json_flag_set};
 use ultrascalar_bench::{JsonReport, Table};
@@ -87,10 +87,19 @@ fn main() {
     let mut ratios_by_kernel: Vec<(&str, Vec<f64>)> = Vec::new();
 
     for &n in sizes {
+        // The pipelined row measures the hop-banded readiness words:
+        // distance-dependent forwarding used to fall off the packed
+        // path entirely, so this cell is the direct price/payoff of
+        // keeping it packed. It runs in `--quick` too.
         let archs: Vec<(String, ProcConfig)> = vec![
             ("usi".to_string(), ProcConfig::ultrascalar_i(n)),
             ("usii".to_string(), ProcConfig::ultrascalar_ii(n)),
             (format!("hybrid_c{}", n / 4), ProcConfig::hybrid(n, n / 4)),
+            (
+                "usi_pipelined".to_string(),
+                ProcConfig::ultrascalar_i(n)
+                    .with_forwarding(ForwardModel::Pipelined { per_hop: 1 }),
+            ),
         ]
         .into_iter()
         .map(|(a, cfg)| (a, cfg.with_predictor(PredictorKind::Bimodal(64))))
@@ -104,7 +113,12 @@ fn main() {
                 };
                 let flags_only = packed.clone().without_packed_values();
                 let scalar = packed.clone().without_packed_flags();
-                let cycles = Ultrascalar::new(packed.clone()).run(prog).cycles;
+                let probe_run = Ultrascalar::new(packed.clone()).run(prog);
+                assert_eq!(
+                    probe_run.stats.packed_fallbacks, 0,
+                    "{arch}/{kernel}: the packed cell must actually run packed"
+                );
+                let cycles = probe_run.cycles;
 
                 // Calibrate the batch to ~25 ms so scheduler noise
                 // averages out within a batch.

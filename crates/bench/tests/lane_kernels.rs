@@ -2,11 +2,14 @@
 //! benchmark kernels: every batch result must be byte-identical to the
 //! same programs run serially on a fresh scalar engine — across both
 //! reference architectures, the perfect predictor (which passes the
-//! schedule-share gate) and a bimodal predictor (which demotes every
-//! group to serial inside the batcher), seeded and unseeded kernels,
-//! and small and full batch widths.
+//! schedule-share gate), a bimodal predictor (which demotes every
+//! group to serial inside the batcher) and hop-banded pipelined
+//! forwarding, seeded and unseeded kernels, and small and full batch
+//! widths.
 
-use ultrascalar::{LaneBatchEngine, PredictorKind, ProcConfig, Processor, RunResult, Ultrascalar};
+use ultrascalar::{
+    ForwardModel, LaneBatchEngine, PredictorKind, ProcConfig, Processor, RunResult, Ultrascalar,
+};
 use ultrascalar_bench::kernels::{
     div_chain, div_chain_seeded, forward_fan, forward_fan_seeded, wide_div_chain,
     wide_div_chain_seeded,
@@ -26,6 +29,10 @@ fn serial_runs(cfg: &ProcConfig, programs: &[&Program]) -> Vec<RunResult> {
 }
 
 fn assert_identical(label: &str, lane: &RunResult, serial: &RunResult, l: usize) {
+    assert_eq!(
+        lane.stats.packed_fallbacks, 0,
+        "{label}: lane {l} fallback counter"
+    );
     assert_eq!(lane.halted, serial.halted, "{label}: lane {l} halted");
     assert_eq!(lane.cycles, serial.cycles, "{label}: lane {l} cycles");
     assert_eq!(lane.regs, serial.regs, "{label}: lane {l} registers");
@@ -58,7 +65,11 @@ fn lane_batches_match_serial_over_the_kernel_suite() {
                 (format!("{arch}/perfect"), base.clone()),
                 (
                     format!("{arch}/bimodal"),
-                    base.with_predictor(PredictorKind::Bimodal(64)),
+                    base.clone().with_predictor(PredictorKind::Bimodal(64)),
+                ),
+                (
+                    format!("{arch}/pipelined"),
+                    base.with_forwarding(ForwardModel::Pipelined { per_hop: 1 }),
                 ),
             ]
         })

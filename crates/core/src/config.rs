@@ -35,10 +35,20 @@ impl ForwardModel {
         match *self {
             ForwardModel::SingleCycle => 0,
             ForwardModel::Pipelined { per_hop } => {
-                let levels = (usize::BITS - (a ^ b).leading_zeros()) as u64;
-                per_hop * 2 * levels
+                Self::extra_at(per_hop, ultrascalar_prefix::packed::hop_level(a, b))
             }
         }
+    }
+
+    /// Extra forwarding cycles for a hop distance of `levels` H-tree
+    /// levels under a per-level cost of `per_hop` each direction.
+    /// Saturating: an astronomically large `--per-hop` must pin the
+    /// readiness horizon at "never", not wrap it into the past (the
+    /// unchecked `per_hop * 2 * levels` this replaces overflowed u64
+    /// for CLI-reachable inputs).
+    #[inline]
+    pub fn extra_at(per_hop: u64, levels: usize) -> u64 {
+        per_hop.saturating_mul(2).saturating_mul(levels as u64)
     }
 }
 
@@ -101,16 +111,19 @@ pub struct ProcConfig {
     pub cycle_skip: bool,
     /// Packed word-parallel flag networks (on by default): the
     /// program-order scan keeps its four all-earlier AND flags in one
-    /// bit-packed lane word and, under [`ForwardModel::SingleCycle`],
-    /// maintains register-unready lane words (64 registers per word,
-    /// covering the ISA's full 256-register space) plus a per-register
+    /// bit-packed lane word and maintains hop-banded register-unready
+    /// lane words (64 registers per word, covering the ISA's full
+    /// 256-register space; one nested band per H-tree level under
+    /// [`ForwardModel::Pipelined`], a single band under
+    /// [`ForwardModel::SingleCycle`]) plus a per-register
     /// readiness-time table, so a blocked station is detected by
     /// AND-ing its decode-time source mask against a small word array
     /// instead of re-deriving readiness per source operand. Results are
     /// cycle-exact either way; `false` retains the scalar flag path as
     /// a differential-testing reference. When the gate must fall back
-    /// to the scalar scan despite this flag (pipelined forwarding),
-    /// `ProcStats::packed_fallbacks` records the downgrade.
+    /// to the scalar scan despite this flag (`num_regs` wider than the
+    /// packed lane words), `ProcStats::packed_fallbacks` records the
+    /// downgrade.
     pub packed_flags: bool,
     /// Packed *value* forwarding (on by default; requires
     /// [`ProcConfig::packed_flags`]): the scan batches last-writer
@@ -124,9 +137,10 @@ pub struct ProcConfig {
     /// snapshot lanes. Results are cycle-exact either way; `false`
     /// retains the scalar last-writer resolve as a
     /// differential-testing reference. The flag rides on the same gate
-    /// as `packed_flags` (single-cycle forwarding, `num_regs` within
-    /// the packed lane words) and the same
-    /// `ProcStats::packed_fallbacks` diagnostic.
+    /// as `packed_flags` (`num_regs` within the packed lane words) and
+    /// the same `ProcStats::packed_fallbacks` diagnostic; under
+    /// pipelined forwarding the snapshot resolve extracts per-consumer
+    /// `ready_at` horizons from the hop-banded readiness state.
     pub packed_values: bool,
 }
 
@@ -364,5 +378,56 @@ mod tests {
         assert_eq!(piped.extra(0, 7), 6);
         // Symmetric.
         assert_eq!(piped.extra(7, 0), piped.extra(0, 7));
+    }
+
+    #[test]
+    fn forwarding_extra_saturates() {
+        // The CLI accepts any u64 --per-hop; the unchecked multiply
+        // this pins against wrapped readiness into the past.
+        let piped = ForwardModel::Pipelined { per_hop: u64::MAX };
+        assert_eq!(piped.extra(0, 7), u64::MAX);
+        assert_eq!(piped.extra(5, 5), 0);
+        let piped = ForwardModel::Pipelined {
+            per_hop: u64::MAX / 2,
+        };
+        assert_eq!(piped.extra(0, 1), u64::MAX - 1);
+        assert_eq!(piped.extra(0, 3), u64::MAX);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+        /// Forwarding latency is a symmetric pseudo-metric on ring
+        /// positions, monotone in the per-hop cost — for *any* u64
+        /// `per_hop`, including the overflowing regime.
+        #[test]
+        fn prop_extra_symmetric_zero_diag_monotone(
+            a in 0usize..1024,
+            b in 0usize..1024,
+            per_hop in proptest::prelude::any::<u64>(),
+            bump in proptest::prelude::any::<u64>(),
+        ) {
+            let f = ForwardModel::Pipelined { per_hop };
+            proptest::prop_assert_eq!(f.extra(a, b), f.extra(b, a));
+            proptest::prop_assert_eq!(f.extra(a, a), 0);
+            // Monotone in per_hop (saturating, so never a wrap-around
+            // decrease).
+            let g = ForwardModel::Pipelined {
+                per_hop: per_hop.saturating_add(bump),
+            };
+            proptest::prop_assert!(g.extra(a, b) >= f.extra(a, b));
+            // And monotone in hop distance via the level form.
+            let lvl = ultrascalar_prefix::packed::hop_level(a, b);
+            proptest::prop_assert_eq!(
+                f.extra(a, b),
+                ForwardModel::extra_at(per_hop, lvl)
+            );
+            if lvl > 0 {
+                proptest::prop_assert!(
+                    ForwardModel::extra_at(per_hop, lvl)
+                        >= ForwardModel::extra_at(per_hop, lvl - 1)
+                );
+            }
+        }
     }
 }

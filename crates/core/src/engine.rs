@@ -39,6 +39,7 @@ use crate::stats::ProcStats;
 use crate::timing::InstrTiming;
 use ultrascalar_isa::{Instr, Program};
 use ultrascalar_memsys::{MemRequest, MemResponse, MemSystem, ReqKind};
+use ultrascalar_prefix::packed::{hop_band_count, hop_level, HopBands};
 /// Fuel given to the golden interpreter when pre-computing the perfect
 /// fetch path. Far beyond any workload in this repository.
 const ORACLE_FUEL: usize = 50_000_000;
@@ -74,14 +75,31 @@ struct Cluster {
 struct ScanScratch {
     /// Most recent preceding writer per architectural register.
     last_writer: Vec<Option<Writer>>,
-    /// First cycle at which register `r`'s most recent preceding
-    /// writer's value is usable (packed-flags fast path, single-cycle
-    /// forwarding only): `0` when the register reads from the committed
-    /// file, `completion + 1` for an in-window writer, `u64::MAX` for a
-    /// writer with no scheduled completion. Paired with the scan's
-    /// register-unready lane word, it lets a blocked station's wake-up
-    /// event be read off directly instead of re-resolving its operands.
+    /// Distance-0 readiness base of register `r`'s most recent
+    /// preceding writer (packed-flags fast path): `0` when the register
+    /// reads from the committed file, `completion + 1` for an in-window
+    /// writer, `u64::MAX` for a writer with no scheduled completion. A
+    /// consumer's actual readiness is this base plus the hop-distance
+    /// forwarding cost (zero under single-cycle forwarding). Paired
+    /// with the scan's readiness bands, it lets a blocked station's
+    /// wake-up event be read off directly instead of re-resolving its
+    /// operands.
     writer_ready_at: Vec<u64>,
+    /// Window ring position of register `r`'s most recent preceding
+    /// writer (packed fast path under pipelined forwarding): feeds the
+    /// per-consumer hop-distance band refinement and the banded
+    /// `ready_at` extraction in the snapshot resolve. Live only where
+    /// the per-cycle has-writer / band lanes are raised, so it needs no
+    /// per-cycle clear.
+    writer_pos: Vec<usize>,
+    /// Hop-distance readiness bands: band `d` holds the registers whose
+    /// most recent preceding writer's value is not yet visible `d`
+    /// H-tree levels away. Exactly one band under single-cycle
+    /// forwarding (the original position-independent unready word);
+    /// `log2(window)+1` nested bands under pipelined forwarding, the
+    /// widest gating the one word-array blocked test. Cleared
+    /// word-parallel each cycle and rebuilt by the scan.
+    bands: HopBands<REG_LANE_WORDS>,
     /// Packed register snapshot, value lane (packed-values fast path):
     /// the most recent preceding writer's value per register. Together
     /// with `writer_seq` and `writer_ready_at` this is the
@@ -108,11 +126,14 @@ impl ScanScratch {
     /// Size the per-register tables for a program's register file and
     /// empty everything, reusing retained capacity (allocation-free
     /// whenever the file is no wider than any previously prepared one).
-    fn prepare(&mut self, num_regs: usize) {
+    fn prepare(&mut self, num_regs: usize, num_bands: usize) {
         self.last_writer.clear();
         self.last_writer.resize(num_regs, None);
         self.writer_ready_at.clear();
         self.writer_ready_at.resize(num_regs, 0);
+        self.writer_pos.clear();
+        self.writer_pos.resize(num_regs, 0);
+        self.bands.prepare(num_bands);
         self.writer_value.clear();
         self.writer_value.resize(num_regs, 0);
         self.writer_seq.clear();
@@ -132,6 +153,11 @@ impl ScanScratch {
             self.last_writer.fill(None);
             self.writer_ready_at.fill(0);
         }
+        // The readiness bands are rebuilt from zero every cycle — the
+        // word-parallel clear here is the whole reset the banded gate
+        // needs (the base/position tables are read only at raised
+        // lanes).
+        self.bands.clear();
         self.store_infos.clear();
         self.requests.clear();
     }
@@ -238,6 +264,47 @@ fn packed_wakeups(
     }
 }
 
+/// Per-lane refinement of a top-band hit under pipelined forwarding:
+/// for each raised source lane, test the band at the *actual*
+/// producer→consumer hop distance (one bit probe; the bands nest, so
+/// the top-band intersection over-approximates). Returns whether any
+/// source truly blocks at its distance, collecting those sources'
+/// exact readiness times as wake-up events — the same set the scalar
+/// resolve's blocked path would collect. A hit that refines to "ready
+/// at every actual distance" lets the caller fall through to issue.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn banded_blocked(
+    blocked: &RegMask,
+    words: usize,
+    bands: &HopBands<REG_LANE_WORDS>,
+    ready_at: &[u64],
+    writer_pos: &[usize],
+    pos: usize,
+    per_hop: u64,
+    t: u64,
+    next_source_ready: &mut u64,
+) -> bool {
+    let mut any = false;
+    for (j, &word) in blocked.iter().take(words).enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let r = j * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
+            let lvl = hop_level(writer_pos[r], pos);
+            if !bands.test(lvl, r) {
+                continue; // ready at this consumer's distance
+            }
+            any = true;
+            let ra = ready_at[r].saturating_add(ForwardModel::extra_at(per_hop, lvl));
+            if ra > t && ra != u64::MAX {
+                *next_source_ready = (*next_source_ready).min(ra);
+            }
+        }
+    }
+    any
+}
+
 /// The unified Ultrascalar processor model.
 ///
 /// The engine retains its allocation-heavy working state — fetch unit,
@@ -333,16 +400,16 @@ impl Processor for Ultrascalar {
         let lat = self.cfg.latency;
         let fwd = self.cfg.forward;
         let renaming = self.cfg.memory_renaming;
-        // The packed readiness fast path assumes a reader-independent
-        // forwarding latency (ready one cycle after the writer
-        // completes); pipelined forwarding makes readiness depend on
-        // the producer/consumer ring distance, so it keeps the scalar
-        // resolve path. The register-unready lanes live in
-        // `REG_LANE_WORDS` words, covering every register file the ISA
-        // can express (`num_regs <= 256`); the width check is a
-        // safeguard against the ISA widening without this path.
-        let packed_ok =
-            matches!(fwd, ForwardModel::SingleCycle) && program.num_regs <= MAX_PACKED_REGS;
+        // The packed readiness fast path covers both forwarding
+        // models: single-cycle forwarding keeps one reader-independent
+        // unready word, pipelined forwarding keeps one nested band per
+        // H-tree hop level so distance-dependent readiness is still a
+        // word-array test. The lanes live in `REG_LANE_WORDS` words,
+        // covering every register file the ISA can express
+        // (`num_regs <= 256`); the width check — the only remaining
+        // fallback — is a safeguard against the ISA widening without
+        // this path.
+        let packed_ok = program.num_regs <= MAX_PACKED_REGS;
         let packed = self.cfg.packed_flags && packed_ok;
         // Value forwarding rides on the flag networks: it needs the
         // unready-mask gate (so blocked stations never read the
@@ -351,6 +418,27 @@ impl Processor for Ultrascalar {
         // Live prefix of the lane words for this program's register
         // file: the mask tests never touch words no register can reach.
         let lane_words = program.num_regs.div_ceil(64).min(REG_LANE_WORDS);
+        // Pipelined forwarding inside the packed path: the per-hop
+        // cost, and the number of hop-distance readiness bands — one
+        // under single-cycle forwarding (the plain unready word),
+        // `log2(window)+1` under pipelined forwarding (window ring
+        // positions span `0..n`).
+        let pipelined = match fwd {
+            ForwardModel::SingleCycle => None,
+            ForwardModel::Pipelined { per_hop } => Some(per_hop),
+        };
+        let num_bands = if pipelined.is_some() {
+            hop_band_count(n)
+        } else {
+            1
+        };
+        // Loop invariants of the per-writer band update: the per-level
+        // readiness step and the total distance-0→top-band extra. A
+        // writer whose base horizon plus `top_extra` has passed is
+        // ready at *every* distance and usually needs no column write
+        // at all (the bands start each scan pass cleared).
+        let hop_step = pipelined.map_or(0, |ph| ph.saturating_mul(2));
+        let top_extra = hop_step.saturating_mul(num_bands as u64 - 1);
 
         // Rewind the retained working state in place. The engine's
         // configuration is fixed at construction, so each component's
@@ -404,8 +492,8 @@ impl Processor for Ultrascalar {
         if self.cfg.packed_flags && !packed_ok {
             // Visible diagnostic instead of a silent downgrade: the
             // run asked for the packed fast path but the gate kept the
-            // scalar scan (pipelined forwarding, or a register file
-            // wider than the packed lane words).
+            // scalar scan (a register file wider than the packed lane
+            // words — pipelined forwarding now rides the banded path).
             stats.packed_fallbacks += 1;
         }
         let mut halted = false;
@@ -494,7 +582,7 @@ impl Processor for Ultrascalar {
         );
 
         // Per-cycle scan buffers, reused across the whole run.
-        scan.prepare(program.num_regs);
+        scan.prepare(program.num_regs, num_bands);
 
         let mut t: u64 = 0;
         while t < self.cfg.max_cycles {
@@ -522,13 +610,17 @@ impl Processor for Ultrascalar {
             // networks live side by side as lanes of one packed word,
             // narrowed in place as the scan passes each station.
             let mut flags: u64 = F_STORES_DONE | F_LOADS_DONE | F_BRANCHES_DONE | F_STORES_RESOLVED;
-            // Register-unready lane words: lane `r` is raised while the
-            // most recent preceding writer of register `r` has not
-            // produced a usable value this cycle — the software form of
-            // the per-register ready-bit CSPP lanes (paper Figure 4),
-            // 64 registers per word across `REG_LANE_WORDS` words, so a
-            // blocked reader is detected by one word-array mask test.
-            let mut unready: RegMask = [0; REG_LANE_WORDS];
+            // Register-readiness band words (`scan.bands`): band lane
+            // `r` is raised while the most recent preceding writer of
+            // register `r` has not produced a value usable at that hop
+            // distance this cycle — the software form of the
+            // per-register ready-bit CSPP lanes (paper Figure 4), 64
+            // registers per word across `REG_LANE_WORDS` words, so a
+            // blocked reader is detected by one word-array mask test
+            // against the widest band (plus, under pipelined
+            // forwarding, a per-lane probe of the band at the actual
+            // hop distance).
+            //
             // Has-writer lane words: lane `r` is raised once the scan
             // has passed a writer of register `r` this cycle. Rebuilt
             // from zero every cycle, this is the only per-cycle reset
@@ -539,6 +631,8 @@ impl Processor for Ultrascalar {
             let ScanScratch {
                 last_writer,
                 writer_ready_at,
+                writer_pos,
+                bands,
                 writer_value,
                 writer_seq,
                 store_infos,
@@ -560,11 +654,19 @@ impl Processor for Ultrascalar {
                             // Snapshot resolve: a lane extraction from
                             // the packed register snapshot instead of a
                             // per-register match. Readiness comes off
-                            // the same table the unready gate maintains
-                            // (single-cycle forwarding, so no
-                            // position-dependent extra latency).
+                            // the same base table the band gate
+                            // maintains; pipelined forwarding layers
+                            // the consumer's hop-distance cost on top
+                            // (the banded `ready_at` extraction).
                             return if has_writer[i / 64] >> (i % 64) & 1 == 1 {
-                                let ra = writer_ready_at[i];
+                                let base = writer_ready_at[i];
+                                let ra = match pipelined {
+                                    None => base,
+                                    Some(ph) => base.saturating_add(ForwardModel::extra_at(
+                                        ph,
+                                        hop_level(writer_pos[i], pos),
+                                    )),
+                                };
                                 Source::Forwarded {
                                     value: writer_value[i],
                                     ready: ra <= t,
@@ -579,8 +681,14 @@ impl Processor for Ultrascalar {
                         }
                         match last_writer[i] {
                             Some(w) => {
-                                let ready_at =
-                                    w.completed_at.map(|done| done + fwd.extra(w.pos, pos) + 1);
+                                // `done + 1` first, then the saturating
+                                // hop cost — the same composition as
+                                // the packed base table, so the two
+                                // resolve paths agree even where
+                                // `extra` saturates.
+                                let ready_at = w
+                                    .completed_at
+                                    .map(|done| (done + 1).saturating_add(fwd.extra(w.pos, pos)));
                                 Source::Forwarded {
                                     value: w.value,
                                     ready: ready_at.is_some_and(|ra| ra <= t),
@@ -601,25 +709,47 @@ impl Processor for Ultrascalar {
                     let first_attempt = entry.mem == MemPhase::None;
                     let mut issued_alu_class = false;
                     if eligible {
-                        // Packed fast gate: a station is blocked iff its
-                        // decode-time source mask intersects the unready
-                        // lane words — one word-array AND replaces the
-                        // full operand resolution, which then runs only
-                        // for stations that can actually issue.
+                        // Packed fast gate: a station is blocked only if
+                        // its decode-time source mask intersects the
+                        // widest readiness band — one word-array AND
+                        // replaces the full operand resolution, which
+                        // then runs only for stations that can actually
+                        // issue. Under pipelined forwarding a top-band
+                        // hit is refined per raised lane against the
+                        // band at the actual producer→consumer hop
+                        // distance (the bands nest, so a top-band miss
+                        // is an exact all-distances-ready answer).
                         let blocked = if packed {
-                            mask_intersection(&unready, &entry.src_mask, lane_words)
+                            mask_intersection(bands.top(), &entry.src_mask, lane_words)
                         } else {
                             [0; REG_LANE_WORDS]
                         };
-                        if packed && mask_any(&blocked, lane_words) {
-                            packed_wakeups(
-                                &blocked,
-                                lane_words,
-                                writer_ready_at,
-                                t,
-                                &mut next_source_ready,
-                            );
-                        } else {
+                        let gate_blocked = packed
+                            && mask_any(&blocked, lane_words)
+                            && match pipelined {
+                                None => {
+                                    packed_wakeups(
+                                        &blocked,
+                                        lane_words,
+                                        writer_ready_at,
+                                        t,
+                                        &mut next_source_ready,
+                                    );
+                                    true
+                                }
+                                Some(per_hop) => banded_blocked(
+                                    &blocked,
+                                    lane_words,
+                                    bands,
+                                    writer_ready_at,
+                                    writer_pos,
+                                    pos,
+                                    per_hop,
+                                    t,
+                                    &mut next_source_ready,
+                                ),
+                            };
+                        if !gate_blocked {
                             let srcs = entry.instr.reads();
                             let s0 = srcs[0].map(&resolve);
                             let s1 = srcs[1].map(&resolve);
@@ -827,24 +957,42 @@ impl Processor for Ultrascalar {
                             flags &= !F_STORES_DONE;
                         }
                         if renaming {
+                            // Packed gate, same shape as the issue
+                            // path: an unresolved store gates every
+                            // younger load under renaming, and its
+                            // operands' readiness times are wake-up
+                            // events.
                             let blocked = if packed {
-                                mask_intersection(&unready, &entry.src_mask, lane_words)
+                                mask_intersection(bands.top(), &entry.src_mask, lane_words)
                             } else {
                                 [0; REG_LANE_WORDS]
                             };
-                            if packed && mask_any(&blocked, lane_words) {
-                                // Packed gate, same shape as the issue
-                                // path: an unresolved store gates every
-                                // younger load under renaming, and its
-                                // operands' readiness times are wake-up
-                                // events.
-                                packed_wakeups(
-                                    &blocked,
-                                    lane_words,
-                                    writer_ready_at,
-                                    t,
-                                    &mut next_source_ready,
-                                );
+                            let gate_blocked = packed
+                                && mask_any(&blocked, lane_words)
+                                && match pipelined {
+                                    None => {
+                                        packed_wakeups(
+                                            &blocked,
+                                            lane_words,
+                                            writer_ready_at,
+                                            t,
+                                            &mut next_source_ready,
+                                        );
+                                        true
+                                    }
+                                    Some(per_hop) => banded_blocked(
+                                        &blocked,
+                                        lane_words,
+                                        bands,
+                                        writer_ready_at,
+                                        writer_pos,
+                                        pos,
+                                        per_hop,
+                                        t,
+                                        &mut next_source_ready,
+                                    ),
+                                };
+                            if gate_blocked {
                                 flags &= !F_STORES_RESOLVED;
                                 store_infos.push(StoreInfo {
                                     resolved: false,
@@ -926,19 +1074,37 @@ impl Processor for Ultrascalar {
                             });
                         }
                         if packed {
-                            // Per-register ready lane: usable one cycle
-                            // after completion under single-cycle
-                            // forwarding. An entry issuing *this* cycle
-                            // has `done + 1 > t`, so same-cycle readers
-                            // correctly see it unready.
-                            let ra = entry.completed_at.map_or(u64::MAX, |done| done + 1);
-                            writer_ready_at[rd.index()] = ra;
-                            let bit = 1u64 << (rd.index() % 64);
-                            let word = &mut unready[rd.index() / 64];
-                            if ra > t {
-                                *word |= bit;
-                            } else {
-                                *word &= !bit;
+                            // Per-register readiness: the distance-0
+                            // base is usable one cycle after
+                            // completion; hop-distance costs are
+                            // layered on per band. An entry issuing
+                            // *this* cycle has `done + 1 > t`, so
+                            // same-cycle readers correctly see it
+                            // unready.
+                            let i = rd.index();
+                            let base = entry.completed_at.map_or(u64::MAX, |done| done + 1);
+                            writer_ready_at[i] = base;
+                            match pipelined {
+                                None => {
+                                    // One band: the plain unready bit.
+                                    bands.assign_lane(i, (base <= t) as usize);
+                                }
+                                Some(_) => {
+                                    writer_pos[i] = pos;
+                                    if base.saturating_add(top_extra) <= t {
+                                        // Ready at every distance: the
+                                        // column must be all-clear. It
+                                        // already is unless an earlier
+                                        // same-register writer raised
+                                        // it this pass (nesting: clear
+                                        // top bit ⇒ clear column).
+                                        if bands.test(num_bands - 1, i) {
+                                            bands.assign_lane(i, num_bands);
+                                        }
+                                    } else {
+                                        bands.assign_lane_horizon(i, base, hop_step, t);
+                                    }
+                                }
                             }
                         }
                     }

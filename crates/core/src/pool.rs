@@ -241,11 +241,18 @@ pub fn config_shard_hash(cfg: &ProcConfig) -> u64 {
     h = mix(h, cfg.alus.map_or(0, |k| k as u64 + 1));
     h = mix(h, cfg.memory_renaming as u64);
     h = mix(h, cfg.fetch_width.map_or(0, |f| f as u64 + 1));
+    // Mix the variant discriminant in multiplicatively instead of the
+    // old `per_hop + 1`, which overflowed (a debug-build panic) on
+    // `per_hop == u64::MAX`. Forcing the low bit keeps every pipelined
+    // model distinct from `SingleCycle`'s 0 even when the wrapping
+    // multiply lands on it.
     h = mix(
         h,
         match cfg.forward {
             crate::config::ForwardModel::SingleCycle => 0,
-            crate::config::ForwardModel::Pipelined { per_hop } => per_hop + 1,
+            crate::config::ForwardModel::Pipelined { per_hop } => {
+                per_hop.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1
+            }
         },
     );
     h = mix(
@@ -437,6 +444,35 @@ mod tests {
             config_shard_hash(&a),
             config_shard_hash(&ProcConfig::ultrascalar_i(16))
         );
+    }
+
+    /// Regression: the forwarding-model mix used `per_hop + 1`, which
+    /// panicked in debug builds when a client sent `per_hop ==
+    /// u64::MAX`. The wrapping mix must accept the full range, stay
+    /// stable for equal configs, and keep pipelined models apart from
+    /// the single-cycle baseline.
+    #[test]
+    fn shard_hash_handles_extreme_per_hop() {
+        use crate::config::ForwardModel;
+        let base = ProcConfig::ultrascalar_i(8);
+        for per_hop in [0u64, 1, 7, u64::MAX - 1, u64::MAX] {
+            let cfg = base
+                .clone()
+                .with_forwarding(ForwardModel::Pipelined { per_hop });
+            let h = config_shard_hash(&cfg);
+            assert_eq!(h, config_shard_hash(&cfg.clone()), "stable at {per_hop}");
+            assert_ne!(
+                h,
+                config_shard_hash(&base),
+                "pipelined {per_hop} must not collide with single-cycle"
+            );
+        }
+        // A sharded checkout at the extreme value must not panic.
+        let pool = ShardedEnginePool::new(2, 2);
+        let cfg = base.with_forwarding(ForwardModel::Pipelined { per_hop: u64::MAX });
+        let e = pool.checkout(&cfg);
+        pool.checkin(e);
+        assert_eq!(pool.stats().warm, 1);
     }
 
     #[test]

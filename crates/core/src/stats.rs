@@ -37,10 +37,12 @@ pub struct ProcStats {
     /// instructions that could not start because no ALU was free.
     pub alu_stalls: u64,
     /// Runs in which `ProcConfig::packed_flags` was requested but the
-    /// engine's gate kept the scalar scan (pipelined forwarding, or a
-    /// register file wider than the packed lane words). The
-    /// packed-values snapshot rides on the same gate, so a counted
-    /// fallback also means the value-snapshot resolve did not run.
+    /// engine's gate kept the scalar scan — since pipelined forwarding
+    /// rides the hop-banded readiness words, the only remaining cause
+    /// is a register file wider than the packed lane words
+    /// (`num_regs > 256`). The packed-values snapshot rides on the
+    /// same gate, so a counted fallback also means the value-snapshot
+    /// resolve did not run.
     /// Zero whenever the packed fast path actually ran — a silent
     /// downgrade would otherwise be invisible in sweeps over the very
     /// regimes the packed paths exist for. `usim serve` aggregates

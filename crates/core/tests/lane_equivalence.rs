@@ -110,6 +110,9 @@ fn serial_runs(cfg: &ProcConfig, programs: &[Program]) -> Vec<RunResult> {
 }
 
 fn assert_identical(got: &RunResult, want: &RunResult, ctx: &str) {
+    // Lane batching must never push any configuration — pipelined
+    // forwarding included — off the packed path.
+    assert_eq!(got.stats.packed_fallbacks, 0, "{ctx}: fallback counter");
     assert_eq!(got.halted, want.halted, "{ctx}: halted");
     assert_eq!(got.cycles, want.cycles, "{ctx}: cycles");
     assert_eq!(got.regs, want.regs, "{ctx}: registers");
@@ -133,11 +136,18 @@ fn check_batch(batcher: &mut LaneBatcher, cfg: &ProcConfig, programs: &[Program]
 #[test]
 fn standard_kernel_suite_matches_serial() {
     // Every named kernel, vectorized over lanes with independent
-    // random initial registers, across the three paper architectures.
+    // random initial registers, across the three paper architectures —
+    // plus pipelined forwarding, which lane-batches on the hop-banded
+    // packed path like any other configuration.
     let configs = [
         ("usi", ProcConfig::ultrascalar_i(16)),
         ("usii", ProcConfig::ultrascalar_ii(16)),
         ("hybrid", ProcConfig::hybrid(16, 4)),
+        (
+            "usi-pipelined",
+            ProcConfig::ultrascalar_i(16)
+                .with_forwarding(ultrascalar::ForwardModel::Pipelined { per_hop: 1 }),
+        ),
     ];
     for (name, cfg) in &configs {
         let mut batcher = LaneBatcher::new();
@@ -179,6 +189,11 @@ fn forced_divergence_random_sweep_is_bit_exact() {
             ProcConfig::ultrascalar_i(8).with_predictor(PredictorKind::Bimodal(16)),
         ),
         ("hybrid-perfect", ProcConfig::hybrid(16, 4)),
+        (
+            "usi-pipelined",
+            ProcConfig::ultrascalar_i(8)
+                .with_forwarding(ultrascalar::ForwardModel::Pipelined { per_hop: 1 }),
+        ),
     ];
     let mut batchers: Vec<LaneBatcher> = configs.iter().map(|_| LaneBatcher::new()).collect();
     for iter in 0..60 {

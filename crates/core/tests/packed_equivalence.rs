@@ -85,9 +85,9 @@ fn random_program(rng: &mut Rng, nregs: usize) -> Program {
 /// The configurations under test: all the feature interactions the
 /// packed gate touches (renaming store re-resolution, shared ALUs,
 /// finite memory, trace cache, fetch caps) plus a pipelined-forwarding
-/// configuration, where `packed_flags` must fall back to the scalar
-/// path (with the downgrade counted, not silent) because readiness is
-/// reader-dependent.
+/// configuration, where the packed path must hold via the hop-banded
+/// readiness words — reader-dependent readiness is no longer a
+/// fallback condition.
 fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
     vec![
         (
@@ -146,26 +146,23 @@ fn differential_sweep(seed: u64, nregs: usize, iters: u32) {
         }
         for (name, cfg) in configs(lat) {
             assert!(cfg.packed_flags, "packed flags must default on");
-            let pipelined = matches!(cfg.forward, ForwardModel::Pipelined { .. });
             let packed = Ultrascalar::new(cfg.clone()).run(&prog);
             let legacy = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
-            // The fallback diagnostic is the one legitimate stats
-            // divergence: the packed run records the downgrade exactly
-            // when the gate cannot hold (pipelined forwarding — never
-            // register-file width, which the multi-word lanes cover in
-            // full), the scalar run never does.
+            // No config corner may fall back any more: the hop-banded
+            // readiness words keep pipelined forwarding on the packed
+            // path, and the multi-word lanes cover every register-file
+            // width the ISA can express. Zero fallbacks, cycle-exact,
+            // stats compared whole.
             assert_eq!(
-                packed.stats.packed_fallbacks, pipelined as u64,
+                packed.stats.packed_fallbacks, 0,
                 "iter {iter} {name} L={nregs}: fallback counter"
             );
             assert_eq!(
                 legacy.stats.packed_fallbacks, 0,
                 "iter {iter} {name} L={nregs}: scalar run must not count fallbacks"
             );
-            let mut ps = packed.stats.clone();
-            let mut ls = legacy.stats.clone();
-            ps.packed_fallbacks = 0;
-            ls.packed_fallbacks = 0;
+            let ps = packed.stats.clone();
+            let ls = legacy.stats.clone();
             assert_eq!(
                 packed.cycles, legacy.cycles,
                 "iter {iter} {name} L={nregs}: cycle mismatch"
@@ -238,12 +235,14 @@ fn high_reg_chain(nregs: usize) -> Program {
     Program::new(instrs, nregs)
 }
 
-/// Regression test for the fallback diagnostic (the downgrade used to
-/// be silent): at `num_regs = 65` the single-cycle gate must *stay
-/// packed* (counter clean — this is the width that used to fall back
-/// when the unready lanes lived in one `u64`), while a
-/// pipelined-forwarding run at the same width must count exactly one
-/// fallback and still compute the same result.
+/// Regression test for the fallback diagnostic: at `num_regs = 65` the
+/// single-cycle gate must *stay packed* (counter clean — this is the
+/// width that used to fall back when the unready lanes lived in one
+/// `u64`), and a pipelined-forwarding run at the same width must now
+/// *also* stay packed (zero fallbacks — the hop-banded readiness words
+/// closed what used to be the one remaining scalar downgrade) and
+/// still compute the same result, cycle-exact against the scalar
+/// resolve.
 #[test]
 fn fallback_diagnostic_fires_only_when_gate_drops() {
     for nregs in [65usize, 128, 256] {
@@ -257,24 +256,21 @@ fn fallback_diagnostic_fires_only_when_gate_drops() {
         );
         assert_eq!(single.regs[0], 41 * 41 + 1);
 
-        let piped = Ultrascalar::new(
-            ProcConfig::ultrascalar_i(8).with_forwarding(ForwardModel::Pipelined { per_hop: 1 }),
-        )
-        .run(&prog);
+        let cfg =
+            ProcConfig::ultrascalar_i(8).with_forwarding(ForwardModel::Pipelined { per_hop: 1 });
+        let piped = Ultrascalar::new(cfg.clone()).run(&prog);
         assert_eq!(
-            piped.stats.packed_fallbacks, 1,
-            "L={nregs}: pipelined forwarding must count its scalar fallback"
+            piped.stats.packed_fallbacks, 0,
+            "L={nregs}: pipelined forwarding must ride the banded packed path"
         );
         assert_eq!(piped.regs[0], 41 * 41 + 1);
 
-        // Not requested ⇒ nothing to report, even where the gate would
-        // have dropped.
-        let unrequested = Ultrascalar::new(
-            ProcConfig::ultrascalar_i(8)
-                .with_forwarding(ForwardModel::Pipelined { per_hop: 1 })
-                .without_packed_flags(),
-        )
-        .run(&prog);
-        assert_eq!(unrequested.stats.packed_fallbacks, 0);
+        // And cycle-exact against the retained scalar resolve.
+        let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+        assert_eq!(scalar.stats.packed_fallbacks, 0);
+        assert_eq!(piped.cycles, scalar.cycles, "L={nregs}: cycles");
+        assert_eq!(piped.regs, scalar.regs, "L={nregs}: regs");
+        assert_eq!(piped.stats, scalar.stats, "L={nregs}: stats");
+        assert_eq!(piped.timings, scalar.timings, "L={nregs}: timings");
     }
 }

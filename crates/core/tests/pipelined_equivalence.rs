@@ -1,0 +1,215 @@
+//! Differential suite dedicated to pipelined forwarding on the packed
+//! path: the hop-banded readiness words must keep every
+//! `ForwardModel::Pipelined { per_hop }` configuration on the packed
+//! fast path (`packed_fallbacks == 0`) while staying byte-identical —
+//! cycles, registers, memory, statistics, per-instruction timings —
+//! to the retained scalar resolve, across window sizes (band counts
+//! from 1 to 7), per-hop latencies from 0 to the saturating `u64`
+//! extremes, and register-file widths spanning every lane-word regime.
+//!
+//! The extreme `per_hop` rows pin the saturating-arithmetic regime: a
+//! huge hop latency must behave as "never forwards across distance"
+//! (readiness horizon clamps to `u64::MAX`), not wrap into the past.
+
+use ultrascalar::{ForwardModel, LatencyModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_isa::{workload, AluOp, BranchCond, Instr, Program, Reg};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_program(rng: &mut Rng, nregs: usize) -> Program {
+    let len = 12 + rng.below(20) as usize;
+    let mut instrs = Vec::new();
+    for i in 0..len {
+        let r = |rng: &mut Rng| Reg(rng.below(nregs as u64) as u8);
+        match rng.below(10) {
+            0..=2 => instrs.push(Instr::AluImm {
+                op: [AluOp::Add, AluOp::Sub, AluOp::Xor][rng.below(3) as usize],
+                rd: r(rng),
+                rs1: r(rng),
+                imm: rng.below(32) as i32,
+            }),
+            3..=4 => instrs.push(Instr::Alu {
+                op: [AluOp::Add, AluOp::Mul, AluOp::And, AluOp::Div][rng.below(4) as usize],
+                rd: r(rng),
+                rs1: r(rng),
+                rs2: r(rng),
+            }),
+            5 => instrs.push(Instr::Load {
+                rd: r(rng),
+                base: r(rng),
+                offset: rng.below(16) as i32,
+            }),
+            6 => instrs.push(Instr::Store {
+                src: r(rng),
+                base: r(rng),
+                offset: rng.below(16) as i32,
+            }),
+            7 => instrs.push(Instr::LoadImm {
+                rd: r(rng),
+                imm: rng.below(64) as i32,
+            }),
+            8 => {
+                // Forward branch only (termination guaranteed).
+                let tgt = (i as u64 + 1 + rng.below(4)).min(len as u64) as u32;
+                instrs.push(Instr::Branch {
+                    cond: [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt][rng.below(3) as usize],
+                    rs1: r(rng),
+                    rs2: r(rng),
+                    target: tgt,
+                });
+            }
+            _ => instrs.push(Instr::Nop),
+        }
+    }
+    instrs.push(Instr::Halt);
+    Program {
+        instrs,
+        num_regs: nregs,
+        init_regs: (0..nregs as u32).map(|x| x * 3 + 1).collect(),
+        init_mem: (0..32).map(|x| x as u32 * 7 + 2).collect(),
+    }
+}
+
+/// Assert bit-identical results and a clean fallback counter on the
+/// packed side.
+fn assert_pinned(
+    packed: &ultrascalar::RunResult,
+    scalar: &ultrascalar::RunResult,
+    ctx: &std::fmt::Arguments<'_>,
+) {
+    assert_eq!(
+        packed.stats.packed_fallbacks, 0,
+        "{ctx}: pipelined config must stay on the banded packed path"
+    );
+    assert_eq!(scalar.stats.packed_fallbacks, 0, "{ctx}: scalar counter");
+    assert_eq!(packed.cycles, scalar.cycles, "{ctx}: cycles");
+    assert_eq!(packed.halted, scalar.halted, "{ctx}: halted");
+    assert_eq!(packed.regs, scalar.regs, "{ctx}: regs");
+    assert_eq!(packed.mem, scalar.mem, "{ctx}: memory");
+    assert_eq!(packed.stats, scalar.stats, "{ctx}: stats");
+    assert_eq!(packed.timings, scalar.timings, "{ctx}: timings");
+}
+
+/// Random programs across window sizes (1 to 7 hop bands) × per-hop
+/// latencies, packed vs scalar, three resolve flavours each.
+#[test]
+fn banded_pipelined_matches_scalar_across_windows_and_hops() {
+    let mut rng = Rng(0x000B_1B3D_BA6D);
+    let lat = LatencyModel {
+        branch: 2,
+        ..LatencyModel::default()
+    };
+    for window in [1usize, 2, 8, 16, 64] {
+        for per_hop in [0u64, 1, 2, 7] {
+            for iter in 0..20u32 {
+                let prog = random_program(&mut rng, 8);
+                if prog.validate().is_err() {
+                    continue;
+                }
+                let cfg = ProcConfig::ultrascalar_i(window)
+                    .with_predictor(PredictorKind::Bimodal(16))
+                    .with_forwarding(ForwardModel::Pipelined { per_hop })
+                    .with_latency(lat);
+                let packed = Ultrascalar::new(cfg.clone()).run(&prog);
+                let flags_only = Ultrascalar::new(cfg.clone().without_packed_values()).run(&prog);
+                let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+                assert_pinned(
+                    &packed,
+                    &scalar,
+                    &format_args!("n={window} per_hop={per_hop} iter={iter} full"),
+                );
+                assert_pinned(
+                    &flags_only,
+                    &scalar,
+                    &format_args!("n={window} per_hop={per_hop} iter={iter} flags-only"),
+                );
+            }
+        }
+    }
+}
+
+/// The saturation regime: `per_hop` so large that any non-zero hop
+/// distance clamps the readiness horizon to `u64::MAX` ("this value
+/// never arrives from afar"). The packed banded path must agree with
+/// the scalar resolve exactly — in particular it must not wrap the
+/// horizon into the past and forward stale values early.
+#[test]
+fn saturating_per_hop_extremes_stay_exact() {
+    let mut rng = Rng(0x5A7_FFFF);
+    for per_hop in [u64::MAX, u64::MAX / 2, u64::MAX / 3, 1u64 << 62] {
+        for iter in 0..15u32 {
+            let prog = random_program(&mut rng, 8);
+            if prog.validate().is_err() {
+                continue;
+            }
+            // Window 2 keeps same-position reuse (hop 0, zero extra)
+            // common, so progress is possible even when cross-station
+            // forwarding saturates; the cycle budget bounds the rest.
+            for window in [2usize, 8] {
+                let cfg = ProcConfig {
+                    max_cycles: 20_000,
+                    ..ProcConfig::ultrascalar_i(window)
+                }
+                .with_forwarding(ForwardModel::Pipelined { per_hop });
+                let packed = Ultrascalar::new(cfg.clone()).run(&prog);
+                let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+                assert_pinned(
+                    &packed,
+                    &scalar,
+                    &format_args!("n={window} per_hop={per_hop} iter={iter}"),
+                );
+            }
+        }
+    }
+}
+
+/// Register-file widths across every lane-word regime under pipelined
+/// forwarding: the banded words must cover all four readiness words,
+/// not just word 0.
+#[test]
+fn banded_path_covers_all_lane_words() {
+    let mut rng = Rng(0xBADBA4D5);
+    for nregs in [6usize, 65, 128, 256] {
+        for iter in 0..15u32 {
+            let prog = random_program(&mut rng, nregs);
+            if prog.validate().is_err() {
+                continue;
+            }
+            let cfg = ProcConfig::ultrascalar_ii(8)
+                .with_memory_renaming()
+                .with_forwarding(ForwardModel::Pipelined { per_hop: 3 });
+            let packed = Ultrascalar::new(cfg.clone()).run(&prog);
+            let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+            assert_pinned(&packed, &scalar, &format_args!("L={nregs} iter={iter}"));
+        }
+    }
+}
+
+/// The standard named kernels under pipelined forwarding — deeper
+/// programs than the random sweep, exercising long-lived stations and
+/// cycle skipping over multi-band readiness horizons.
+#[test]
+fn kernel_suite_pinned_under_pipelined_forwarding() {
+    for (name, prog) in workload::standard_suite(6) {
+        for per_hop in [1u64, 4] {
+            let cfg = ProcConfig::hybrid(16, 4)
+                .with_memory_renaming()
+                .with_forwarding(ForwardModel::Pipelined { per_hop });
+            let packed = Ultrascalar::new(cfg.clone()).run(&prog);
+            let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
+            assert_pinned(&packed, &scalar, &format_args!("{name} per_hop={per_hop}"));
+        }
+    }
+}
