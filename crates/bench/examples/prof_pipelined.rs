@@ -1,0 +1,40 @@
+//! Profiling harness for packed-vs-scalar engine deltas: run one
+//! arch/kernel cell in a tight loop so a CPU-time profiler (gprofng,
+//! perf) can attribute the difference. This is how the hop-banded
+//! writer-update regression was found; kept because the next
+//! regression hunt will need the same fixture.
+//!
+//! Usage: `prof_pipelined [packed|scalar] [kernel] [arch] [iters]`
+//! with kernel ∈ {div, dot, fan} and arch ∈ {usi, pipelined}.
+use ultrascalar::{ForwardModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
+use ultrascalar_bench::kernels::{div_chain, forward_fan};
+use ultrascalar_isa::workload;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let variant = args.next().unwrap_or_else(|| "packed".into());
+    let kernel = args.next().unwrap_or_else(|| "div".into());
+    let arch = args.next().unwrap_or_else(|| "pipelined".into());
+    let iters: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40000);
+    let n = 64;
+    let mut cfg = ProcConfig::ultrascalar_i(n).with_predictor(PredictorKind::Bimodal(64));
+    if arch == "pipelined" {
+        cfg = cfg
+            .with_forwarding(ForwardModel::Pipelined { per_hop: 1 })
+            .with_packed_override();
+    }
+    if variant == "scalar" {
+        cfg = cfg.without_packed_flags();
+    }
+    let prog = match kernel.as_str() {
+        "dot" => workload::dot_product(96),
+        "fan" => forward_fan(48),
+        _ => div_chain(48),
+    };
+    let mut engine = Ultrascalar::new(cfg);
+    let mut cycles = 0u64;
+    for _ in 0..iters {
+        cycles = cycles.wrapping_add(engine.run(&prog).cycles);
+    }
+    println!("{variant}/{kernel}/{arch}: done ({cycles})");
+}

@@ -460,6 +460,21 @@ pub fn execute_program(o: &RunOptions, program: &Program) -> Result<(RunResult, 
              repeated runs with this configuration warn once, stats stay authoritative\n",
         );
     }
+    // Forced-SWAR dispatch is worth one line per configuration: a run
+    // whose numbers were taken with the vector substrate pinned off
+    // should say so (results are bit-identical either way, only
+    // throughput changes). Only noteworthy when the host actually has
+    // a faster level to give up.
+    if (proc.config().force_swar || ultrascalar_prefix::force_swar_active())
+        && ultrascalar_prefix::detected_simd_level() != "swar"
+        && warning_is_first("forced-swar", proc.config())
+    {
+        out.push_str(&format!(
+            "note: SIMD dispatch pinned to the portable SWAR substrate (host supports {}) \
+             — via USIM_FORCE_SWAR or the force_swar config flag\n",
+            ultrascalar_prefix::detected_simd_level()
+        ));
+    }
     if o.show_regs {
         out.push_str("registers:\n");
         for (i, v) in r.regs.iter().enumerate() {
@@ -479,23 +494,31 @@ pub fn execute_program(o: &RunOptions, program: &Program) -> Result<(RunResult, 
     Ok((r, out))
 }
 
-/// True the first time `cfg` is seen by the packed-fallback warning,
-/// false on every repeat: a client issuing thousands of runs under one
-/// configuration used to get one stderr line per run. Process-global
-/// and a linear scan — distinct configurations per process are few,
-/// and `ProcStats::packed_fallbacks` stays authoritative regardless.
-pub(crate) fn fallback_warning_is_first(cfg: &ProcConfig) -> bool {
-    static SEEN: std::sync::OnceLock<std::sync::Mutex<Vec<ProcConfig>>> =
+/// True the first time the (`kind`, `cfg`) pair is seen by the
+/// warn-once registry, false on every repeat: a client issuing
+/// thousands of runs under one configuration used to get one stderr
+/// line per run. Process-global and a linear scan — distinct
+/// configurations per process are few, and the stats counters stay
+/// authoritative regardless. Warning kinds are independent keys, so a
+/// packed-fallback warning never suppresses a forced-SWAR note for the
+/// same configuration (or vice versa).
+pub(crate) fn warning_is_first(kind: &'static str, cfg: &ProcConfig) -> bool {
+    static SEEN: std::sync::OnceLock<std::sync::Mutex<Vec<(&'static str, ProcConfig)>>> =
         std::sync::OnceLock::new();
     let mut seen = SEEN
         .get_or_init(|| std::sync::Mutex::new(Vec::new()))
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if seen.iter().any(|c| c == cfg) {
+    if seen.iter().any(|(k, c)| *k == kind && c == cfg) {
         return false;
     }
-    seen.push(cfg.clone());
+    seen.push((kind, cfg.clone()));
     true
+}
+
+/// The packed-fallback warning's registry key (see [`warning_is_first`]).
+pub(crate) fn fallback_warning_is_first(cfg: &ProcConfig) -> bool {
+    warning_is_first("packed-fallback", cfg)
 }
 
 /// `usim asm`: assemble and list a program.

@@ -144,15 +144,25 @@ impl JsonPoint {
 #[derive(Debug, Clone)]
 pub struct JsonReport {
     experiment: String,
+    /// Host SIMD capability and the dispatch level actually in effect
+    /// when the report was started — stamped into every artifact so
+    /// numbers from different hosts (or forced-SWAR runs) are
+    /// comparable at a glance.
+    simd_detected: &'static str,
+    simd_active: &'static str,
     points: Vec<JsonPoint>,
     summaries: Vec<(String, f64)>,
 }
 
 impl JsonReport {
-    /// Start an empty report for the named experiment.
+    /// Start an empty report for the named experiment. The host's
+    /// detected SIMD level and the currently active dispatch level are
+    /// recorded at construction time.
     pub fn new(experiment: &str) -> Self {
         JsonReport {
             experiment: experiment.to_string(),
+            simd_detected: ultrascalar_prefix::detected_simd_level(),
+            simd_active: ultrascalar_prefix::active_simd_level(),
             points: Vec::new(),
             summaries: Vec::new(),
         }
@@ -212,6 +222,10 @@ impl JsonReport {
         out.push_str(&format!(
             "  \"experiment\": \"{}\",\n",
             escape(&self.experiment)
+        ));
+        out.push_str(&format!(
+            "  \"simd_detected\": \"{}\",\n  \"simd_active\": \"{}\",\n",
+            self.simd_detected, self.simd_active
         ));
         let total: f64 = self.points.iter().map(|p| p.wall_s).sum();
         out.push_str(&format!("  \"total_point_wall_s\": {:.6},\n", total));

@@ -142,6 +142,22 @@ pub struct ProcConfig {
     /// pipelined forwarding the snapshot resolve extracts per-consumer
     /// `ready_at` horizons from the hop-banded readiness state.
     pub packed_values: bool,
+    /// Pin the substrate's portable SWAR kernels for the duration of
+    /// every run under this config (off by default), bypassing the
+    /// runtime AVX2 dispatch in `ultrascalar_prefix::simd`. Dispatch
+    /// never changes an observable result — both paths are bit-for-bit
+    /// identical — so this is purely a diagnostic/A-B knob: rule out a
+    /// suspect vector codepath in the field, or measure the SWAR twin
+    /// on an AVX2 host. The `USIM_FORCE_SWAR` environment variable
+    /// (read once per process) forces the same fallback globally.
+    pub force_swar: bool,
+    /// Run the packed readiness path even on configuration shapes
+    /// where [`ProcConfig::packed_shape_wins`] says it net-loses (off
+    /// by default). Results are cycle-exact either way; this exists so
+    /// A/B harnesses and differential tests can still reach the gated
+    /// path (e.g. the hop-banded pipelined readiness words) on shapes
+    /// the engine would otherwise run scalar.
+    pub packed_override: bool,
 }
 
 impl ProcConfig {
@@ -164,6 +180,8 @@ impl ProcConfig {
             cycle_skip: true,
             packed_flags: true,
             packed_values: true,
+            force_swar: false,
+            packed_override: false,
         }
     }
 
@@ -263,6 +281,40 @@ impl ProcConfig {
     pub fn without_packed_values(mut self) -> Self {
         self.packed_values = false;
         self
+    }
+
+    /// Builder: pin the substrate's portable SWAR kernels for every
+    /// run under this config (see [`ProcConfig::force_swar`]).
+    pub fn with_force_swar(mut self) -> Self {
+        self.force_swar = true;
+        self
+    }
+
+    /// Builder: run the packed readiness path even on shapes where it
+    /// measures as a net loss (see [`ProcConfig::packed_override`]).
+    pub fn with_packed_override(mut self) -> Self {
+        self.packed_override = true;
+        self
+    }
+
+    /// Does the packed readiness path pay for itself under this
+    /// configuration's *shape*? Measured on the interleaved step_ab
+    /// A/B harness (`BENCH_step_ab.json`): the packed gate wins
+    /// 1.02–1.14× on single-cycle-forwarding shapes with latency-free
+    /// memory and sub-window clusters, and net-loses under pipelined
+    /// forwarding (band upkeep plus per-lane hop refinement outweigh
+    /// the skipped operand resolutions, 0.87–0.96×), latency-bearing
+    /// memory (runs dominated by stall cycles the scan cannot
+    /// shorten) and batch-refill `C = n` windows. The engine runs the
+    /// scalar scan on losing shapes — recording the decision in
+    /// `ProcStats::packed_shape_gated` — unless
+    /// [`ProcConfig::packed_override`] punches through; results are
+    /// cycle-exact on either path.
+    pub fn packed_shape_wins(&self) -> bool {
+        matches!(self.forward, ForwardModel::SingleCycle)
+            && self.cluster < self.window
+            && self.mem.hop_latency == 0
+            && self.mem.base_latency == 0
     }
 
     /// Number of clusters `K = n / C`.

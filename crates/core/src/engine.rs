@@ -33,7 +33,7 @@ use crate::config::{ForwardModel, ProcConfig};
 use crate::fetch::{FetchUnit, TraceCache};
 use crate::processor::{Processor, RunResult};
 use crate::station::{
-    mask_any, mask_intersection, MemPhase, RegMask, StationEntry, MAX_PACKED_REGS, REG_LANE_WORDS,
+    mask_intersection, MemPhase, RegMask, StationEntry, MAX_PACKED_REGS, REG_LANE_WORDS,
 };
 use crate::stats::ProcStats;
 use crate::timing::InstrTiming;
@@ -240,17 +240,18 @@ struct StoreInfo {
 /// source becomes usable exactly one cycle after its writer completes,
 /// so the readiness time is read straight off the per-register table
 /// without building a [`Source`] (`u64::MAX` entries — writers with no
-/// scheduled completion — are absorbed by the `min`). Only the first
-/// `words` lane words can hold raised bits (the caller's intersection
-/// is truncated to the program's live register prefix).
-#[inline]
-fn packed_wakeups(
-    blocked: &RegMask,
-    words: usize,
-    ready_at: &[u64],
-    t: u64,
-    next_source_ready: &mut u64,
-) {
+/// scheduled completion — contribute no bound). Only the first `words`
+/// lane words can hold raised bits (the caller's intersection is
+/// truncated to the program's live register prefix).
+///
+/// Returns the **max** of the blocking sources' known readiness times
+/// (0 when none is scheduled): the station issues only when *all*
+/// sources are ready, so the max of the known ones is a lower bound on
+/// its issue cycle — both the wake-up event the cycle skip may jump to
+/// and the bound cached in [`StationEntry::not_before`].
+#[inline(always)]
+fn packed_wakeups(blocked: &RegMask, words: usize, ready_at: &[u64], t: u64) -> u64 {
+    let mut bound = 0u64;
     for (j, &word) in blocked.iter().take(words).enumerate() {
         let mut w = word;
         while w != 0 {
@@ -258,22 +259,27 @@ fn packed_wakeups(
             w &= w - 1;
             let ra = ready_at[r];
             if ra > t && ra != u64::MAX {
-                *next_source_ready = (*next_source_ready).min(ra);
+                bound = bound.max(ra);
             }
         }
     }
+    bound
 }
 
 /// Per-lane refinement of a top-band hit under pipelined forwarding:
 /// for each raised source lane, test the band at the *actual*
 /// producer→consumer hop distance (one bit probe; the bands nest, so
 /// the top-band intersection over-approximates). Returns whether any
-/// source truly blocks at its distance, collecting those sources'
-/// exact readiness times as wake-up events — the same set the scalar
-/// resolve's blocked path would collect. A hit that refines to "ready
-/// at every actual distance" lets the caller fall through to issue.
-#[inline]
+/// source truly blocks at its distance, plus the **max** of the truly
+/// blocking sources' known readiness times (0 when none is scheduled)
+/// — the issue-cycle lower bound cached in
+/// [`StationEntry::not_before`]. A hit that refines to "ready at every
+/// actual distance" lets the caller fall through to issue.
+// Hot-path helper: the arguments are disjoint borrows of scan scratch
+// that a bundling struct would force into one, fighting the borrow
+// checker at every call site.
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 fn banded_blocked(
     blocked: &RegMask,
     words: usize,
@@ -283,9 +289,9 @@ fn banded_blocked(
     pos: usize,
     per_hop: u64,
     t: u64,
-    next_source_ready: &mut u64,
-) -> bool {
+) -> (bool, u64) {
     let mut any = false;
+    let mut bound = 0u64;
     for (j, &word) in blocked.iter().take(words).enumerate() {
         let mut w = word;
         while w != 0 {
@@ -298,11 +304,11 @@ fn banded_blocked(
             any = true;
             let ra = ready_at[r].saturating_add(ForwardModel::extra_at(per_hop, lvl));
             if ra > t && ra != u64::MAX {
-                *next_source_ready = (*next_source_ready).min(ra);
+                bound = bound.max(ra);
             }
         }
     }
-    any
+    (any, bound)
 }
 
 /// The unified Ultrascalar processor model.
@@ -394,6 +400,15 @@ impl Processor for Ultrascalar {
 
     fn run_reusing(&mut self, program: &Program, out: &mut RunResult) {
         program.validate().expect("program must validate");
+        // Pin the portable SWAR substrate for the whole run when the
+        // config asks for it (RAII: dispatch is restored on every exit
+        // path). The toggle is process-global, but dispatch never
+        // changes an observable result — concurrent runs under mixed
+        // settings only vary which bit-identical kernel executes.
+        let _swar_guard = self
+            .cfg
+            .force_swar
+            .then(ultrascalar_prefix::ForceSwarGuard::force);
         let n = self.cfg.window;
         let c = self.cfg.cluster;
         let k = n / c;
@@ -410,7 +425,13 @@ impl Processor for Ultrascalar {
         // fallback — is a safeguard against the ISA widening without
         // this path.
         let packed_ok = program.num_regs <= MAX_PACKED_REGS;
-        let packed = self.cfg.packed_flags && packed_ok;
+        // Shape gate: the packed path only runs where the step_ab A/B
+        // data says it wins (see `ProcConfig::packed_shape_wins`);
+        // `packed_override` punches through for A/B harnesses and
+        // differential tests. The decision is recorded in
+        // `ProcStats::packed_shape_gated` below.
+        let shape_ok = self.cfg.packed_override || self.cfg.packed_shape_wins();
+        let packed = self.cfg.packed_flags && packed_ok && shape_ok;
         // Value forwarding rides on the flag networks: it needs the
         // unready-mask gate (so blocked stations never read the
         // snapshot) and the readiness table the gate maintains.
@@ -495,6 +516,12 @@ impl Processor for Ultrascalar {
             // scalar scan (a register file wider than the packed lane
             // words — pipelined forwarding now rides the banded path).
             stats.packed_fallbacks += 1;
+        }
+        if self.cfg.packed_flags && packed_ok && !shape_ok {
+            // Deliberate policy decision, distinct from the width
+            // fallback above: this shape measures as a net loss for
+            // the packed path, so the scalar scan runs instead.
+            stats.packed_shape_gated += 1;
         }
         let mut halted = false;
         // Shared-ALU pool: first cycle each unit is free again.
@@ -584,6 +611,12 @@ impl Processor for Ultrascalar {
         // Per-cycle scan buffers, reused across the whole run.
         scan.prepare(program.num_regs, num_bands);
 
+        // Commit epoch for the per-entry `not_before` cache: cached
+        // issue bounds are conditioned on producers forwarding
+        // in-window, and an in-order commit publishes the committed
+        // register file (readable from commit+2, possibly before the
+        // forwarding horizon), so every commit invalidates all bounds.
+        let mut commit_epoch: u64 = 1;
         let mut t: u64 = 0;
         while t < self.cfg.max_cycles {
             if window.is_empty() && fetch.exhausted() {
@@ -708,35 +741,36 @@ impl Processor for Ultrascalar {
                     // the first attempt.
                     let first_attempt = entry.mem == MemPhase::None;
                     let mut issued_alu_class = false;
-                    if eligible {
+                    // Cached issue bound: while no commit has
+                    // intervened and the bound is still in the future,
+                    // the entry provably cannot issue — skip the gate
+                    // and operand resolution outright and keep the
+                    // bound as this entry's wake-up event.
+                    let cached_blocked =
+                        packed && entry.nb_epoch == commit_epoch && entry.not_before > t;
+                    if cached_blocked {
+                        next_source_ready = next_source_ready.min(entry.not_before);
+                    }
+                    if eligible && !cached_blocked {
                         // Packed fast gate: a station is blocked only if
                         // its decode-time source mask intersects the
-                        // widest readiness band — one word-array AND
-                        // replaces the full operand resolution, which
-                        // then runs only for stations that can actually
-                        // issue. Under pipelined forwarding a top-band
-                        // hit is refined per raised lane against the
-                        // band at the actual producer→consumer hop
-                        // distance (the bands nest, so a top-band miss
-                        // is an exact all-distances-ready answer).
-                        let blocked = if packed {
-                            mask_intersection(bands.top(), &entry.src_mask, lane_words)
-                        } else {
-                            [0; REG_LANE_WORDS]
-                        };
-                        let gate_blocked = packed
-                            && mask_any(&blocked, lane_words)
-                            && match pipelined {
-                                None => {
-                                    packed_wakeups(
-                                        &blocked,
-                                        lane_words,
-                                        writer_ready_at,
-                                        t,
-                                        &mut next_source_ready,
-                                    );
-                                    true
-                                }
+                        // widest readiness band — one word-array test
+                        // (vector on AVX2 hosts) replaces the full
+                        // operand resolution, which then runs only for
+                        // stations that can actually issue. Under
+                        // pipelined forwarding a top-band hit is
+                        // refined per raised lane against the band at
+                        // the actual producer→consumer hop distance
+                        // (the bands nest, so a top-band miss is an
+                        // exact all-distances-ready answer).
+                        let gate_blocked = packed && bands.intersects(&entry.src_mask) && {
+                            let blocked =
+                                mask_intersection(bands.top(), &entry.src_mask, lane_words);
+                            let (truly, bound) = match pipelined {
+                                None => (
+                                    true,
+                                    packed_wakeups(&blocked, lane_words, writer_ready_at, t),
+                                ),
                                 Some(per_hop) => banded_blocked(
                                     &blocked,
                                     lane_words,
@@ -746,10 +780,18 @@ impl Processor for Ultrascalar {
                                     pos,
                                     per_hop,
                                     t,
-                                    &mut next_source_ready,
                                 ),
                             };
+                            if truly && bound > t {
+                                next_source_ready = next_source_ready.min(bound);
+                                let e = &mut window[ci].entries[ei];
+                                e.not_before = bound;
+                                e.nb_epoch = commit_epoch;
+                            }
+                            truly
+                        };
                         if !gate_blocked {
+                            let entry = &window[ci].entries[ei];
                             let srcs = entry.instr.reads();
                             let s0 = srcs[0].map(&resolve);
                             let s1 = srcs[1].map(&resolve);
@@ -961,37 +1003,45 @@ impl Processor for Ultrascalar {
                             // path: an unresolved store gates every
                             // younger load under renaming, and its
                             // operands' readiness times are wake-up
-                            // events.
-                            let blocked = if packed {
-                                mask_intersection(bands.top(), &entry.src_mask, lane_words)
-                            } else {
-                                [0; REG_LANE_WORDS]
-                            };
-                            let gate_blocked = packed
-                                && mask_any(&blocked, lane_words)
-                                && match pipelined {
-                                    None => {
-                                        packed_wakeups(
+                            // events. The issue gate above already
+                            // cached this entry's bound when it found
+                            // it blocked this cycle, so a hot cache
+                            // answers without touching the bands.
+                            let cached_blocked =
+                                packed && entry.nb_epoch == commit_epoch && entry.not_before > t;
+                            if cached_blocked {
+                                next_source_ready = next_source_ready.min(entry.not_before);
+                            }
+                            let gate_blocked = cached_blocked
+                                || (packed && bands.intersects(&entry.src_mask) && {
+                                    let blocked =
+                                        mask_intersection(bands.top(), &entry.src_mask, lane_words);
+                                    let (truly, bound) = match pipelined {
+                                        None => (
+                                            true,
+                                            packed_wakeups(
+                                                &blocked,
+                                                lane_words,
+                                                writer_ready_at,
+                                                t,
+                                            ),
+                                        ),
+                                        Some(per_hop) => banded_blocked(
                                             &blocked,
                                             lane_words,
+                                            bands,
                                             writer_ready_at,
+                                            writer_pos,
+                                            pos,
+                                            per_hop,
                                             t,
-                                            &mut next_source_ready,
-                                        );
-                                        true
+                                        ),
+                                    };
+                                    if truly && bound > t {
+                                        next_source_ready = next_source_ready.min(bound);
                                     }
-                                    Some(per_hop) => banded_blocked(
-                                        &blocked,
-                                        lane_words,
-                                        bands,
-                                        writer_ready_at,
-                                        writer_pos,
-                                        pos,
-                                        per_hop,
-                                        t,
-                                        &mut next_source_ready,
-                                    ),
-                                };
+                                    truly
+                                });
                             if gate_blocked {
                                 flags &= !F_STORES_RESOLVED;
                                 store_infos.push(StoreInfo {
@@ -1092,15 +1142,13 @@ impl Processor for Ultrascalar {
                                 Some(_) => {
                                     writer_pos[i] = pos;
                                     if base.saturating_add(top_extra) <= t {
-                                        // Ready at every distance: the
-                                        // column must be all-clear. It
-                                        // already is unless an earlier
-                                        // same-register writer raised
-                                        // it this pass (nesting: clear
-                                        // top bit ⇒ clear column).
-                                        if bands.test(num_bands - 1, i) {
-                                            bands.assign_lane(i, num_bands);
-                                        }
+                                        // Ready at every distance —
+                                        // the unchanged-column early
+                                        // exit makes this free unless
+                                        // an earlier same-register
+                                        // writer raised the lane this
+                                        // pass.
+                                        bands.assign_lane(i, num_bands);
                                     } else {
                                         bands.assign_lane_horizon(i, base, hop_step, t);
                                     }
@@ -1239,6 +1287,11 @@ impl Processor for Ultrascalar {
                 if halted {
                     break;
                 }
+            }
+            if committed_any {
+                // Committed registers became readable: every cached
+                // issue bound is now suspect (see `commit_epoch`).
+                commit_epoch += 1;
             }
             if halted {
                 t += 1;

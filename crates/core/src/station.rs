@@ -102,6 +102,25 @@ pub struct StationEntry {
     /// Fixed at decode, so per-cycle readiness gating is a word-array
     /// AND against the scan's unready lane words.
     pub src_mask: RegMask,
+    /// Cached lower bound on this station's issue cycle, learned the
+    /// last time the packed gate found it operand-blocked: the **max**
+    /// of its blocking sources' known readiness times (an entry issues
+    /// only when *all* sources are ready, so the max of the known ones
+    /// bounds it from below; sources with unscheduled producers add no
+    /// bound, they can only delay further). While the bound holds, the
+    /// scan skips the gate and operand resolution for this entry
+    /// outright — the dominant per-cycle cost in deeply blocked
+    /// windows. `u64::MAX` means "blocked with no scheduled wake-up".
+    pub not_before: u64,
+    /// Commit epoch [`not_before`](Self::not_before) was computed in.
+    /// The bound is conditioned on producers forwarding in-window: an
+    /// in-order commit publishes the committed register file, which
+    /// consumers may read from commit+2 — possibly *before* the
+    /// forwarding horizon — so any commit invalidates every cached
+    /// bound. Flushes only remove younger entries (producers are
+    /// fixed) and scheduled completions are immutable, so the epoch
+    /// counter only needs to advance on commits.
+    pub nb_epoch: u64,
 }
 
 impl StationEntry {
@@ -124,6 +143,9 @@ impl StationEntry {
             taken: None,
             actual_next: None,
             src_mask,
+            // `0 > t` never holds, so a fresh entry always resolves.
+            not_before: 0,
+            nb_epoch: 0,
         }
     }
 

@@ -48,6 +48,16 @@ pub struct ProcStats {
     /// regimes the packed paths exist for. `usim serve` aggregates
     /// this counter across requests in its `{"cmd":"stats"}` report.
     pub packed_fallbacks: u64,
+    /// Runs in which the packed fast path was requested and would fit
+    /// the lane words, but the engine's *shape gate* chose the scalar
+    /// scan because the configuration shape measures as a net loss for
+    /// the packed path (see `ProcConfig::packed_shape_wins`; pipelined
+    /// forwarding, latency-bearing memory or a batch-refill `C = n`
+    /// window). Distinct from `packed_fallbacks`: that counter marks a
+    /// capability fallback, this one a deliberate, measured policy
+    /// decision. `ProcConfig::packed_override` forces the packed path
+    /// and keeps this at zero.
+    pub packed_shape_gated: u64,
     /// Memory-system counters.
     pub mem: MemStats,
 }
@@ -78,6 +88,7 @@ impl Clone for ProcStats {
             store_forwards,
             alu_stalls,
             packed_fallbacks,
+            packed_shape_gated,
             mem,
         } = self;
         *cycles = source.cycles;
@@ -92,6 +103,7 @@ impl Clone for ProcStats {
         *store_forwards = source.store_forwards;
         *alu_stalls = source.alu_stalls;
         *packed_fallbacks = source.packed_fallbacks;
+        *packed_shape_gated = source.packed_shape_gated;
         *mem = source.mem;
     }
 }
@@ -116,6 +128,7 @@ impl ProcStats {
             store_forwards,
             alu_stalls,
             packed_fallbacks,
+            packed_shape_gated,
             mem,
         } = self;
         *cycles = 0;
@@ -130,6 +143,7 @@ impl ProcStats {
         *store_forwards = 0;
         *alu_stalls = 0;
         *packed_fallbacks = 0;
+        *packed_shape_gated = 0;
         *mem = MemStats::default();
     }
 

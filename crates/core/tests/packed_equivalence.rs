@@ -97,11 +97,15 @@ fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
                 .with_latency(lat),
         ),
         (
+            // Realistic memory is a losing shape for the packed path
+            // (latency-dominated), so the shape gate would silently run
+            // it scalar; the override keeps the differential coverage.
             "us1-renaming-realmem",
             ProcConfig::ultrascalar_i(8)
                 .with_predictor(PredictorKind::Bimodal(16))
                 .with_memory_renaming()
                 .with_mem(ultrascalar_memsys::MemConfig::realistic(8, 1 << 16))
+                .with_packed_override()
                 .with_latency(lat),
         ),
         (
@@ -115,11 +119,15 @@ fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
                 .with_latency(lat),
         ),
         (
+            // Pipelined forwarding (and cluster == window) are both
+            // shape-gated off by default; force the banded packed path
+            // so the hop-band machinery stays under differential test.
             "us2-pipelined",
             ProcConfig::ultrascalar_ii(8)
                 .with_predictor(PredictorKind::NotTaken)
                 .with_forwarding(ForwardModel::Pipelined { per_hop: 2 })
                 .with_memory_renaming()
+                .with_packed_override()
                 .with_latency(lat),
         ),
         (
@@ -208,6 +216,38 @@ fn packed_flags_match_legacy_path_256_regs() {
     differential_sweep(0x256FEED2, 256, 100);
 }
 
+/// The `force_swar` config knob pins the portable SWAR substrate for
+/// the whole run (the field-debugging escape hatch behind
+/// `USIM_FORCE_SWAR`); dispatch may change cost, never a result, so a
+/// forced run must be byte-identical to the native one — cycles,
+/// registers, memory, stats, timings.
+#[test]
+fn force_swar_runs_are_byte_identical() {
+    let mut rng = Rng(0x5AFE_5115);
+    let lat = LatencyModel {
+        branch: 2,
+        ..LatencyModel::default()
+    };
+    for iter in 0..40u32 {
+        let prog = random_program(&mut rng, 65);
+        if prog.validate().is_err() {
+            continue;
+        }
+        for (name, cfg) in configs(lat) {
+            let native = Ultrascalar::new(cfg.clone()).run(&prog);
+            let forced = Ultrascalar::new(cfg.with_force_swar()).run(&prog);
+            assert_eq!(native.cycles, forced.cycles, "iter {iter} {name}: cycles");
+            assert_eq!(native.regs, forced.regs, "iter {iter} {name}: regs");
+            assert_eq!(native.mem, forced.mem, "iter {iter} {name}: memory");
+            assert_eq!(native.stats, forced.stats, "iter {iter} {name}: stats");
+            assert_eq!(
+                native.timings, forced.timings,
+                "iter {iter} {name}: timings"
+            );
+        }
+    }
+}
+
 /// A tiny blocked-heavy program over `nregs` registers that exercises
 /// high-register forwarding (the last writer and reader live past lane
 /// word 0 when `nregs > 64`).
@@ -256,8 +296,9 @@ fn fallback_diagnostic_fires_only_when_gate_drops() {
         );
         assert_eq!(single.regs[0], 41 * 41 + 1);
 
-        let cfg =
-            ProcConfig::ultrascalar_i(8).with_forwarding(ForwardModel::Pipelined { per_hop: 1 });
+        let cfg = ProcConfig::ultrascalar_i(8)
+            .with_forwarding(ForwardModel::Pipelined { per_hop: 1 })
+            .with_packed_override();
         let piped = Ultrascalar::new(cfg.clone()).run(&prog);
         assert_eq!(
             piped.stats.packed_fallbacks, 0,

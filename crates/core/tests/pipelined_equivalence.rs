@@ -118,9 +118,12 @@ fn banded_pipelined_matches_scalar_across_windows_and_hops() {
                 if prog.validate().is_err() {
                     continue;
                 }
+                // Pipelined forwarding is shape-gated off by default;
+                // the override keeps this suite on the banded path.
                 let cfg = ProcConfig::ultrascalar_i(window)
                     .with_predictor(PredictorKind::Bimodal(16))
                     .with_forwarding(ForwardModel::Pipelined { per_hop })
+                    .with_packed_override()
                     .with_latency(lat);
                 let packed = Ultrascalar::new(cfg.clone()).run(&prog);
                 let flags_only = Ultrascalar::new(cfg.clone().without_packed_values()).run(&prog);
@@ -162,7 +165,8 @@ fn saturating_per_hop_extremes_stay_exact() {
                     max_cycles: 20_000,
                     ..ProcConfig::ultrascalar_i(window)
                 }
-                .with_forwarding(ForwardModel::Pipelined { per_hop });
+                .with_forwarding(ForwardModel::Pipelined { per_hop })
+                .with_packed_override();
                 let packed = Ultrascalar::new(cfg.clone()).run(&prog);
                 let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
                 assert_pinned(
@@ -189,7 +193,8 @@ fn banded_path_covers_all_lane_words() {
             }
             let cfg = ProcConfig::ultrascalar_ii(8)
                 .with_memory_renaming()
-                .with_forwarding(ForwardModel::Pipelined { per_hop: 3 });
+                .with_forwarding(ForwardModel::Pipelined { per_hop: 3 })
+                .with_packed_override();
             let packed = Ultrascalar::new(cfg.clone()).run(&prog);
             let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
             assert_pinned(&packed, &scalar, &format_args!("L={nregs} iter={iter}"));
@@ -206,7 +211,8 @@ fn kernel_suite_pinned_under_pipelined_forwarding() {
         for per_hop in [1u64, 4] {
             let cfg = ProcConfig::hybrid(16, 4)
                 .with_memory_renaming()
-                .with_forwarding(ForwardModel::Pipelined { per_hop });
+                .with_forwarding(ForwardModel::Pipelined { per_hop })
+                .with_packed_override();
             let packed = Ultrascalar::new(cfg.clone()).run(&prog);
             let scalar = Ultrascalar::new(cfg.without_packed_flags()).run(&prog);
             assert_pinned(&packed, &scalar, &format_args!("{name} per_hop={per_hop}"));

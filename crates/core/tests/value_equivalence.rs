@@ -97,11 +97,15 @@ fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
                 .with_latency(lat),
         ),
         (
+            // Realistic memory and pipelined forwarding are shape-gated
+            // off the packed path by default; the override keeps these
+            // corners under differential test.
             "us1-renaming-realmem",
             ProcConfig::ultrascalar_i(8)
                 .with_predictor(PredictorKind::Bimodal(16))
                 .with_memory_renaming()
                 .with_mem(ultrascalar_memsys::MemConfig::realistic(8, 1 << 16))
+                .with_packed_override()
                 .with_latency(lat),
         ),
         (
@@ -120,6 +124,7 @@ fn configs(lat: LatencyModel) -> Vec<(&'static str, ProcConfig)> {
                 .with_predictor(PredictorKind::NotTaken)
                 .with_forwarding(ForwardModel::Pipelined { per_hop: 2 })
                 .with_memory_renaming()
+                .with_packed_override()
                 .with_latency(lat),
         ),
         (

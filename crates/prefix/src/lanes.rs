@@ -63,6 +63,11 @@ pub fn mask_lo(n: usize) -> u64 {
 /// at level `j` every row pair `(k, k|j)` exchanges the high-`j` half
 /// of `k` with the low-`j` half of `k|j` under mask `m`.
 fn transpose64(a: &mut [u64; 64]) {
+    // Runtime-dispatch: the AVX2 form exchanges 4-row runs per vector
+    // op (bit-for-bit identical); this scalar network is the fallback.
+    if crate::simd::transpose64_avx2(a) {
+        return;
+    }
     let mut j = 32;
     let mut m: u64 = 0x0000_0000_FFFF_FFFF;
     while j != 0 {
@@ -128,6 +133,13 @@ pub fn lane(v: &LaneValue, l: usize) -> u32 {
 
 /// Lane-wise wrapping `a + b`: a 32-step ripple carry where each step
 /// advances all 64 lanes' carry bits word-parallel.
+///
+/// Deliberately **not** AVX2-dispatched: a vectorized Kogge–Stone
+/// carry network was measured at ~0.3× of this ripple on an AVX2 host
+/// (`examples/simd_ab.rs`) — the ripple's single-word carry chain
+/// inlines into four scalar ops per plane with no memory round-trips,
+/// while the log-depth network pays per-round load/store traffic.
+/// The same measurement rejected planewise vector ALU/compare forms.
 pub fn add(a: &LaneValue, b: &LaneValue) -> LaneValue {
     let mut out = LaneValue::identity();
     let mut carry = 0u64;
@@ -360,6 +372,28 @@ mod tests {
     fn broadcast_matches_deposit_of_equal_lanes() {
         for v in [0u32, 1, u32::MAX, 0xDEAD_BEEF, 0x8000_0000] {
             assert_eq!(broadcast(v), deposit(&[v; LANES]));
+        }
+    }
+
+    /// Dispatch consistency for the transpose kernel behind
+    /// [`deposit`]/[`extract`]: the AVX2 and portable forms must be
+    /// byte-identical on random lane fills, both directions.
+    #[test]
+    fn transpose_dispatch_forced_swar_is_byte_identical() {
+        for seed in 1..=16u64 {
+            let vals = random_lanes(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+            let native_dep = deposit(&vals);
+            let mut native_ext = [0u32; LANES];
+            extract(&native_dep, &mut native_ext);
+            let swar_dep;
+            let mut swar_ext = [0u32; LANES];
+            {
+                let _pin = crate::simd::ForceSwarGuard::force();
+                swar_dep = deposit(&vals);
+                extract(&swar_dep, &mut swar_ext);
+            }
+            assert_eq!(native_dep, swar_dep, "seed {seed}: deposit");
+            assert_eq!(native_ext, swar_ext, "seed {seed}: extract");
         }
     }
 

@@ -46,14 +46,21 @@
 //! * [`op`] — the associative-operator abstraction shared by all of the
 //!   above, including the two operators used in the paper
 //!   ([`op::First`], the register-forwarding operator `a ⊗ b = a`, and
-//!   [`op::BoolAnd`], the sequencing operator `a ⊗ b = a ∧ b`).
+//!   [`op::BoolAnd`], the sequencing operator `a ⊗ b = a ∧ b`),
+//! * [`simd`] — runtime-dispatched AVX2 forms of the hot combine
+//!   kernels (`is_x86_feature_detected!`), bit-for-bit identical to
+//!   the portable SWAR twins, with the `USIM_FORCE_SWAR` /
+//!   [`simd::set_force_swar`] escape hatch pinning the fallback.
 //!
 //! The gate-level realisations of the same structures live in the
 //! `ultrascalar-circuit` crate; property tests there check that the
 //! netlists agree with the algorithms in this crate.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place:
+// the `simd` module, whose `std::arch` intrinsic calls sit behind
+// runtime feature detection and safe wrappers.
+#![deny(unsafe_code)]
 
 pub mod arena;
 pub mod cspp;
@@ -62,6 +69,7 @@ pub mod op;
 pub mod packed;
 pub mod scan;
 pub mod sched;
+pub mod simd;
 pub mod sliced;
 pub mod tree;
 
@@ -75,6 +83,9 @@ pub use packed::{
     WordOp,
 };
 pub use sched::allocate_oldest_first;
+pub use simd::{
+    active_simd_level, detected_simd_level, force_swar_active, set_force_swar, ForceSwarGuard,
+};
 pub use sliced::{
     pack_value_lane, sliced_cspp_ring, unpack_value_lane, SlicedCsppScratch, SlicedPair,
 };

@@ -43,6 +43,11 @@
 pub trait WordOp {
     /// Value word of the identity leaf (segment word is zero).
     const IDENTITY: u64;
+    /// True for the AND-shaped lifted combine `vb & (sb | va)`, false
+    /// for the OR shape `(va & !sb) | vb` — lets width-specialised
+    /// (SIMD) combine kernels pick the formula at monomorphisation
+    /// time instead of through the scalar `combine_value` callback.
+    const IS_AND: bool;
     /// Value word of `(va, sa) ⊗ (vb, sb)` (the segment word of the
     /// result is `sa | sb` for every operator).
     fn combine_value(va: u64, vb: u64, sb: u64) -> u64;
@@ -55,6 +60,7 @@ pub struct AndWords;
 
 impl WordOp for AndWords {
     const IDENTITY: u64 = !0;
+    const IS_AND: bool = true;
     #[inline]
     fn combine_value(va: u64, vb: u64, sb: u64) -> u64 {
         // sb ? vb : (va & vb), per bit.
@@ -69,6 +75,7 @@ pub struct OrWords;
 
 impl WordOp for OrWords {
     const IDENTITY: u64 = 0;
+    const IS_AND: bool = false;
     #[inline]
     fn combine_value(va: u64, vb: u64, sb: u64) -> u64 {
         // sb ? vb : (va | vb), per bit.
@@ -304,7 +311,12 @@ pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
 /// generalisation of [`PackedPair`], used when one machine word cannot
 /// hold every lane (e.g. the engine's per-register readiness networks
 /// for register files wider than 64).
+///
+/// `#[repr(C)]` pins `value` before `seg` in memory so the AVX2
+/// combine kernel in [`crate::simd`] can treat the whole `W = 2` pair
+/// as one 256-bit lane group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct PackedPairW<const W: usize> {
     /// Per-lane accumulated value since the nearest contained boundary.
     pub value: [u64; W],
@@ -434,15 +446,22 @@ impl<const W: usize> PackedCsppScratchW<W> {
         for i in 0..n {
             self.summaries[size + i] = PackedPairW::leaf(values[i], seg[i]);
         }
-        for k in (1..size).rev() {
-            self.summaries[k] = self.summaries[2 * k].combine::<O>(self.summaries[2 * k + 1]);
+        // Both sweeps runtime-dispatch to the AVX2 kernels in
+        // [`crate::simd`] (bit-for-bit identical); the scalar loops
+        // are the portable fallback.
+        if !crate::simd::packed_up_sweep_avx2::<O, W>(&mut self.summaries, size) {
+            for k in (1..size).rev() {
+                self.summaries[k] = self.summaries[2 * k].combine::<O>(self.summaries[2 * k + 1]);
+            }
         }
         let seed = init.unwrap_or(self.summaries[1]);
         self.prefix[1] = seed;
-        for k in 1..size {
-            let p = self.prefix[k];
-            self.prefix[2 * k] = p;
-            self.prefix[2 * k + 1] = p.combine::<O>(self.summaries[2 * k]);
+        if !crate::simd::packed_down_sweep_avx2::<O, W>(&mut self.prefix, &self.summaries, size) {
+            for k in 1..size {
+                let p = self.prefix[k];
+                self.prefix[2 * k] = p;
+                self.prefix[2 * k + 1] = p.combine::<O>(self.summaries[2 * k]);
+            }
         }
         out.clear();
         out.extend_from_slice(&self.prefix[size..size + n]);
@@ -504,16 +523,24 @@ impl<const W: usize> PackedCsppScratchW<W> {
             let seg = if i == oldest { [!0u64; W] } else { [0u64; W] };
             self.summaries[size + i] = PackedPairW::leaf(cond, seg);
         }
-        for k in (1..size).rev() {
-            self.summaries[k] =
-                self.summaries[2 * k].combine::<AndWords>(self.summaries[2 * k + 1]);
+        if !crate::simd::packed_up_sweep_avx2::<AndWords, W>(&mut self.summaries, size) {
+            for k in (1..size).rev() {
+                self.summaries[k] =
+                    self.summaries[2 * k].combine::<AndWords>(self.summaries[2 * k + 1]);
+            }
         }
         let root = self.summaries[1];
         self.prefix[1] = root;
-        for k in 1..size {
-            let p = self.prefix[k];
-            self.prefix[2 * k] = p;
-            self.prefix[2 * k + 1] = p.combine::<AndWords>(self.summaries[2 * k]);
+        if !crate::simd::packed_down_sweep_avx2::<AndWords, W>(
+            &mut self.prefix,
+            &self.summaries,
+            size,
+        ) {
+            for k in 1..size {
+                let p = self.prefix[k];
+                self.prefix[2 * k] = p;
+                self.prefix[2 * k + 1] = p.combine::<AndWords>(self.summaries[2 * k]);
+            }
         }
         out.clear();
         out.extend(self.prefix[size..size + n].iter().map(|p| p.value));
@@ -723,6 +750,15 @@ impl<const W: usize> HopBands<W> {
         &self.top
     }
 
+    /// Does `mask` hit any lane of the top band? The packed gate's
+    /// fast reject: a miss means every masked lane is ready at every
+    /// hop distance. One `vptest` under AVX2 (`W = 4`), the portable
+    /// word loop otherwise — see [`crate::simd::mask_and_any`].
+    #[inline]
+    pub fn intersects(&self, mask: &[u64; W]) -> bool {
+        crate::simd::mask_and_any(&self.top, mask)
+    }
+
     /// Is `lane` unready at hop level `band`? Levels past the top band
     /// report the top band (saturating — readiness is monotone, so the
     /// top band answers for every farther distance).
@@ -743,10 +779,17 @@ impl<const W: usize> HopBands<W> {
     /// bands.
     #[inline]
     pub fn assign_lane(&mut self, lane: usize, first_unready: usize) {
-        let first = first_unready.min(self.num_bands);
-        self.first_unready[lane] = first as u8;
+        let first = first_unready.min(self.num_bands) as u8;
+        if self.first_unready[lane] == first {
+            // Unchanged column ⇒ unchanged top bit. After the
+            // per-cycle clear every lane sits at `num_bands` (ready),
+            // so the dominant long-completed-writer case exits here
+            // without touching the top band word.
+            return;
+        }
+        self.first_unready[lane] = first;
         let (j, bit) = (lane / 64, 1u64 << (lane % 64));
-        let unready = (first < self.num_bands) as u64;
+        let unready = ((first as usize) < self.num_bands) as u64;
         self.top[j] = (self.top[j] & !bit) | (unready.wrapping_neg() & bit);
     }
 

@@ -70,8 +70,23 @@ impl<const B: usize, const W: usize> SlicedPair<B, W> {
     /// value plane (the register-forwarding multiplexer), and
     /// `seg = sa | sb`. Word `j` combines independently of every other
     /// word; plane `p` combines independently of every other plane.
+    ///
+    /// Runtime-dispatches to the AVX2 kernel in [`crate::simd`] when
+    /// the host supports it (bit-for-bit identical); the portable
+    /// twin is [`SlicedPair::combine_swar`].
     #[inline]
     pub fn combine(&self, rhs: &Self) -> Self {
+        if let Some(out) = crate::simd::sliced_combine_avx2(self, rhs) {
+            return out;
+        }
+        self.combine_swar(rhs)
+    }
+
+    /// The portable SWAR form of [`SlicedPair::combine`] — the
+    /// dispatch fallback on non-AVX2 hosts and the differential
+    /// oracle the ring references are built from.
+    #[inline]
+    pub fn combine_swar(&self, rhs: &Self) -> Self {
         let mut out = SlicedPair::identity();
         for j in 0..W {
             let take = rhs.seg[j];
@@ -147,15 +162,18 @@ pub fn sliced_cspp_ring<const B: usize, const W: usize>(
     leaves: &[SlicedPair<B, W>],
 ) -> Vec<SlicedPair<B, W>> {
     assert!(!leaves.is_empty(), "CSPP ring must be non-empty");
+    // The ring is the differential oracle: it stays on the portable
+    // SWAR combine regardless of dispatch, so tree-vs-ring sweeps
+    // cross-check the AVX2 kernels whenever they are active.
     let mut whole = leaves[0];
     for leaf in &leaves[1..] {
-        whole = whole.combine(leaf);
+        whole = whole.combine_swar(leaf);
     }
     let mut out = Vec::with_capacity(leaves.len());
     let mut acc = whole;
     for leaf in leaves {
         out.push(acc);
-        acc = acc.combine(leaf);
+        acc = acc.combine_swar(leaf);
     }
     out
 }

@@ -5,7 +5,9 @@
 //! evaluations, arena rebuilds/scans and incremental leaf updates must
 //! perform **zero** allocations. This is the whole point of the arena
 //! design: the simulator's cycle loop evaluates these networks millions
-//! of times.
+//! of times. The measured loop runs under native dispatch *and* with
+//! the portable SWAR substrate pinned, so the AVX2 kernels' scratch is
+//! covered too — both forms share the same retained buffers.
 //!
 //! Counting is gated on a const-initialised thread-local so only the
 //! probe thread's allocations register: the libtest harness thread
@@ -155,7 +157,10 @@ fn substrate_steady_state_allocates_nothing() {
         sliced.segmented_exclusive_into(&sliced_leaves, &sliced_init, sliced_out);
     };
 
-    // Warm-up: sizes every retained buffer.
+    // Warm-up under both dispatch modes: sizes every retained buffer
+    // on the native (AVX2 where detected) and the forced-SWAR path, so
+    // the measured loops below must stay allocation-free regardless of
+    // which kernel dispatch selects.
     steady(
         &mut packed,
         &mut packed_out,
@@ -168,6 +173,21 @@ fn substrate_steady_state_allocates_nothing() {
         &mut sliced,
         &mut sliced_out,
     );
+    {
+        let _swar = ultrascalar_prefix::ForceSwarGuard::force();
+        steady(
+            &mut packed,
+            &mut packed_out,
+            &mut flags_out,
+            &mut packed_w,
+            &mut packed_w_out,
+            &mut arena,
+            &mut arena_out,
+            &mut bits,
+            &mut sliced,
+            &mut sliced_out,
+        );
+    }
 
     let guard = ProbeGuard::arm();
     let before = ALLOCS.load(Ordering::SeqCst);
@@ -184,6 +204,27 @@ fn substrate_steady_state_allocates_nothing() {
             &mut sliced,
             &mut sliced_out,
         );
+    }
+    // The same warm loop with dispatch pinned to the portable SWAR
+    // kernels: the AVX2 and SWAR forms share every retained buffer, so
+    // neither mode may allocate once warm (the guard swap itself is
+    // two atomic stores, allocation-free).
+    {
+        let _swar = ultrascalar_prefix::ForceSwarGuard::force();
+        for _ in 0..50 {
+            steady(
+                &mut packed,
+                &mut packed_out,
+                &mut flags_out,
+                &mut packed_w,
+                &mut packed_w_out,
+                &mut arena,
+                &mut arena_out,
+                &mut bits,
+                &mut sliced,
+                &mut sliced_out,
+            );
+        }
     }
     let after = ALLOCS.load(Ordering::SeqCst);
     drop(guard);

@@ -297,6 +297,44 @@ fn ring_oracle_sweep_every_n_1_to_130() {
     sweep_tree_vs_ring_multi::<OrWords, 4>(0x9876_5432_10AB_CDEF);
 }
 
+/// Dispatch consistency: the same inputs through the log-depth trees
+/// under whatever dispatch the host selects (AVX2 where detected) and
+/// again with the portable SWAR substrate pinned must produce
+/// **byte-identical** outputs — dispatch may change cost, never a
+/// result. Both passes live inside one `#[test]` because the
+/// force-SWAR pin is process-global and libtest runs tests
+/// concurrently: pinning here must not silently downgrade a
+/// neighbouring test's native pass mid-measurement.
+#[test]
+fn dispatch_forced_swar_is_byte_identical() {
+    fn both_modes<O: WordOp, const W: usize>(seed: u64) {
+        let mut rng = XorShift(seed);
+        let mut scratch = PackedCsppScratchW::<W>::new();
+        for n in 1..=130usize {
+            let values: Vec<[u64; W]> = (0..n)
+                .map(|_| std::array::from_fn(|_| rng.next()))
+                .collect();
+            let seg: Vec<[u64; W]> = (0..n)
+                .map(|_| std::array::from_fn(|_| rng.next() & rng.next()))
+                .collect();
+            let mut native = Vec::new();
+            scratch.cspp_into::<O>(&values, &seg, &mut native);
+            let mut swar = Vec::new();
+            {
+                let _pin = ultrascalar_prefix::ForceSwarGuard::force();
+                scratch.cspp_into::<O>(&values, &seg, &mut swar);
+            }
+            assert_eq!(native, swar, "W={W} n={n}: dispatch changed a result");
+        }
+    }
+    both_modes::<AndWords, 1>(0x00D1_5A7C_0000_0001);
+    both_modes::<OrWords, 1>(0x1111_AAAA_BBBB_0001);
+    both_modes::<AndWords, 2>(0x2222_CCCC_DDDD_0002);
+    both_modes::<OrWords, 2>(0x3333_EEEE_FFFF_0003);
+    both_modes::<AndWords, 4>(0x4444_9999_8888_0004);
+    both_modes::<OrWords, 4>(0x5555_7777_6666_0005);
+}
+
 /// The same sweep against the *generic* per-lane tree at the lane-word
 /// boundaries: the packed form is contractually a stack of 64·W
 /// independent boolean networks, so lanes 63/64/65 (and 127/128/129

@@ -80,6 +80,33 @@ fn ring_oracle_sweep_every_n_1_to_130() {
     sweep_tree_vs_ring::<16, 4>(0x0DDB_A115_DEAD_BEEF);
 }
 
+/// Dispatch consistency: the sliced tree under native dispatch (the
+/// AVX2 combine where detected) and with the portable SWAR substrate
+/// pinned must produce byte-identical outputs on the same leaves.
+/// Both passes run inside one `#[test]` because the force-SWAR pin is
+/// process-global and libtest runs tests concurrently.
+#[test]
+fn dispatch_forced_swar_is_byte_identical() {
+    fn both_modes<const B: usize, const W: usize>(seed: u64) {
+        let mut rng = XorShift(seed);
+        let mut scratch = SlicedCsppScratch::<B, W>::new();
+        for n in 1..=130usize {
+            let leaves: Vec<SlicedPair<B, W>> = (0..n).map(|_| random_leaf(&mut rng, 2)).collect();
+            let mut native = Vec::new();
+            scratch.cspp_into(&leaves, &mut native);
+            let mut swar = Vec::new();
+            {
+                let _pin = ultrascalar_prefix::ForceSwarGuard::force();
+                scratch.cspp_into(&leaves, &mut swar);
+            }
+            assert_eq!(native, swar, "B={B} W={W} n={n}: dispatch changed a result");
+        }
+    }
+    both_modes::<32, 1>(0xD15B_A7C4_0000_0001);
+    both_modes::<8, 2>(0xD15B_A7C4_0000_0002);
+    both_modes::<16, 4>(0xD15B_A7C4_0000_0003);
+}
+
 /// The sliced ring against the generic `u64` ring under `First`, lane
 /// by lane at the word-boundary lanes — bit-for-bit, artefact lanes
 /// included (both forms fold from leaf 0).
