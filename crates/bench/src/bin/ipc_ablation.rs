@@ -3,19 +3,32 @@
 //! committed IPC of the three processors — plus the conventional
 //! baseline — across the kernel suite and window sizes.
 //!
-//! Every (window, kernel) cell runs its four simulations as one sweep
-//! point on the work-stealing harness; rows are printed in input order
-//! so the output is byte-identical to a serial run. `--json` writes
-//! per-point wall time and simulated cycles to `BENCH_engine.json`.
+//! Every (window, kernel) cell runs its simulations as one sweep point
+//! on the work-stealing harness; rows are printed in input order so
+//! the output is byte-identical to a serial run. Each Ultrascalar
+//! config runs a multi-seed *population* (the printed program plus
+//! lane-variant seeds) through the worker's [`LanePool`], so the
+//! per-config simulations lane-batch instead of running serially —
+//! the config-major grouping the sweep harness provides. The printed
+//! IPC comes from population member 0 (the original program), which
+//! the lane engine guarantees byte-identical to a serial run; the
+//! baseline OoO model has no lane engine and stays serial. `--json`
+//! writes per-point wall time and total simulated cycles (all
+//! population members) to `BENCH_engine.json`.
 //!
 //! ```text
 //! cargo run -p ultrascalar-bench --bin ipc_ablation [--json]
 //! ```
 
-use ultrascalar::{BaselineOoO, PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_bench::sweep::{json_flag_set, parallel_map_timed, JsonReport};
+use std::time::Instant;
+use ultrascalar::{BaselineOoO, LaneBatchStats, PredictorKind, ProcConfig, Processor, RunResult};
+use ultrascalar_bench::sweep::{json_flag_set, parallel_map_with, JsonReport, LanePool};
 use ultrascalar_bench::Table;
-use ultrascalar_isa::workload;
+use ultrascalar_isa::{workload, Program};
+
+/// Seeds per Ultrascalar config cell: the printed program plus 7
+/// lane-variant populations sharing its schedule.
+const POP: usize = 8;
 
 /// One table cell: the four processors' results on one kernel.
 struct Cell {
@@ -26,6 +39,26 @@ struct Cell {
     usii_ipc: f64,
     slowdown: f64,
     cycles: u64,
+    lanes: LaneBatchStats,
+    wall: std::time::Duration,
+}
+
+/// Run the printed program plus `POP - 1` lane-variant seeds as one
+/// lane-batched population; returns member 0's result (the printed
+/// number) and the population's total simulated cycles.
+fn population_run(
+    pool: &mut LanePool,
+    cfg: &ProcConfig,
+    prog: &Program,
+    seed: u64,
+) -> (RunResult, u64) {
+    let mut population = vec![prog.clone()];
+    population.extend(workload::lane_variants(prog, POP - 1, seed));
+    let refs: Vec<&Program> = population.iter().collect();
+    let mut out = vec![RunResult::default(); POP];
+    pool.run_population(cfg, &refs, &mut out);
+    let cycles = out.iter().map(|r| r.cycles).sum();
+    (out.swap_remove(0), cycles)
 }
 
 fn main() {
@@ -39,13 +72,31 @@ fn main() {
         .iter()
         .flat_map(|&n| (0..kernels.len()).map(move |k| (n, k)))
         .collect();
-    let cells = parallel_map_timed(&points, |&(n, k)| {
+    let cells = parallel_map_with(&points, LanePool::new, |pool, &(n, k)| {
+        let start = Instant::now();
         let (name, prog) = &kernels[k];
+        let seed = 0xAB1E ^ ((n as u64) << 16) ^ k as u64;
         let pred = PredictorKind::Bimodal(64);
+        let before = pool.stats();
         let base = BaselineOoO::new(ProcConfig::ultrascalar_i(n).with_predictor(pred)).run(prog);
-        let usi = Ultrascalar::new(ProcConfig::ultrascalar_i(n).with_predictor(pred)).run(prog);
-        let hy = Ultrascalar::new(ProcConfig::hybrid(n, n / 4).with_predictor(pred)).run(prog);
-        let usii = Ultrascalar::new(ProcConfig::ultrascalar_ii(n).with_predictor(pred)).run(prog);
+        let (usi, usi_cycles) = population_run(
+            pool,
+            &ProcConfig::ultrascalar_i(n).with_predictor(pred),
+            prog,
+            seed,
+        );
+        let (hy, hy_cycles) = population_run(
+            pool,
+            &ProcConfig::hybrid(n, n / 4).with_predictor(pred),
+            prog,
+            seed,
+        );
+        let (usii, usii_cycles) = population_run(
+            pool,
+            &ProcConfig::ultrascalar_ii(n).with_predictor(pred),
+            prog,
+            seed,
+        );
         Cell {
             kernel: name,
             base_ipc: base.ipc(),
@@ -53,7 +104,9 @@ fn main() {
             hy_ipc: hy.ipc(),
             usii_ipc: usii.ipc(),
             slowdown: usii.cycles as f64 / usi.cycles as f64,
-            cycles: base.cycles + usi.cycles + hy.cycles + usii.cycles,
+            cycles: base.cycles + usi_cycles + hy_cycles + usii_cycles,
+            lanes: pool.stats().delta_since(&before),
+            wall: start.elapsed(),
         }
     });
 
@@ -69,8 +122,12 @@ fn main() {
             "US-II slowdown",
         ]);
         for _ in 0..kernels.len() {
-            let (_, (cell, wall)) = it.next().expect("one cell per (window, kernel)");
-            report.point(&format!("n={n}/{}", cell.kernel), *wall, Some(cell.cycles));
+            let (_, cell) = it.next().expect("one cell per (window, kernel)");
+            report.point(
+                &format!("n={n}/{}", cell.kernel),
+                cell.wall,
+                Some(cell.cycles),
+            );
             t.row(vec![
                 cell.kernel.to_string(),
                 format!("{:.2}", cell.base_ipc),
@@ -82,11 +139,30 @@ fn main() {
         }
         println!("{t}");
     }
+    let mut lanes = LaneBatchStats::default();
+    for c in &cells {
+        lanes.merge(&c.lanes);
+    }
     println!(
         "US-I matches the conventional baseline exactly (same ILP), the\n\
          hybrid gives most of it back, and the batch-refill US-II pays the\n\
          window-barrier penalty the paper describes in §4."
     );
+    println!(
+        "\nlane-batched populations: {} batches over {} epochs, {} lane \
+         runs, {} peels ({} replay), {} serial demotions",
+        lanes.batches,
+        lanes.epochs,
+        lanes.lane_runs,
+        lanes.peels,
+        lanes.replay_peels,
+        lanes.fallbacks
+    );
+    report.summary("lane_batches", lanes.batches as f64);
+    report.summary("lane_runs", lanes.lane_runs as f64);
+    report.summary("lane_peels", lanes.peels as f64);
+    report.summary("lane_replay_peels", lanes.replay_peels as f64);
+    report.summary("lane_fallbacks", lanes.fallbacks as f64);
 
     if json_flag_set(&args) {
         report.write_default().expect("write BENCH_engine.json");

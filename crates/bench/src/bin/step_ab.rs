@@ -24,7 +24,9 @@
 
 use std::time::Instant;
 use ultrascalar::{ForwardModel, PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_bench::kernels::{div_chain, forward_fan, wide_div_chain};
+use ultrascalar_bench::kernels::{
+    branch_gauntlet, div_chain, forward_fan, spec_storm, wide_div_chain,
+};
 use ultrascalar_bench::sweep::{geomean, json_flag_set};
 use ultrascalar_bench::{JsonReport, Table};
 use ultrascalar_isa::{workload, Program};
@@ -102,6 +104,12 @@ fn main() {
         ("forward_fan", forward_fan(48), false),
         ("pointer_chase", workload::pointer_chase(96, 11), true),
         ("dense_dot", workload::dot_product(96), false),
+        // The branchy pair: every arch row runs a bimodal predictor,
+        // so these kernels keep the flush/refetch path hot while the
+        // packed-vs-scalar step delta is measured (the clean kernels
+        // above barely touch it).
+        ("branch_gauntlet", branch_gauntlet(48), false),
+        ("spec_storm", spec_storm(48), false),
     ];
 
     let mut t = Table::new(vec![

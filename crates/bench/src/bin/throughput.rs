@@ -9,33 +9,50 @@
 //! Each (architecture, window) row — a geomean over the whole kernel
 //! suite — is one sweep point on the work-stealing harness; rows are
 //! printed in input order so the output is byte-identical to a serial
-//! run. `--json` writes per-point wall time and simulated cycles to
+//! run. Every kernel runs as a multi-seed *population* (the scored
+//! program plus lane-variant seeds) through the worker's [`LanePool`]:
+//! the row's config groups its populations onto one warm lane-batch
+//! engine (config-major grouping), and the scored IPC comes from
+//! population member 0, which the lane engine guarantees
+//! byte-identical to a serial run. `--json` writes per-point wall time
+//! and total simulated cycles (all population members) to
 //! `BENCH_engine.json`.
 //!
 //! ```text
 //! cargo run -p ultrascalar-bench --bin throughput [--json]
 //! ```
 
-use ultrascalar::{PredictorKind, ProcConfig, Processor, Ultrascalar};
-use ultrascalar_bench::sweep::{json_flag_set, parallel_map_timed, JsonReport};
+use ultrascalar::{LaneBatchStats, PredictorKind, ProcConfig, RunResult};
+use ultrascalar_bench::sweep::{json_flag_set, parallel_map_with, JsonReport, LanePool};
 use ultrascalar_bench::Table;
-use ultrascalar_isa::workload;
+use ultrascalar_isa::{workload, Program};
 use ultrascalar_memsys::Bandwidth;
 use ultrascalar_vlsi::metrics::ArchParams;
 use ultrascalar_vlsi::{hybrid, usi, usii, Tech};
 
-/// Geomean IPC over the kernel suite, plus total simulated cycles.
-fn geomean_ipc(cfg: &ProcConfig) -> (f64, u64) {
+/// Seeds per kernel: the scored program plus 7 lane-variant seeds
+/// riding the same schedule-shared batch.
+const POP: usize = 8;
+
+/// Geomean IPC over the kernel suite (member 0 of each population),
+/// plus total simulated cycles and the row's lane-batch counters.
+fn geomean_ipc(pool: &mut LanePool, cfg: &ProcConfig) -> (f64, u64, LaneBatchStats) {
     let kernels = workload::standard_suite(2121);
+    let before = pool.stats();
     let mut s = 0.0;
     let mut cycles = 0u64;
-    for (_, prog) in &kernels {
-        let r = Ultrascalar::new(cfg.clone()).run(prog);
-        assert!(r.halted);
-        s += r.ipc().ln();
-        cycles += r.cycles;
+    for (k, (_, prog)) in kernels.iter().enumerate() {
+        let mut population = vec![prog.clone()];
+        population.extend(workload::lane_variants(prog, POP - 1, 0x717 ^ k as u64));
+        let refs: Vec<&Program> = population.iter().collect();
+        let mut out = vec![RunResult::default(); POP];
+        pool.run_population(cfg, &refs, &mut out);
+        assert!(out[0].halted);
+        s += out[0].ipc().ln();
+        cycles += out.iter().map(|r| r.cycles).sum::<u64>();
     }
-    ((s / kernels.len() as f64).exp(), cycles)
+    let ipc = (s / kernels.len() as f64).exp();
+    (ipc, cycles, pool.stats().delta_since(&before))
 }
 
 fn main() {
@@ -47,7 +64,7 @@ fn main() {
     println!("geomean IPC over the kernel suite (L = {l}, M(n) = Θ(1), bimodal)\n");
 
     // Build all (architecture, window) rows up front; the simulations
-    // behind each are a parallel sweep.
+    // behind each are a parallel sweep with one lane pool per worker.
     let rows: Vec<(String, usize, ultrascalar_vlsi::Metrics, ProcConfig)> = [16usize, 64, 256]
         .into_iter()
         .flat_map(|n| {
@@ -81,7 +98,11 @@ fn main() {
             ]
         })
         .collect();
-    let measured = parallel_map_timed(&rows, |(_, _, _, cfg)| geomean_ipc(cfg));
+    let measured = parallel_map_with(&rows, LanePool::new, |pool, (_, _, _, cfg)| {
+        let start = std::time::Instant::now();
+        let r = geomean_ipc(pool, cfg);
+        (r, start.elapsed())
+    });
 
     let mut t = Table::new(vec![
         "architecture",
@@ -92,8 +113,10 @@ fn main() {
         "area mm²",
         "MIPS/cm²",
     ]);
-    for ((name, n, m, _), ((ipc, cycles), wall)) in rows.iter().zip(&measured) {
+    let mut lanes = LaneBatchStats::default();
+    for ((name, n, m, _), ((ipc, cycles, row_lanes), wall)) in rows.iter().zip(&measured) {
         report.point(&format!("{name}/n={n}"), *wall, Some(*cycles));
+        lanes.merge(row_lanes);
         let period_ps = m.total_delay_ps(&tech);
         let mhz = 1e6 / period_ps;
         let mips = mhz * ipc;
@@ -113,6 +136,21 @@ fn main() {
          period erodes its (slightly lower) IPC as n grows; the hybrid\n\
          pairs near-US-I IPC with the best clock and area at scale."
     );
+    println!(
+        "\nlane-batched populations: {} batches over {} epochs, {} lane \
+         runs, {} peels ({} replay), {} serial demotions",
+        lanes.batches,
+        lanes.epochs,
+        lanes.lane_runs,
+        lanes.peels,
+        lanes.replay_peels,
+        lanes.fallbacks
+    );
+    report.summary("lane_batches", lanes.batches as f64);
+    report.summary("lane_runs", lanes.lane_runs as f64);
+    report.summary("lane_peels", lanes.peels as f64);
+    report.summary("lane_replay_peels", lanes.replay_peels as f64);
+    report.summary("lane_fallbacks", lanes.fallbacks as f64);
 
     if json_flag_set(&args) {
         report.write_default().expect("write BENCH_engine.json");

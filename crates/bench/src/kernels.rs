@@ -162,6 +162,166 @@ pub fn forward_fan_seeded(iters: u32) -> Program {
     ultrascalar_isa::asm::assemble(&src, 16).expect("forward_fan_seeded kernel assembles")
 }
 
+/// Branch-heavy kernel with mixed-ILP phases: every loop round takes a
+/// data-dependent diamond keyed on *shared* pseudo-random `init_mem`
+/// words (a bimodal predictor mispredicts the minority direction, so a
+/// run splits into many clean epochs), then runs a short high-ILP fan
+/// of independent accumulator adds. Control flow and every memory
+/// address are functions of shared data only, so a lane population
+/// stays lock-step across every epoch boundary — this is the
+/// epoch-segmented schedule-sharing regime with clean (peel-free)
+/// wrong-path replay.
+pub fn branch_gauntlet(iters: u32) -> Program {
+    let src = format!(
+        r"
+            .word 1040187391, 40503, 374761392, 69069, 1013904222, 1664525
+            .word 362436069, 521288628, 88675123, 198491317, 668265262, 915488749
+            .word 1597334676, 1181783496, 1332534557, 286293354
+            li   r2, 7
+            li   r3, {iters}
+            li   r12, 15
+            li   r8, 0
+        loop:
+            and  r9, r8, r12
+            lw   r10, (r9)
+            andi r11, r10, 1
+            beq  r11, r0, even  ; shared-data direction: ~50/50, unpredictable
+            add  r2, r2, r10
+            j    join
+        even:
+            sub  r2, r2, r10
+        join:
+            add  r4, r4, r2     ; high-ILP phase: independent accumulators
+            add  r5, r5, r2
+            add  r6, r6, r2
+            addi r8, r8, 1
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("branch_gauntlet kernel assembles")
+}
+
+/// [`branch_gauntlet`] with the diamond accumulator (and the fan
+/// accumulators) seeded from initial registers instead of an `li`:
+/// per-lane values in the dataflow, identical shared-data control
+/// flow — the population mispredicts, flushes, and replays in
+/// lock-step without a single divergence peel.
+pub fn branch_gauntlet_seeded(iters: u32) -> Program {
+    let src = format!(
+        r"
+            .word 1040187391, 40503, 374761392, 69069, 1013904222, 1664525
+            .word 362436069, 521288628, 88675123, 198491317, 668265262, 915488749
+            .word 1597334676, 1181783496, 1332534557, 286293354
+            li   r3, {iters}
+            li   r12, 15
+            li   r8, 0
+        loop:
+            and  r9, r8, r12
+            lw   r10, (r9)
+            andi r11, r10, 1
+            beq  r11, r0, even  ; shared-data direction: ~50/50, unpredictable
+            add  r2, r2, r10
+            j    join
+        even:
+            sub  r2, r2, r10
+        join:
+            add  r4, r4, r2     ; high-ILP phase: independent accumulators
+            add  r5, r5, r2
+            add  r6, r6, r2
+            addi r8, r8, 1
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("branch_gauntlet_seeded kernel assembles")
+}
+
+/// Speculation-storm kernel: committed control flow is uniform across
+/// a lane population (every branch keys on shared data), but the
+/// occasional mispredicted `beq` — a zero word in the shared stream —
+/// sends the machine down a wrong path whose *guarded* probe branch
+/// reads a per-lane value. The guard is the branchless mask idiom:
+/// `r6 = (r4 != 0) - 1` is all-zeros on the committed path (the probe
+/// compares `0 < threshold`, uniformly taken) and all-ones on the
+/// wrong path (the probe compares the lane's `r9` against `0xF000_0000`,
+/// resolving differently on ~1/16 of lanes). The flushing `beq` waits
+/// on a 10-cycle `div`, so the probe resolves — and trains the
+/// predictor — well before the flush: the lane batcher must replay it
+/// and peel exactly the lanes whose wrong-path direction diverges from
+/// the leader's (`LaneBatchStats::replay_peels`).
+pub fn spec_storm(iters: u32) -> Program {
+    let src = format!(
+        r"
+            .word 193, 0, 3626149, 41, 0, 524287, 77731, 8191
+            .word 0, 2097143, 15485863, 433494437, 0, 87178291, 479001599, 6700417
+            li   r9, 305419896  ; wrong-path probe value (seeded variant: init_regs)
+            li   r3, {iters}
+            li   r12, 15
+            li   r13, -16777216 ; 0xFF00_0000: the probe threshold
+            li   r15, 1
+            li   r8, 0
+        loop:
+            and  r10, r8, r12
+            lw   r4, (r10)
+            div  r14, r4, r15   ; identity, but the beq now resolves 10 cycles late
+            beq  r14, r0, skip  ; mispredicts whenever a zero word appears
+            sltu r5, r0, r4     ; guarded block: 1 on the committed path
+            subi r6, r5, 1      ; 0 committed, all-ones on the wrong path
+            xor  r11, r9, r2    ; lane probe, re-rolled per epoch (r2 evolves)
+            and  r7, r11, r6    ; 0 committed, the lane probe on the wrong path
+            bltu r7, r13, skip  ; committed: uniformly taken; wrong path: per-lane
+            add  r2, r2, r13
+        skip:
+            add  r2, r2, r4
+            addi r8, r8, 1
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("spec_storm kernel assembles")
+}
+
+/// [`spec_storm`] with the wrong-path probe value `r9` (and the
+/// accumulator) seeded from initial registers: the committed schedule
+/// stays uniform, but replayed wrong paths genuinely diverge per lane,
+/// so a bimodal batch run produces `replay_peels > 0` while every
+/// remaining lane still inherits the leader's timing.
+pub fn spec_storm_seeded(iters: u32) -> Program {
+    let src = format!(
+        r"
+            .word 193, 0, 3626149, 41, 0, 524287, 77731, 8191
+            .word 0, 2097143, 15485863, 433494437, 0, 87178291, 479001599, 6700417
+            li   r3, {iters}
+            li   r12, 15
+            li   r13, -16777216 ; 0xFF00_0000: the probe threshold
+            li   r15, 1
+            li   r8, 0
+        loop:
+            and  r10, r8, r12
+            lw   r4, (r10)
+            div  r14, r4, r15   ; identity, but the beq now resolves 10 cycles late
+            beq  r14, r0, skip  ; mispredicts whenever a zero word appears
+            sltu r5, r0, r4     ; guarded block: 1 on the committed path
+            subi r6, r5, 1      ; 0 committed, all-ones on the wrong path
+            xor  r11, r9, r2    ; lane probe, re-rolled per epoch (r2 evolves)
+            and  r7, r11, r6    ; 0 committed, the lane probe on the wrong path
+            bltu r7, r13, skip  ; committed: uniformly taken; wrong path: per-lane
+            add  r2, r2, r13
+        skip:
+            add  r2, r2, r4
+            addi r8, r8, 1
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            halt
+        "
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("spec_storm_seeded kernel assembles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +339,8 @@ mod tests {
             ("div_chain", div_chain_seeded(8), 1),
             ("wide_div_chain", wide_div_chain_seeded(8), 65),
             ("forward_fan", forward_fan_seeded(8), 2),
+            ("branch_gauntlet", branch_gauntlet_seeded(24), 2),
+            ("spec_storm", spec_storm_seeded(24), 2),
         ] {
             let pop = workload::lane_variants(&prog, 4, 0xBEEF);
             let outs: Vec<u32> = pop.iter().map(|p| final_reg(p, reg)).collect();
@@ -206,7 +368,13 @@ mod tests {
 
     #[test]
     fn unseeded_kernels_halt() {
-        for p in [div_chain(4), wide_div_chain(4), forward_fan(4)] {
+        for p in [
+            div_chain(4),
+            wide_div_chain(4),
+            forward_fan(4),
+            branch_gauntlet(4),
+            spec_storm(4),
+        ] {
             let mut m = Interp::new(&p, 1 << 12);
             assert!(m.run(1_000_000).halted());
         }

@@ -163,6 +163,25 @@ pub struct ServeCounters {
     /// Lanes peeled back to a serial engine run after diverging from
     /// their batch leader.
     pub lane_divergence_peels: u64,
+    /// Clean epochs walked across all lane-batch passes (a
+    /// mispredict-free batch contributes exactly one).
+    pub lane_epochs: u64,
+    /// Lanes peeled during wrong-path segment replay at an epoch
+    /// boundary (subset of `lane_divergence_peels`' sibling counter in
+    /// the batcher; reported separately because they mark predictor
+    /// divergence rather than dataflow divergence).
+    pub lane_replay_peels: u64,
+    /// Groups demoted to serial because members disagreed on register
+    /// or memory shape.
+    pub lane_demote_incompatible: u64,
+    /// Groups demoted to serial because the leader run did not halt.
+    pub lane_demote_leader: u64,
+    /// Groups demoted to serial because the leader's schedule could not
+    /// be walked in lock-step (structural mismatch).
+    pub lane_demote_structure: u64,
+    /// Groups demoted to serial because lane 0's lock-step result
+    /// failed self-verification against the leader.
+    pub lane_demote_verify: u64,
     /// Total cycles simulated across all runs.
     pub cycles_simulated: u64,
     /// Total instructions committed across all runs.
@@ -188,6 +207,12 @@ pub struct ServeShared {
     batched: AtomicU64,
     lane_batched: AtomicU64,
     lane_peels: AtomicU64,
+    lane_epochs: AtomicU64,
+    lane_replay_peels: AtomicU64,
+    lane_demote_incompatible: AtomicU64,
+    lane_demote_leader: AtomicU64,
+    lane_demote_structure: AtomicU64,
+    lane_demote_verify: AtomicU64,
     engines_held: AtomicU64,
     cycles_simulated: AtomicU64,
     instructions_committed: AtomicU64,
@@ -218,6 +243,12 @@ impl ServeShared {
             batched: AtomicU64::new(0),
             lane_batched: AtomicU64::new(0),
             lane_peels: AtomicU64::new(0),
+            lane_epochs: AtomicU64::new(0),
+            lane_replay_peels: AtomicU64::new(0),
+            lane_demote_incompatible: AtomicU64::new(0),
+            lane_demote_leader: AtomicU64::new(0),
+            lane_demote_structure: AtomicU64::new(0),
+            lane_demote_verify: AtomicU64::new(0),
             engines_held: AtomicU64::new(0),
             cycles_simulated: AtomicU64::new(0),
             instructions_committed: AtomicU64::new(0),
@@ -253,6 +284,12 @@ impl ServeShared {
             batched_runs: self.batched.load(Ordering::Relaxed),
             lane_batched_runs: self.lane_batched.load(Ordering::Relaxed),
             lane_divergence_peels: self.lane_peels.load(Ordering::Relaxed),
+            lane_epochs: self.lane_epochs.load(Ordering::Relaxed),
+            lane_replay_peels: self.lane_replay_peels.load(Ordering::Relaxed),
+            lane_demote_incompatible: self.lane_demote_incompatible.load(Ordering::Relaxed),
+            lane_demote_leader: self.lane_demote_leader.load(Ordering::Relaxed),
+            lane_demote_structure: self.lane_demote_structure.load(Ordering::Relaxed),
+            lane_demote_verify: self.lane_demote_verify.load(Ordering::Relaxed),
             cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
             instructions_committed: self.instructions_committed.load(Ordering::Relaxed),
             packed_fallbacks: self.packed_fallbacks.load(Ordering::Relaxed),
@@ -572,6 +609,28 @@ impl Worker {
             shared
                 .lane_peels
                 .fetch_add(after.peels - before.peels, Ordering::Relaxed);
+            shared
+                .lane_epochs
+                .fetch_add(after.epochs - before.epochs, Ordering::Relaxed);
+            shared
+                .lane_replay_peels
+                .fetch_add(after.replay_peels - before.replay_peels, Ordering::Relaxed);
+            shared.lane_demote_incompatible.fetch_add(
+                after.fallback_incompatible - before.fallback_incompatible,
+                Ordering::Relaxed,
+            );
+            shared.lane_demote_leader.fetch_add(
+                after.fallback_leader - before.fallback_leader,
+                Ordering::Relaxed,
+            );
+            shared.lane_demote_structure.fetch_add(
+                after.fallback_structure - before.fallback_structure,
+                Ordering::Relaxed,
+            );
+            shared.lane_demote_verify.fetch_add(
+                after.fallback_verify - before.fallback_verify,
+                Ordering::Relaxed,
+            );
             for (req, r) in group[..n].iter().zip(group_results.iter()) {
                 count_run(shared, &cfg, r);
                 let wall_us = req.timing.then_some(share.as_micros() as u64);
@@ -763,7 +822,9 @@ pub fn final_summary(shared: &ServeShared) -> String {
         "usim serve: {} requests ({} runs, {} errors, {} disconnects), \
          program cache {} hits / {} misses / {} evictions, \
          engine pool {} hits / {} misses / {} evictions ({} batched), \
-         {} lane-batched runs ({} divergence peels), \
+         {} lane-batched runs over {} epochs \
+         ({} divergence peels, {} replay peels; demoted \
+         {} incompatible / {} leader / {} structure / {} verify), \
          {} cycles simulated, {} instructions committed, \
          {} packed fallbacks, {:.3} s busy",
         c.requests,
@@ -778,7 +839,13 @@ pub fn final_summary(shared: &ServeShared) -> String {
         ep.evictions,
         c.batched_runs,
         c.lane_batched_runs,
+        c.lane_epochs,
         c.lane_divergence_peels,
+        c.lane_replay_peels,
+        c.lane_demote_incompatible,
+        c.lane_demote_leader,
+        c.lane_demote_structure,
+        c.lane_demote_verify,
         c.cycles_simulated,
         c.instructions_committed,
         c.packed_fallbacks,
@@ -855,6 +922,9 @@ fn write_stats(out: &mut String, shared: &ServeShared) {
         "{{\"ok\":true,\"stats\":{{\"requests\":{},\"runs\":{},\"errors\":{},\
          \"disconnects\":{},\"batched_runs\":{},\
          \"lane_batched_runs\":{},\"lane_divergence_peels\":{},\
+         \"lane_epochs\":{},\"lane_replay_peels\":{},\
+         \"lane_demote_incompatible\":{},\"lane_demote_leader\":{},\
+         \"lane_demote_structure\":{},\"lane_demote_verify\":{},\
          \"program_cache_hits\":{},\"program_cache_misses\":{},\
          \"program_cache_evictions\":{},\"programs_cached\":{},\
          \"engine_pool_hits\":{},\"engine_pool_misses\":{},\
@@ -868,6 +938,12 @@ fn write_stats(out: &mut String, shared: &ServeShared) {
         c.batched_runs,
         c.lane_batched_runs,
         c.lane_divergence_peels,
+        c.lane_epochs,
+        c.lane_replay_peels,
+        c.lane_demote_incompatible,
+        c.lane_demote_leader,
+        c.lane_demote_structure,
+        c.lane_demote_verify,
         pc.hits,
         pc.misses,
         pc.evictions,

@@ -21,6 +21,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use ultrascalar::{LaneBatchEngine, LaneBatchStats, ProcConfig, RunResult, MAX_LANES};
+use ultrascalar_isa::Program;
+
 /// Evaluate `f` at every item, in parallel, returning results in input
 /// order.
 ///
@@ -282,6 +285,83 @@ impl JsonReport {
     }
 }
 
+/// Warm [`LaneBatchEngine`]s keyed by processor configuration — the
+/// sweep-side home for config-major lane batching.
+///
+/// A sweep worker builds one pool as its [`parallel_map_with`] state;
+/// every multi-seed population it claims is grouped by the cell's
+/// config (the ROADMAP's "batching across configs"): the pool keeps
+/// one warm engine per distinct [`ProcConfig`] it has seen, so a
+/// population of `k` seeds costs one leader engine pass plus the
+/// bit-sliced lock-step instead of `k` serial simulations — and a
+/// later cell with the same config reuses the warm engine outright.
+/// Results are byte-identical to serial `run_reusing` calls per
+/// program (the lane engine's differential guarantee), so sweep output
+/// is unchanged by pooling.
+#[derive(Debug, Default)]
+pub struct LanePool {
+    engines: Vec<(ProcConfig, LaneBatchEngine)>,
+}
+
+impl LanePool {
+    /// An empty pool; engines are built on first use per config.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `programs[i]` into `out[i]` on the warm engine for `cfg`,
+    /// lane-batching in chunks of up to [`MAX_LANES`] programs.
+    ///
+    /// # Panics
+    /// Panics if `programs` and `out` differ in length.
+    pub fn run_population(
+        &mut self,
+        cfg: &ProcConfig,
+        programs: &[&Program],
+        out: &mut [RunResult],
+    ) {
+        assert_eq!(programs.len(), out.len(), "one result slot per program");
+        if programs.is_empty() {
+            return;
+        }
+        let engine = self.engine_for(cfg);
+        for (ps, os) in programs.chunks(MAX_LANES).zip(out.chunks_mut(MAX_LANES)) {
+            engine.run_batch(ps, os);
+        }
+    }
+
+    /// The warm engine for `cfg`, built on first use. A linear scan:
+    /// sweeps put a handful of configs through each worker, and config
+    /// comparison is cheap next to a simulation.
+    fn engine_for(&mut self, cfg: &ProcConfig) -> &mut LaneBatchEngine {
+        if let Some(i) = self.engines.iter().position(|(c, _)| c == cfg) {
+            return &mut self.engines[i].1;
+        }
+        self.engines
+            .push((cfg.clone(), LaneBatchEngine::new(cfg.clone())));
+        &mut self.engines.last_mut().expect("just pushed").1
+    }
+
+    /// Number of distinct configs with a warm engine in the pool.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True iff no engine has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Aggregate lane-batch counters over every engine in the pool.
+    pub fn stats(&self) -> LaneBatchStats {
+        let mut t = LaneBatchStats::default();
+        for (_, e) in &self.engines {
+            t.merge(e.lane_stats());
+        }
+        t
+    }
+}
+
 /// Did the command line ask for the JSON report?
 pub fn json_flag_set(args: &[String]) -> bool {
     args.iter().any(|a| a == "--json")
@@ -389,6 +469,44 @@ mod tests {
         assert_eq!(geomean(&[]), 1.0);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_pool_matches_serial_and_reuses_engines() {
+        use crate::kernels::{branch_gauntlet_seeded, forward_fan_seeded};
+        use ultrascalar::{PredictorKind, Processor, Ultrascalar};
+        use ultrascalar_isa::workload;
+
+        let configs = [
+            ProcConfig::ultrascalar_i(16),
+            ProcConfig::ultrascalar_i(16).with_predictor(PredictorKind::Bimodal(64)),
+        ];
+        let mut pool = LanePool::new();
+        assert!(pool.is_empty());
+        for (prog, n) in [
+            (forward_fan_seeded(6), 70usize),
+            (branch_gauntlet_seeded(8), 9),
+        ] {
+            // 70 > MAX_LANES exercises the chunked path.
+            let population = workload::lane_variants(&prog, n, 0xD15EA5E);
+            let refs: Vec<&Program> = population.iter().collect();
+            for cfg in &configs {
+                let mut got = vec![RunResult::default(); n];
+                pool.run_population(cfg, &refs, &mut got);
+                for (l, (g, p)) in got.iter().zip(&refs).enumerate() {
+                    let mut want = RunResult::default();
+                    Ultrascalar::new(cfg.clone()).run_reusing(p, &mut want);
+                    assert_eq!(g, &want, "lane {l} differs from serial");
+                }
+            }
+        }
+        // Two distinct configs → two warm engines, reused across
+        // populations; every chunk lane-batched (nothing demoted).
+        assert_eq!(pool.len(), 2);
+        let s = pool.stats();
+        assert_eq!(s.fallbacks, 0, "{s:?}");
+        assert_eq!(s.batches, 6, "2 configs × (2 chunks + 1 chunk): {s:?}");
+        assert_eq!(s.lane_runs + s.peels, 2 * (70 + 9), "{s:?}");
     }
 
     #[test]

@@ -1,18 +1,18 @@
 //! Differential suite for the lane-parallel batch engine over the A/B
 //! benchmark kernels: every batch result must be byte-identical to the
 //! same programs run serially on a fresh scalar engine — across both
-//! reference architectures, the perfect predictor (which passes the
-//! schedule-share gate), a bimodal predictor (which demotes every
-//! group to serial inside the batcher) and hop-banded pipelined
-//! forwarding, seeded and unseeded kernels, and small and full batch
-//! widths.
+//! reference architectures, the perfect predictor (one clean epoch),
+//! a bimodal predictor (whose mispredicts segment the run into epochs
+//! the batcher walks with wrong-path replay, peeling lanes that
+//! diverge) and hop-banded pipelined forwarding, seeded and unseeded
+//! kernels, and small and full batch widths.
 
 use ultrascalar::{
     ForwardModel, LaneBatchEngine, PredictorKind, ProcConfig, Processor, RunResult, Ultrascalar,
 };
 use ultrascalar_bench::kernels::{
-    div_chain, div_chain_seeded, forward_fan, forward_fan_seeded, wide_div_chain,
-    wide_div_chain_seeded,
+    branch_gauntlet, branch_gauntlet_seeded, div_chain, div_chain_seeded, forward_fan,
+    forward_fan_seeded, spec_storm, spec_storm_seeded, wide_div_chain, wide_div_chain_seeded,
 };
 use ultrascalar_isa::{workload, Program};
 
@@ -53,6 +53,10 @@ fn lane_batches_match_serial_over_the_kernel_suite() {
         ("wide_div_chain_seeded", wide_div_chain_seeded(4)),
         ("forward_fan", forward_fan(4)),
         ("forward_fan_seeded", forward_fan_seeded(4)),
+        ("branch_gauntlet", branch_gauntlet(16)),
+        ("branch_gauntlet_seeded", branch_gauntlet_seeded(16)),
+        ("spec_storm", spec_storm(16)),
+        ("spec_storm_seeded", spec_storm_seeded(16)),
     ];
     let configs: Vec<(String, ProcConfig)> = ["usi", "usii"]
         .iter()
@@ -95,6 +99,60 @@ fn lane_batches_match_serial_over_the_kernel_suite() {
                     assert_identical(&label, g, e, l);
                 }
             }
+        }
+    }
+}
+
+/// The branchy kernels exercise the regimes they were written for:
+/// under a bimodal predictor both lane-batch (no serial demotion),
+/// the leader's mispredicts segment the run into multiple epochs, and
+/// `spec_storm`'s seeded wrong-path probe peels some — but not all —
+/// lanes during replay, while `branch_gauntlet`'s shared-data control
+/// replays peel-free.
+#[test]
+fn branchy_kernels_segment_into_epochs_and_spec_storm_replay_peels() {
+    let cfg = ProcConfig::ultrascalar_i(64).with_predictor(PredictorKind::Bimodal(64));
+    for (kname, prog, want_replay_peels) in [
+        ("branch_gauntlet", branch_gauntlet_seeded(64), false),
+        ("spec_storm", spec_storm_seeded(64), true),
+    ] {
+        let population = workload::lane_variants(&prog, 64, 0x1A17E5);
+        let refs: Vec<&Program> = population.iter().collect();
+        let expect = serial_runs(&cfg, &refs);
+        let mut engine = LaneBatchEngine::new(cfg.clone());
+        let mut got = vec![RunResult::default(); 64];
+        engine.run_batch(&refs, &mut got);
+        for (l, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_identical(kname, g, e, l);
+        }
+        let s = *engine.lane_stats();
+        assert_eq!(s.batches, 1, "{kname}: the group must lane-batch");
+        assert_eq!(s.fallbacks, 0, "{kname}: no serial demotion");
+        assert!(s.epochs > 1, "{kname}: mispredicts must segment the run");
+        assert_eq!(
+            s.lane_runs + s.peels,
+            64,
+            "{kname}: every lane accounted for ({s:?})"
+        );
+        assert!(
+            s.replay_peels <= s.peels,
+            "{kname}: replay peels are a subset of peels ({s:?})"
+        );
+        if want_replay_peels {
+            assert!(
+                s.replay_peels > 0,
+                "{kname}: the seeded wrong-path probe must peel lanes ({s:?})"
+            );
+            assert!(
+                s.lane_runs > 1,
+                "{kname}: most lanes must still ride the batch ({s:?})"
+            );
+        } else {
+            assert_eq!(
+                s.replay_peels, 0,
+                "{kname}: shared-data control replays peel-free ({s:?})"
+            );
+            assert_eq!(s.lane_runs, 64, "{kname}: every lane converges ({s:?})");
         }
     }
 }

@@ -274,3 +274,54 @@ fn lane_batch_step_loop_allocates_nothing_in_steady_state() {
     assert_eq!(stats.peels, stats_before.peels, "no divergence peels");
     assert_eq!(stats.fallbacks, stats_before.fallbacks);
 }
+
+#[test]
+fn epoch_replay_loop_allocates_nothing_in_steady_state() {
+    use ultrascalar::{LaneBatchEngine, PredictorKind, ProcConfig, RunResult};
+    use ultrascalar_bench::kernels::{branch_gauntlet_seeded, spec_storm_seeded};
+    use ultrascalar_isa::{workload, Program};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Under a bimodal predictor the leader mispredicts, so every warm
+    // batch walks multiple epochs: flush-event merge cursors, event
+    // scopes, the wrong-path register journal and store overlay all
+    // exercise their reuse paths — and `spec_storm`'s probe also takes
+    // the replay-peel path (a peeled lane re-runs on the retained
+    // scalar engine, into its already-sized result slot).
+    let cfg = ProcConfig::ultrascalar_i(16).with_predictor(PredictorKind::Bimodal(64));
+    for (kname, prog) in [
+        ("branch_gauntlet", branch_gauntlet_seeded(16)),
+        ("spec_storm", spec_storm_seeded(16)),
+    ] {
+        let population = workload::lane_variants(&prog, 64, 0x5EED);
+        let refs: Vec<&Program> = population.iter().collect();
+        let mut engine = LaneBatchEngine::new(cfg.clone());
+        let mut out = vec![RunResult::default(); 64];
+
+        // Warm-up sizes every retained buffer, the replay scratch
+        // included.
+        engine.run_batch(&refs, &mut out);
+        engine.run_batch(&refs, &mut out);
+
+        let stats_before = *engine.lane_stats();
+        let guard = ProbeGuard::arm();
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            engine.run_batch(&refs, &mut out);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        drop(guard);
+        let stats = engine.lane_stats().delta_since(&stats_before);
+        assert_eq!(
+            after - before,
+            0,
+            "{kname}: warm epoch-replay loop allocated in steady state"
+        );
+        assert_eq!(stats.batches, 10, "{kname}: every probed batch shared");
+        assert_eq!(stats.fallbacks, 0, "{kname}: no serial demotion");
+        assert!(
+            stats.epochs > stats.batches,
+            "{kname}: the probed batches must replay across epochs ({stats:?})"
+        );
+    }
+}

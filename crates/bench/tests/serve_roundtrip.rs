@@ -209,13 +209,13 @@ fn broken_pipe_on_write_counts_as_disconnect() {
     assert_eq!(s.counters().disconnects, 1);
 }
 
-/// A branchy countdown loop that lane-batches only under the perfect
-/// predictor (the schedule-share gate needs a misprediction-free
-/// leader run).
+/// A branchy countdown loop under the perfect predictor: one clean
+/// epoch, the original misprediction-free schedule-share case.
 const LOOP_PERFECT: &str = r#"{"program":"li r1, 5\nli r2, 0\nli r3, 0\nloop:\nadd r3, r3, r1\nsubi r1, r1, 1\nbne r1, r2, loop\nhalt\n","options":{"window":8,"predictor":"perfect"}}"#;
 
 /// The same loop under the default bimodal predictor: the leader
-/// mispredicts, so every group demotes to serial runs.
+/// mispredicts, so the run splits into several clean epochs and the
+/// group lane-batches via epoch-segmented schedule sharing.
 const LOOP_BIMODAL: &str = r#"{"program":"li r1, 5\nli r2, 0\nli r3, 0\nloop:\nadd r3, r3, r1\nsubi r1, r1, 1\nbne r1, r2, loop\nhalt\n","options":{"window":8}}"#;
 
 #[test]
@@ -249,10 +249,9 @@ fn pipelined_identical_requests_lane_batch_byte_identically() {
 }
 
 #[test]
-fn bimodal_gate_demotes_group_to_serial_byte_identically() {
-    // Baseline: the same three requests one line at a time on an
-    // equally warm server (the bimodal tables ride the pooled engine
-    // either way).
+fn bimodal_group_lane_batches_across_epochs_byte_identically() {
+    // Baseline: the same three requests one line at a time (the
+    // predictor tables reset per run, so all three responses match).
     let mut serial = Server::new(8, 4);
     let expect: Vec<String> = (0..3)
         .map(|_| serial.handle_line(LOOP_BIMODAL).to_string())
@@ -265,15 +264,27 @@ fn bimodal_gate_demotes_group_to_serial_byte_identically() {
     let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
     assert_eq!(lines.len(), 3, "{lines:?}");
     for (l, e) in lines.iter().zip(&expect) {
-        assert_eq!(*l, e, "serial demotion must match line-at-a-time serving");
+        assert_eq!(*l, e, "lane-batched response must match serial serving");
     }
     let c = s.counters();
     assert_eq!(c.runs, 3);
     assert_eq!(
-        c.lane_batched_runs, 0,
-        "mispredicting leader blocks the gate"
+        c.lane_batched_runs, 3,
+        "mispredicting leader no longer blocks the gate"
     );
+    assert!(
+        c.lane_epochs >= 2,
+        "the leader's flushes segment the run into multiple epochs, got {}",
+        c.lane_epochs
+    );
+    // Identical lanes never diverge from the leader, during replay or
+    // otherwise, and no demotion cause fires.
     assert_eq!(c.lane_divergence_peels, 0);
+    assert_eq!(c.lane_replay_peels, 0);
+    assert_eq!(c.lane_demote_incompatible, 0);
+    assert_eq!(c.lane_demote_leader, 0);
+    assert_eq!(c.lane_demote_structure, 0);
+    assert_eq!(c.lane_demote_verify, 0);
 }
 
 #[test]

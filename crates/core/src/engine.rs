@@ -234,6 +234,79 @@ struct StoreInfo {
     value: u32,
 }
 
+/// One misprediction flush, as seen by the lane batcher: the committed
+/// flusher's sequence number and the contiguous run of flushed
+/// (wrong-path) entries it squashed, recorded oldest-first.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushEvent {
+    /// `seq` of the mispredicted branch that caused the flush.
+    pub branch_seq: u64,
+    /// Index of this event's first entry in [`ReplayLog::entries`].
+    pub start: usize,
+    /// Number of flushed entries (always ≥ 1; flushes that squash
+    /// nothing leave no wrong-path trace and are not recorded).
+    pub len: usize,
+}
+
+/// One squashed wrong-path station, with exactly the value-dependent
+/// facts that shaped the schedule: the branch direction if it resolved
+/// early enough to train the predictor, and the effective address if
+/// the memory operation got far enough to compute one. Entries that
+/// resolved neither provably left no timing trace (their consumers
+/// never issued), so their values are don't-cares during replay.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushedEntry {
+    /// Dynamic sequence number of the squashed station.
+    pub seq: u64,
+    /// Static instruction index (`>= program.len()` marks a synthetic
+    /// halt fetched past the end of the program).
+    pub pc: usize,
+    /// The squashed instruction.
+    pub instr: Instr,
+    /// `Some(direction)` iff the branch completed strictly before the
+    /// flush cycle — exactly the condition under which Phase C trained
+    /// the predictor on it.
+    pub resolved_taken: Option<bool>,
+    /// Effective address, if the load/store computed one.
+    pub mem_addr: Option<usize>,
+}
+
+/// Wrong-path trace of a run: every misprediction flush with its
+/// squashed entries, in flush order. Maintained unconditionally (the
+/// cost is a few pushes per flush), consumed by the lane batcher's
+/// epoch-segmented replay; cleared at the top of every run.
+#[derive(Debug, Default)]
+pub struct ReplayLog {
+    /// Flush events, in flush (time) order.
+    pub events: Vec<FlushEvent>,
+    /// Flushed entries, grouped by event (see [`FlushEvent::start`]).
+    pub entries: Vec<FlushedEntry>,
+}
+
+impl ReplayLog {
+    fn clear(&mut self) {
+        self.events.clear();
+        self.entries.clear();
+    }
+
+    /// The entries squashed by one flush event.
+    pub fn flushed(&self, ev: &FlushEvent) -> &[FlushedEntry] {
+        &self.entries[ev.start..ev.start + ev.len]
+    }
+
+    fn push_entry(&mut self, e: &StationEntry, t_flush: u64) {
+        self.entries.push(FlushedEntry {
+            seq: e.seq,
+            pc: e.pc,
+            instr: e.instr,
+            resolved_taken: e
+                .taken
+                .filter(|_| e.completed_at.is_some_and(|ct| ct < t_flush)),
+            mem_addr: e.mem_addr,
+        });
+    }
+}
+
 /// Wake-up collection for the packed-gate fast path: `blocked` is the
 /// non-empty intersection of a station's source mask with the scan's
 /// register-unready lane words. Under single-cycle forwarding a blocked
@@ -341,6 +414,8 @@ struct EngineScratch {
     /// Free list of cluster entry vectors (always pushed cleared).
     cluster_pool: Vec<Vec<StationEntry>>,
     scan: ScanScratch,
+    /// Wrong-path trace of the most recent run (see [`ReplayLog`]).
+    replay: ReplayLog,
     alu_free_at: Vec<u64>,
     /// Caller-side buffers for [`MemSystem::tick_into`].
     accepted: Vec<u64>,
@@ -363,6 +438,12 @@ impl Ultrascalar {
     /// The configuration.
     pub fn config(&self) -> &ProcConfig {
         &self.cfg
+    }
+
+    /// The wrong-path trace of the most recent run: every misprediction
+    /// flush with its squashed entries, in flush order.
+    pub fn replay_log(&self) -> &ReplayLog {
+        &self.scratch.replay
     }
 }
 
@@ -473,10 +554,12 @@ impl Processor for Ultrascalar {
             window,
             cluster_pool,
             scan,
+            replay,
             alu_free_at,
             accepted,
             responses,
         } = &mut self.scratch;
+        replay.clear();
         match fetch {
             Some(f) => f.reset(program, self.cfg.predictor, ORACLE_FUEL),
             None => *fetch = Some(FetchUnit::new(program, self.cfg.predictor, ORACLE_FUEL)),
@@ -903,6 +986,7 @@ impl Processor for Ultrascalar {
                                                     e.completed_at = Some(t);
                                                     e.result = Some(v);
                                                     e.actual_next = Some(e.pc + 1);
+                                                    e.mem_addr = Some(addr);
                                                     stats.store_forwards += 1;
                                                     record_fw(stats, &s0);
                                                 } else {
@@ -914,6 +998,7 @@ impl Processor for Ultrascalar {
                                                     });
                                                     let e = &mut window[ci].entries[ei];
                                                     e.mem = MemPhase::Requesting;
+                                                    e.mem_addr = Some(addr);
                                                     if first_attempt {
                                                         record_fw(stats, &s0);
                                                     }
@@ -928,6 +1013,7 @@ impl Processor for Ultrascalar {
                                             });
                                             let e = &mut window[ci].entries[ei];
                                             e.mem = MemPhase::Requesting;
+                                            e.mem_addr = Some(addr);
                                             if first_attempt {
                                                 record_fw(stats, &s0);
                                             }
@@ -947,6 +1033,7 @@ impl Processor for Ultrascalar {
                                             });
                                             let e = &mut window[ci].entries[ei];
                                             e.mem = MemPhase::Requesting;
+                                            e.mem_addr = Some(addr);
                                             if first_attempt {
                                                 record_fw(stats, &s0);
                                                 record_fw(stats, &s1);
@@ -994,6 +1081,7 @@ impl Processor for Ultrascalar {
                     if entry.instr.is_load() && !done {
                         flags &= !F_LOADS_DONE;
                     }
+                    let mut resolved_store_addr = None;
                     if entry.instr.is_store() {
                         if !done {
                             flags &= !F_STORES_DONE;
@@ -1098,10 +1186,19 @@ impl Processor for Ultrascalar {
                                 if !info.resolved {
                                     flags &= !F_STORES_RESOLVED;
                                 }
+                                resolved_store_addr = info.resolved.then_some(info.addr);
                                 store_infos.push(info);
                             }
                         }
                     }
+                    if let Some(addr) = resolved_store_addr {
+                        // A renaming-resolved store's address shapes the
+                        // schedule (younger loads forward from it) even
+                        // when the store never issues — wrong-path stores
+                        // never do — so the flush replay log needs it.
+                        window[ci].entries[ei].mem_addr = Some(addr);
+                    }
+                    let entry = &window[ci].entries[ei];
                     if entry.instr.is_branch() && !done {
                         flags &= !F_BRANCHES_DONE;
                     }
@@ -1214,6 +1311,26 @@ impl Processor for Ultrascalar {
                         fetch.train(e.pc, e.taken.unwrap_or(false));
                         if e.mispredicted() {
                             let correct = e.actual_next.expect("resolved branch has next");
+                            // Record the wrong-path suffix before it is
+                            // squashed (ascending seq: the rest of this
+                            // cluster, then every younger cluster).
+                            let flusher_seq = e.seq;
+                            let start = replay.entries.len();
+                            for fe in &window[ci].entries[ei + 1..] {
+                                replay.push_entry(fe, t);
+                            }
+                            for cl in window.iter().skip(ci + 1) {
+                                for fe in &cl.entries {
+                                    replay.push_entry(fe, t);
+                                }
+                            }
+                            if replay.entries.len() > start {
+                                replay.events.push(FlushEvent {
+                                    branch_seq: flusher_seq,
+                                    start,
+                                    len: replay.entries.len() - start,
+                                });
+                            }
                             // Flush everything younger: later clusters
                             // entirely, this cluster past the branch.
                             let mut flushed = 0u64;

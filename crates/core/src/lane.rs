@@ -9,12 +9,13 @@
 //! and — under mispredictions — wrong-path execution (wrong-path loads
 //! issue real memory requests at value-dependent addresses, and the
 //! predictor trains on value-dependent wrong-path branch outcomes). So
-//! for a group of runs of the **same program** that (a) take identical
-//! branch directions, (b) touch identical memory addresses, and
-//! (c) suffer **zero** mispredictions and flushes, the cycle-by-cycle
-//! schedule — cycles, stats, per-instruction timings — is *identical
-//! across the whole group*, even though every register and memory
-//! **value** differs per run.
+//! for a group of runs of the **same program** whose value-dependent
+//! control facts all agree — every committed branch direction, every
+//! effective address, every *resolved* wrong-path branch direction and
+//! every wrong-path effective address — the cycle-by-cycle schedule —
+//! cycles, stats, per-instruction timings — is *identical across the
+//! whole group*, even though every register and memory **value**
+//! differs per run.
 //!
 //! [`LaneBatcher`] exploits exactly that: lane 0 (the *leader*) runs
 //! through the real engine once; the other lanes advance through a
@@ -23,16 +24,56 @@
 //! (a `SlicedPair<32, 1>`, 32 bit-planes × 64 lanes) per architectural
 //! register, one word op advancing all lanes at once. Lanes that stay
 //! converged with the leader inherit the leader's timing verbatim and
-//! keep their own architectural state from the bit-planes. The default
-//! configs' `Perfect` predictor satisfies (c) by construction, so on
-//! lockstep-friendly kernels the whole batch costs one engine pass
-//! plus one architectural sweep.
+//! keep their own architectural state from the bit-planes.
+//!
+//! # Epoch-segmented schedule sharing
+//!
+//! Mispredictions no longer demote the group. The leader's run is
+//! split at its mispredict/flush boundaries into *clean epochs*:
+//! within an epoch the committed path carries no wrong-path work, so
+//! the lock-step pass advances exactly as before. At each boundary the
+//! engine's [`crate::engine::ReplayLog`] supplies the squashed
+//! wrong-path suffix — every flushed station with the two
+//! value-dependent facts that shaped the schedule: the branch
+//! direction *iff* it resolved early enough to train the predictor,
+//! and the effective address *iff* the memory operation computed one.
+//! The batcher replays that segment sequentially for all lanes at once
+//! (a generation-stamped register overlay plus a wrong-path store
+//! overlay, both reused scratch) and peels every lane whose resolved
+//! direction or address disagrees with the leader's
+//! ([`LaneBatchStats::replay_peels`]). Squashed entries that resolved
+//! neither fact provably left no timing trace — their consumers never
+//! issued — so their values are don't-cares.
+//!
+//! Wrong paths speculate too: a wrong-path branch that resolves
+//! against its own prediction flushes its juniors and redirects
+//! wrong-path fetch, recording a *nested* flush event whose flusher
+//! never commits. A committed-sequence gap is therefore tiled by the
+//! union of one *outer* event (the committed flusher's) and any nested
+//! events recorded — necessarily earlier — inside it. The replay
+//! merges them in sequence order and scopes each event's register and
+//! store writes to its own seq range with an undo journal: the engine
+//! refetched from a nested flush point, so entries past an event's
+//! last seq never saw that event's values. Ranges of distinct events
+//! are disjoint, so the scopes are properly nested and LIFO undo is
+//! exact.
+//!
+//! **Per-lane predictor state reduces to direction checks.** The
+//! predictor trains on exactly two kinds of outcomes: committed branch
+//! directions (checked lane-against-leader by the lock-step pass) and
+//! wrong-path directions that resolved before their flush (checked by
+//! the segment replay). A lane that matches the leader on *every*
+//! checked direction feeds its predictor the identical training
+//! sequence, so its bimodal tables evolve identically by induction —
+//! no per-lane counter tables need materialising, which keeps the
+//! whole boundary check allocation-free.
 //!
 //! # Divergence peel and rejoin
 //!
 //! The moment a lane disagrees with the leader — a branch evaluates
 //! differently, or a load/store resolves to a different effective
-//! address — it is *peeled*: dropped from the active mask and re-run
+//! address, on either the committed path or a replayed wrong-path
+//! segment — it is *peeled*: dropped from the active mask and re-run
 //! from its initial state on the retained scalar engine
 //! ([`crate::Processor::run_reusing`]), which is trivially
 //! byte-identical to a serial run. Peeled lanes rejoin at the batch
@@ -43,22 +84,27 @@
 //! # Self-verification
 //!
 //! The lock-step pass mirrors the golden interpreter's semantics, and
-//! lane 0 runs through **both** paths. Before any shared result is
-//! handed out, lane 0's lock-step registers, memory, halt flag and
-//! step count are compared against the engine's; any mismatch (or a
-//! leader run that mispredicted, flushed, or ran out of cycle budget)
-//! demotes the whole group to serial scalar runs. Correctness never
-//! depends on the lock-step pass being right — only throughput does.
-//! Batch-level accounting lives in [`LaneBatchStats`], *outside*
-//! [`crate::ProcStats`], so every per-lane result stays bit-for-bit
-//! identical to its serial twin (a lane counter inside `ProcStats`
-//! would break exactly the differential guarantee this mode is pinned
-//! by).
+//! lane 0 runs through **both** paths. The pass is pinned against the
+//! engine at every step (committed pc sequence), at every boundary
+//! (lane 0's replayed directions and addresses must equal the logged
+//! ones, and the flush events must tile the committed-sequence gaps
+//! exactly), and at the end (lane 0's lock-step registers, memory,
+//! halt flag and step count against the engine's). Any mismatch — or
+//! a leader run that ran out of cycle budget, or flush structure the
+//! replay cannot account for (nested flushes whose flusher never
+//! commits, wrong-path work past the end of the program) — demotes
+//! the whole group to serial scalar runs, per-cause counted in
+//! [`LaneBatchStats`]. Correctness never depends on the lock-step
+//! pass being right — only throughput does. Batch-level accounting
+//! lives in [`LaneBatchStats`], *outside* [`crate::ProcStats`], so
+//! every per-lane result stays bit-for-bit identical to its serial
+//! twin (a lane counter inside `ProcStats` would break exactly the
+//! differential guarantee this mode is pinned by).
 
 use std::borrow::Borrow;
 
 use crate::config::ProcConfig;
-use crate::engine::Ultrascalar;
+use crate::engine::{FlushedEntry, ReplayLog, Ultrascalar};
 use crate::processor::{Processor, RunResult};
 use ultrascalar_isa::{AluOp, BranchCond, Instr, Program};
 use ultrascalar_prefix::lanes::{self, LaneValue, LANES};
@@ -78,13 +124,75 @@ pub struct LaneBatchStats {
     /// included).
     pub lane_runs: u64,
     /// Lanes peeled to the scalar engine after diverging from the
-    /// leader (different branch direction or memory address).
+    /// leader (different branch direction or memory address, on the
+    /// committed path or during a wrong-path segment replay).
     pub peels: u64,
-    /// Eligible groups (size ≥ 2) demoted entirely to serial runs:
-    /// incompatible programs, a leader run that mispredicted / flushed
-    /// / exhausted its cycle budget, or a lock-step self-verification
-    /// failure.
+    /// The subset of [`peels`](Self::peels) that diverged during a
+    /// wrong-path segment replay at an epoch boundary (resolved branch
+    /// direction or effective address differed from the leader's).
+    pub replay_peels: u64,
+    /// Clean epochs executed by shared batches: one more than the
+    /// number of flush boundaries each, so a mispredict-free shared
+    /// batch contributes exactly 1.
+    pub epochs: u64,
+    /// Eligible groups (size ≥ 2) demoted entirely to serial runs —
+    /// the sum of the per-cause counters below.
     pub fallbacks: u64,
+    /// Demotions: programs not lane-batchable (instruction streams,
+    /// register-file sizes, or effective memory sizes differ).
+    pub fallback_incompatible: u64,
+    /// Demotions: the leader run never halted (cycle budget).
+    pub fallback_leader: u64,
+    /// Demotions: the lock-step walk could not account for the
+    /// leader's schedule — committed-path or flush-boundary structure
+    /// the replay does not model (e.g. flush events that do not tile
+    /// their committed-sequence gap), or a lane-0 replay fact
+    /// disagreeing with the engine's log.
+    pub fallback_structure: u64,
+    /// Demotions: lane 0's final lock-step state failed verification
+    /// against the engine's result.
+    pub fallback_verify: u64,
+}
+
+impl LaneBatchStats {
+    /// Counter-wise accumulate `other` into `self`, for rolling the
+    /// counters of several batchers (or several snapshots' deltas) into
+    /// one aggregate.
+    pub fn merge(&mut self, other: &Self) {
+        self.batches += other.batches;
+        self.lane_runs += other.lane_runs;
+        self.peels += other.peels;
+        self.replay_peels += other.replay_peels;
+        self.epochs += other.epochs;
+        self.fallbacks += other.fallbacks;
+        self.fallback_incompatible += other.fallback_incompatible;
+        self.fallback_leader += other.fallback_leader;
+        self.fallback_structure += other.fallback_structure;
+        self.fallback_verify += other.fallback_verify;
+    }
+
+    /// Counter-wise difference `self - earlier`, for reporting what one
+    /// span of batches contributed between two cumulative snapshots of
+    /// the same batcher. Saturating, so a mismatched snapshot shows 0
+    /// instead of wrapping.
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        LaneBatchStats {
+            batches: self.batches.saturating_sub(earlier.batches),
+            lane_runs: self.lane_runs.saturating_sub(earlier.lane_runs),
+            peels: self.peels.saturating_sub(earlier.peels),
+            replay_peels: self.replay_peels.saturating_sub(earlier.replay_peels),
+            epochs: self.epochs.saturating_sub(earlier.epochs),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+            fallback_incompatible: self
+                .fallback_incompatible
+                .saturating_sub(earlier.fallback_incompatible),
+            fallback_leader: self.fallback_leader.saturating_sub(earlier.fallback_leader),
+            fallback_structure: self
+                .fallback_structure
+                .saturating_sub(earlier.fallback_structure),
+            fallback_verify: self.fallback_verify.saturating_sub(earlier.fallback_verify),
+        }
+    }
 }
 
 /// Retained scratch + counters for lane-parallel batch runs. One
@@ -96,6 +204,28 @@ pub struct LaneBatcher {
     regs: Vec<LaneValue>,
     /// Per-lane data memory (entry `l` valid while lane `l` is active).
     mems: Vec<Vec<u32>>,
+    /// Wrong-path register overlay for segment replay: per-register
+    /// per-lane scalar values, generation-stamped so starting a new
+    /// segment is one counter bump instead of a clear.
+    wp_val: Vec<[u32; LANES]>,
+    /// Generation stamp per overlay register (`== wp_gen_cur` ⇒ live).
+    wp_gen: Vec<u32>,
+    /// Current overlay generation (bumped per replayed segment).
+    wp_gen_cur: u32,
+    /// Wrong-path store overlay for the segment being replayed:
+    /// (leader address, per-lane values), youngest last.
+    wp_stores: Vec<(usize, [u32; LANES])>,
+    /// Per-gap cursor into each consumed flush event's entries (merge
+    /// state for the seq-ordered replay).
+    gap_cursors: Vec<usize>,
+    /// Open event scopes during a gap replay: (last seq of the event's
+    /// range, register-journal mark, store-overlay mark). Popping a
+    /// scope undoes the event's writes — the engine refetched from the
+    /// nested flush point, so younger entries never saw them.
+    gap_scopes: Vec<(u64, usize, usize)>,
+    /// Undo journal for overlay register writes inside event scopes:
+    /// (register, previous generation stamp, previous lane values).
+    journal: Vec<(usize, u32, [u32; LANES])>,
     stats: LaneBatchStats,
 }
 
@@ -103,6 +233,11 @@ pub struct LaneBatcher {
 struct Lockstep {
     /// Lanes still converged with the leader at halt.
     active: u64,
+    /// Lanes peeled during wrong-path segment replay (⊆ the peeled
+    /// set).
+    replay_peeled: u64,
+    /// Clean epochs walked: flush boundaries matched, plus one.
+    epochs: u64,
 }
 
 impl LaneBatcher {
@@ -141,6 +276,7 @@ impl LaneBatcher {
         }
         let Some(words) = compatible_words(engine.config(), programs) else {
             self.stats.fallbacks += 1;
+            self.stats.fallback_incompatible += 1;
             run_serial(engine, programs, out);
             return;
         };
@@ -149,25 +285,34 @@ impl LaneBatcher {
         engine.run_reusing(programs[0].borrow(), &mut out[0]);
         let (leader, rest) = out.split_first_mut().expect("n >= 2");
 
-        // Schedule-sharing gate: the leader's timing transfers to a
-        // converged lane only if no wrong-path work ran (see module
-        // docs) and the run actually completed.
-        let clean = leader.halted && leader.stats.mispredictions == 0 && leader.stats.flushed == 0;
-        if !clean {
+        // Schedule-sharing gate: mispredictions and flushes are now
+        // handled epoch-by-epoch (see module docs); only a leader that
+        // ran out of cycle budget demotes the group outright.
+        if !leader.halted {
             self.stats.fallbacks += 1;
+            self.stats.fallback_leader += 1;
             run_serial(engine, &programs[1..], rest);
             return;
         }
 
-        match self.lockstep(programs, words, leader) {
+        let pass = self.lockstep(programs, words, leader, engine.replay_log());
+        match pass {
             Some(pass) if self.verify_leader(programs[0].borrow().num_regs, leader) => {
                 self.stats.batches += 1;
+                self.stats.epochs += pass.epochs;
                 self.stats.lane_runs += pass.active.count_ones() as u64;
                 self.stats.peels += (lanes::mask_lo(n) & !pass.active).count_ones() as u64;
+                self.stats.replay_peels += pass.replay_peeled.count_ones() as u64;
                 self.assemble(engine, programs, leader, rest, pass.active);
             }
-            _ => {
+            Some(_) => {
                 self.stats.fallbacks += 1;
+                self.stats.fallback_verify += 1;
+                run_serial(engine, &programs[1..], rest);
+            }
+            None => {
+                self.stats.fallbacks += 1;
+                self.stats.fallback_structure += 1;
                 run_serial(engine, &programs[1..], rest);
             }
         }
@@ -175,19 +320,21 @@ impl LaneBatcher {
 
     /// The bit-sliced architectural lock-step pass: a mirror of the
     /// golden interpreter's step semantics over all lanes at once,
-    /// peeling lanes that diverge from lane 0. Returns `None` if the
-    /// pass disagrees with the leader's halt/step count (which demotes
-    /// the group to serial).
+    /// peeling lanes that diverge from lane 0 — aligned step-for-step
+    /// with the leader's committed timings, with every seq gap matched
+    /// against a logged flush event and replayed (see module docs).
+    /// Returns `None` if the walk disagrees with the leader's schedule
+    /// anywhere (which demotes the group to serial).
     fn lockstep<P: Borrow<Program>>(
         &mut self,
         programs: &[P],
         words: usize,
         leader: &RunResult,
+        replay: &ReplayLog,
     ) -> Option<Lockstep> {
         let n = programs.len();
         let p0 = programs[0].borrow();
         let num_regs = p0.num_regs;
-        let target_steps = leader.stats.committed as usize;
 
         // Per-register lane bundles from each lane's initial registers.
         self.regs.clear();
@@ -213,18 +360,32 @@ impl LaneBatcher {
             m[..p.init_mem.len()].copy_from_slice(&p.init_mem);
         }
 
+        // Wrong-path overlay scratch for this batch's register file.
+        self.wp_val.clear();
+        self.wp_val.resize(num_regs, [0u32; LANES]);
+        self.wp_gen.clear();
+        self.wp_gen.resize(num_regs, 0);
+        self.wp_gen_cur = 0;
+
         let instrs = &p0.instrs;
+        let timings = &leader.timings;
         let mut active = lanes::mask_lo(n);
+        let mut replay_peeled = 0u64;
         let mut pc = 0usize;
-        let mut steps = 0usize;
+        let mut k = 0usize; // index into the leader's committed timings
+        let mut ev = 0usize; // index into the leader's flush events
+        let mut gaps = 0u64; // flush boundaries walked
         let mut halted = false;
         while !halted {
             let Some(&instr) = instrs.get(pc) else {
                 // Fell off the end: implicit halt, no commit.
                 break;
             };
-            if steps == target_steps {
-                // About to outrun the leader's committed count.
+            // The walk must track the leader's committed sequence
+            // exactly; outrunning it or visiting a different pc means
+            // the pass has diverged from the engine.
+            let tk = timings.get(k)?;
+            if tk.pc != pc {
                 return None;
             }
             let mut next_pc = pc + 1;
@@ -281,16 +442,299 @@ impl LaneBatcher {
                     }
                 }
             }
+            // Epoch boundary: a seq gap to the next committed
+            // instruction means this one flushed wrong-path work. The
+            // gap's flush events (nested ones first, the committed
+            // flusher's own last) must tile it exactly, and every lane
+            // must agree with the leader on the replayed resolved
+            // directions and addresses to stay converged across it.
+            if let Some(tn) = timings.get(k + 1) {
+                if tn.seq != tk.seq + 1 {
+                    self.replay_gap(
+                        replay,
+                        &mut ev,
+                        tk.seq,
+                        tn.seq,
+                        words,
+                        &mut active,
+                        &mut replay_peeled,
+                    )?;
+                    gaps += 1;
+                }
+            }
             if next_pc >= instrs.len() {
                 halted = true;
             }
             pc = next_pc;
-            steps += 1;
+            k += 1;
         }
-        if steps != target_steps {
+        if k != timings.len() {
             return None;
         }
-        Some(Lockstep { active })
+        if ev != replay.events.len() {
+            // Flush work the walk could not place against a committed
+            // gap: a trailing flush into the synthetic-halt run-out.
+            return None;
+        }
+        Some(Lockstep {
+            active,
+            replay_peeled,
+            epochs: gaps + 1,
+        })
+    }
+
+    /// Replay one committed-sequence gap `(flusher_seq, next_seq)`:
+    /// consume this gap's flush events (its nested events were all
+    /// recorded before the outer one, whose `branch_seq` is the
+    /// committed flusher), verify their union tiles the gap exactly,
+    /// and replay the merged wrong-path work in sequence order for all
+    /// lanes at once, peeling lanes whose resolved branch directions
+    /// or effective addresses diverge from the leader's logged ones.
+    /// Returns `None` — demoting the group — if the events cannot tile
+    /// the gap or *lane 0* disagrees with the log (the replay
+    /// semantics are then wrong and no shared result can be trusted).
+    ///
+    /// Each event's register and store writes are scoped to its own
+    /// seq range via the undo journal: wrong-path fetch resumed from a
+    /// nested flush point, so entries past an event's last seq never
+    /// saw its values. Event ranges are pairwise disjoint, which makes
+    /// the open scopes properly nested and LIFO undo exact.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_gap(
+        &mut self,
+        replay: &ReplayLog,
+        ev: &mut usize,
+        flusher_seq: u64,
+        next_seq: u64,
+        words: usize,
+        active: &mut u64,
+        replay_peeled: &mut u64,
+    ) -> Option<()> {
+        // Consume events until the outer one. Everything before it is
+        // a nested flush inside this gap; its flusher is a wrong-path
+        // entry, so its seq must lie strictly inside the gap.
+        let start = *ev;
+        loop {
+            let e = replay.events.get(*ev)?;
+            *ev += 1;
+            if e.branch_seq == flusher_seq {
+                break;
+            }
+            if e.branch_seq <= flusher_seq || e.branch_seq >= next_seq {
+                return None;
+            }
+        }
+        let events = &replay.events[start..*ev];
+
+        self.wp_gen_cur = self.wp_gen_cur.wrapping_add(1);
+        if self.wp_gen_cur == 0 {
+            self.wp_gen.fill(0);
+            self.wp_gen_cur = 1;
+        }
+        self.wp_stores.clear();
+        self.journal.clear();
+        self.gap_scopes.clear();
+        self.gap_cursors.clear();
+        self.gap_cursors.resize(events.len(), 0);
+
+        for expected in flusher_seq + 1..next_seq {
+            // The merge step: exactly one event's cursor must sit on
+            // the expected seq (events record entries in seq order).
+            let j = (0..events.len()).find(|&j| {
+                let seg = replay.flushed(&events[j]);
+                let c = self.gap_cursors[j];
+                c < seg.len() && seg[c].seq == expected
+            })?;
+            let seg = replay.flushed(&events[j]);
+            let c = self.gap_cursors[j];
+            if c == 0 {
+                let last = seg.last().expect("events record at least one entry").seq;
+                self.gap_scopes
+                    .push((last, self.journal.len(), self.wp_stores.len()));
+            }
+            self.gap_cursors[j] = c + 1;
+            self.replay_entry(&seg[c], words, active, replay_peeled)?;
+            while let Some(&(last, jm, sm)) = self.gap_scopes.last() {
+                if last != expected {
+                    break;
+                }
+                self.gap_scopes.pop();
+                self.undo_to(jm, sm);
+            }
+        }
+        // Exact tiling: every consumed event fully merged into the gap.
+        for (j, e) in events.iter().enumerate() {
+            if self.gap_cursors[j] != replay.flushed(e).len() {
+                return None;
+            }
+        }
+        Some(())
+    }
+
+    /// Roll the wrong-path overlays back to a scope's marks, undoing
+    /// register writes youngest-first and truncating the store overlay.
+    fn undo_to(&mut self, journal_mark: usize, stores_mark: usize) {
+        while self.journal.len() > journal_mark {
+            let (r, gen, vals) = self.journal.pop().expect("len checked");
+            self.wp_gen[r] = gen;
+            self.wp_val[r] = vals;
+        }
+        self.wp_stores.truncate(stores_mark);
+    }
+
+    /// Replay a single squashed wrong-path entry for all lanes at
+    /// once.
+    ///
+    /// Value semantics mirror the engine's wrong-path execution:
+    /// registers start from the lock-step architectural state at the
+    /// flush boundary (the generation-stamped overlay), loads forward
+    /// from the youngest older wrong-path store to the same address
+    /// (the store overlay — wrong-path stores never reach memory) and
+    /// fall back to lane memory, and entries without a logged fact are
+    /// don't-cares (their consumers never issued).
+    fn replay_entry(
+        &mut self,
+        fe: &FlushedEntry,
+        words: usize,
+        active: &mut u64,
+        replay_peeled: &mut u64,
+    ) -> Option<()> {
+        {
+            match fe.instr {
+                Instr::Nop | Instr::Halt | Instr::Jump { .. } => {}
+                Instr::LoadImm { rd, imm } => self.wp_write(rd.index(), [imm as u32; LANES]),
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let a = self.wp_read(rs1.index());
+                    let b = self.wp_read(rs2.index());
+                    let mut out = [0u32; LANES];
+                    for l in 0..LANES {
+                        out[l] = op.apply(a[l], b[l]);
+                    }
+                    self.wp_write(rd.index(), out);
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let a = self.wp_read(rs1.index());
+                    let mut out = [0u32; LANES];
+                    for l in 0..LANES {
+                        out[l] = op.apply(a[l], imm as u32);
+                    }
+                    self.wp_write(rd.index(), out);
+                }
+                Instr::Load { rd, base, offset } => {
+                    let Some(addr0) = fe.mem_addr else {
+                        // Never issued ⇒ no consumer of its value ever
+                        // issued either; the value is a don't-care.
+                        self.wp_write(rd.index(), [0u32; LANES]);
+                        return Some(());
+                    };
+                    let bases = self.wp_read(base.index());
+                    self.peel_wrong_addrs(&bases, offset, words, addr0, active, replay_peeled)?;
+                    let mut out = [0u32; LANES];
+                    match self.wp_stores.iter().rev().find(|(a, _)| *a == addr0) {
+                        Some((_, vs)) => out = *vs,
+                        None => {
+                            let mut act = *active;
+                            while act != 0 {
+                                let l = act.trailing_zeros() as usize;
+                                act &= act - 1;
+                                out[l] = self.mems[l][addr0];
+                            }
+                        }
+                    }
+                    self.wp_write(rd.index(), out);
+                }
+                Instr::Store { src, base, offset } => {
+                    let Some(addr0) = fe.mem_addr else {
+                        // Never resolved ⇒ every younger wrong-path
+                        // load was blocked behind it and never issued.
+                        return Some(());
+                    };
+                    let bases = self.wp_read(base.index());
+                    self.peel_wrong_addrs(&bases, offset, words, addr0, active, replay_peeled)?;
+                    let svals = self.wp_read(src.index());
+                    self.wp_stores.push((addr0, svals));
+                }
+                Instr::Branch { cond, rs1, rs2, .. } => {
+                    let Some(dir) = fe.resolved_taken else {
+                        // Untrained (resolved no earlier than the flush
+                        // cycle, or never): left no timing trace.
+                        return Some(());
+                    };
+                    let a = self.wp_read(rs1.index());
+                    let b = self.wp_read(rs2.index());
+                    if cond.eval(a[0], b[0]) != dir {
+                        return None; // lane-0 self-check failed
+                    }
+                    let mut peel = 0u64;
+                    let mut act = *active & !1;
+                    while act != 0 {
+                        let l = act.trailing_zeros() as usize;
+                        act &= act - 1;
+                        if cond.eval(a[l], b[l]) != dir {
+                            peel |= 1u64 << l;
+                        }
+                    }
+                    *active &= !peel;
+                    *replay_peeled |= peel;
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Segment-replay address check: lane 0's computed address must
+    /// equal the leader's logged one (else the replay is wrong —
+    /// demote); every other active lane computing a different address
+    /// peels.
+    fn peel_wrong_addrs(
+        &self,
+        bases: &[u32; LANES],
+        offset: i32,
+        words: usize,
+        addr0: usize,
+        active: &mut u64,
+        replay_peeled: &mut u64,
+    ) -> Option<()> {
+        if (bases[0].wrapping_add(offset as u32) as usize) % words != addr0 {
+            return None;
+        }
+        let mut peel = 0u64;
+        let mut act = *active & !1;
+        while act != 0 {
+            let l = act.trailing_zeros() as usize;
+            act &= act - 1;
+            if (bases[l].wrapping_add(offset as u32) as usize) % words != addr0 {
+                peel |= 1u64 << l;
+            }
+        }
+        *active &= !peel;
+        *replay_peeled |= peel;
+        Some(())
+    }
+
+    /// Read a register's per-lane values during segment replay: the
+    /// overlay if this segment wrote it, the lock-step architectural
+    /// state otherwise (cached into the overlay so repeated reads cost
+    /// one extraction).
+    fn wp_read(&mut self, r: usize) -> [u32; LANES] {
+        if self.wp_gen[r] != self.wp_gen_cur {
+            let mut vals = [0u32; LANES];
+            lanes::extract(&self.regs[r], &mut vals);
+            self.wp_val[r] = vals;
+            self.wp_gen[r] = self.wp_gen_cur;
+        }
+        self.wp_val[r]
+    }
+
+    /// Write a register's per-lane values into the segment overlay
+    /// (architectural lane state is never touched by wrong-path work),
+    /// journalling the displaced state so a closing event scope can
+    /// undo it. A stale displaced generation restores as stale — the
+    /// next read simply re-extracts the boundary state.
+    fn wp_write(&mut self, r: usize, vals: [u32; LANES]) {
+        self.journal.push((r, self.wp_gen[r], self.wp_val[r]));
+        self.wp_val[r] = vals;
+        self.wp_gen[r] = self.wp_gen_cur;
     }
 
     /// Cross-check lane 0's lock-step state against the engine's

@@ -63,7 +63,7 @@ pub mod timing;
 
 pub use baseline::BaselineOoO;
 pub use config::{ForwardModel, ProcConfig};
-pub use engine::Ultrascalar;
+pub use engine::{FlushEvent, FlushedEntry, ReplayLog, Ultrascalar};
 pub use lane::{LaneBatchEngine, LaneBatchStats, LaneBatcher, MAX_LANES};
 pub use latency::LatencyModel;
 pub use pool::{config_shard_hash, EnginePool, PoolStats, PooledEngine, ShardedEnginePool};

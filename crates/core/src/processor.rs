@@ -9,7 +9,7 @@ use ultrascalar_isa::Program;
 /// `Default` is the empty (no run yet) state; it exists so callers of
 /// [`Processor::run_reusing`] can hold one result buffer and let each
 /// run overwrite it in place, reusing the vectors' capacity.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunResult {
     /// Did the program's halt commit (vs the cycle budget expiring)?
     pub halted: bool,

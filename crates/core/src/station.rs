@@ -94,6 +94,12 @@ pub struct StationEntry {
     pub mem: MemPhase,
     /// Resolved branch direction.
     pub taken: Option<bool>,
+    /// Effective memory address, recorded when a load/store first
+    /// computes it (request offered, or a renaming forward/resolution).
+    /// Feeds the flush replay log: wrong-path memory operations shape
+    /// the schedule through their addresses, so the lane batcher must
+    /// be able to compare a lane's addresses against the leader's.
+    pub mem_addr: Option<usize>,
     /// Resolved architectural next pc (branches/jumps; `pc+1` others).
     pub actual_next: Option<usize>,
     /// Lane `r` set iff the instruction reads register `r`, over
@@ -141,6 +147,7 @@ impl StationEntry {
             result: None,
             mem: MemPhase::None,
             taken: None,
+            mem_addr: None,
             actual_next: None,
             src_mask,
             // `0 > t` never holds, so a fresh entry always resolves.

@@ -13,6 +13,7 @@
 //! its serial twin bit-for-bit — divergence must be contained, never
 //! silently approximated.
 
+use proptest::prelude::*;
 use ultrascalar::{
     LaneBatcher, PredictorKind, ProcConfig, Processor, RunResult, Ultrascalar, MAX_LANES,
 };
@@ -188,7 +189,8 @@ fn forced_divergence_random_sweep_is_bit_exact() {
     // so lanes diverge (branch directions, effective addresses) at
     // random steps. Byte-identical results required regardless of how
     // many lanes peel. Includes a Bimodal config where the leader run
-    // usually mispredicts, exercising the serial-fallback gate.
+    // usually mispredicts, exercising epoch-segmented replay across
+    // the leader's flush boundaries.
     let mut rng = Rng(0xD17E5 ^ 0xFFFF_0000_0000);
     let configs = [
         ("usi-perfect", ProcConfig::ultrascalar_i(8)),
@@ -226,6 +228,184 @@ fn forced_divergence_random_sweep_is_bit_exact() {
     let perfect = batchers[0].stats();
     assert!(perfect.batches > 0, "no group ever lane-batched");
     assert!(perfect.peels > 0, "no lane ever peeled");
+}
+
+/// A parameterised branchy loop in the `branch_gauntlet`/`spec_storm`
+/// mould: shared `.word` data drives both a data-dependent diamond and
+/// a `div`-delayed `beq` that mispredicts on every zero word under a
+/// bimodal predictor, and the mispredict's wrong path probes the
+/// per-lane register `r9` — so a batch splits into epochs at the
+/// leader's flushes and lanes whose probe side differs from the
+/// leader's peel during replay.
+fn branchy_loop(iters: u32, data_seed: u64) -> Program {
+    let words: Vec<String> = (0..8u64)
+        .map(|i| {
+            let mut v =
+                (data_seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15))).wrapping_mul(0xBF58476D1CE4E5B9);
+            v ^= v >> 31;
+            // ~1/4 zeros (the beq mispredicts), the rest a small mixed
+            // odd/even spread (the diamond direction varies).
+            if v.is_multiple_of(4) {
+                "0".to_string()
+            } else {
+                ((v % 99_989) as u32 + 1).to_string()
+            }
+        })
+        .collect();
+    let src = format!(
+        r"
+            .word {words}
+            li   r3, {iters}
+            li   r7, 7
+            li   r13, -16777216 ; 0xFF00_0000: the wrong-path probe threshold
+            li   r15, 1
+            li   r8, 0
+        loop:
+            and  r10, r8, r7
+            lw   r4, (r10)
+            div  r14, r4, r15   ; delays the beq so the wrong path runs long
+            beq  r14, r0, skip  ; mispredicts on every zero word
+            andi r11, r4, 1
+            beq  r11, r0, even  ; shared-data diamond
+            add  r2, r2, r4
+            j    join
+        even:
+            sub  r2, r2, r4
+        join:
+            sltu r5, r0, r4
+            subi r6, r5, 1      ; all-ones only on the zero-word wrong path
+            and  r12, r9, r6
+            bltu r12, r13, skip ; wrong-path probe of the per-lane r9
+            add  r2, r2, r13
+        skip:
+            add  r2, r2, r4
+            addi r8, r8, 1
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            halt
+        ",
+        words = words.join(", ")
+    );
+    ultrascalar_isa::asm::assemble(&src, 16).expect("branchy_loop assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The ISSUE's pinned sweep: bimodal configs × branchy programs ×
+    /// batch {3, 64}, every lane byte-identical to its serial twin —
+    /// registers, memory, cycles, stats, timings — however the epochs
+    /// segment and however many lanes peel mid-replay.
+    #[test]
+    fn bimodal_branchy_batches_match_serial(
+        seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        iters in 4u32..20,
+        table_bits in 2u32..7,
+        arch in 0usize..3,
+        random_prog in any::<bool>(),
+    ) {
+        let pred = PredictorKind::Bimodal(1usize << table_bits);
+        let (name, cfg) = match arch {
+            0 => ("usi", ProcConfig::ultrascalar_i(16).with_predictor(pred)),
+            1 => (
+                "usii",
+                ProcConfig::ultrascalar_ii(16)
+                    .with_packed_override()
+                    .with_predictor(pred),
+            ),
+            _ => ("hybrid", ProcConfig::hybrid(16, 4).with_predictor(pred)),
+        };
+        let prog = if random_prog {
+            random_program(&mut Rng(data_seed | 1), 6)
+        } else {
+            branchy_loop(iters, data_seed)
+        };
+        if prog.validate().is_err() {
+            return Ok(());
+        }
+        let mut batcher = LaneBatcher::new();
+        for b in [3usize, 64] {
+            let programs = workload::lane_variants(&prog, b, seed);
+            check_batch(&mut batcher, &cfg, &programs, &format!("{name}/b={b}"));
+        }
+        let stats = *batcher.stats();
+        // Both groups (b=3 and b=64) either lane-batched or demoted
+        // with the demotion counted; batched groups account for every
+        // lane as a lock-step run or a peel.
+        prop_assert_eq!(stats.batches + stats.fallbacks, 2, "{:?}", stats);
+        prop_assert!(stats.lane_runs + stats.peels <= 67, "{:?}", stats);
+        prop_assert!(stats.replay_peels <= stats.peels, "{:?}", stats);
+        // A batched branchy run must actually segment: the kernel's
+        // zero words force leader mispredicts under every bimodal
+        // table size.
+        if !random_prog && stats.batches > 0 {
+            prop_assert!(stats.epochs > stats.batches, "{:?}", stats);
+        }
+    }
+}
+
+#[test]
+fn single_divergent_lane_peels_at_epoch_boundary() {
+    // The directed shape from the ISSUE: exactly one lane's branch
+    // direction diverges at an epoch boundary. Data word 5 is the only
+    // zero, so the div-delayed `beq` mispredicts exactly there (the
+    // seven nonzero words train the counter not-taken); the wrong path
+    // probes `bltu r9, threshold`, and only lane 2's `r9` sits above
+    // the threshold — its direction differs from the leader's, it
+    // peels during replay, and every other lane rides the batch across
+    // the boundary.
+    let src = r"
+            .word 3, 9, 5, 7, 11, 0, 13, 17
+            li   r3, 8
+            li   r7, 7
+            li   r13, -16777216 ; 0xFF00_0000: the probe threshold
+            li   r15, 1
+            li   r8, 0
+        loop:
+            and  r10, r8, r7
+            lw   r4, (r10)
+            div  r14, r4, r15
+            beq  r14, r0, skip  ; mispredicts only at the zero word
+            sltu r5, r0, r4
+            subi r6, r5, 1
+            and  r12, r9, r6
+            bltu r12, r13, skip ; wrong path: probes the per-lane r9
+            add  r2, r2, r13
+        skip:
+            add  r2, r2, r4
+            addi r8, r8, 1
+            subi r3, r3, 1
+            bne  r3, r0, loop
+            halt
+        ";
+    let base = ultrascalar_isa::asm::assemble(src, 16).expect("directed kernel assembles");
+    let programs: Vec<Program> = (0..4)
+        .map(|l| {
+            let mut p = base.clone();
+            p.init_regs[9] = if l == 2 { 0xFF00_0001 } else { l };
+            p.init_regs[2] = 100 + l; // distinct per-lane results
+            p
+        })
+        .collect();
+    let cfg = ProcConfig::ultrascalar_i(16).with_predictor(PredictorKind::Bimodal(64));
+    let mut batcher = LaneBatcher::new();
+    check_batch(&mut batcher, &cfg, &programs, "directed divergence");
+    let stats = *batcher.stats();
+    assert_eq!(stats.batches, 1, "the group must lane-batch: {stats:?}");
+    assert_eq!(stats.fallbacks, 0, "no serial demotion: {stats:?}");
+    assert!(
+        stats.epochs >= 2,
+        "the mispredict splits the run: {stats:?}"
+    );
+    assert_eq!(stats.peels, 1, "exactly lane 2 diverges: {stats:?}");
+    assert_eq!(
+        stats.replay_peels, 1,
+        "the divergence is at the boundary replay, not the committed path: {stats:?}"
+    );
+    assert_eq!(
+        stats.lane_runs, 3,
+        "the other lanes ride the batch: {stats:?}"
+    );
 }
 
 #[test]
